@@ -1,0 +1,61 @@
+//! Discovery benches: linear threshold discovery and the non-linear
+//! lattice search at increasing LHS caps.
+
+use afd_core::{G3Prime, MuPlus};
+use afd_discovery::{discover_for_rhs, discover_linear, LatticeConfig};
+use afd_relation::{AttrId, Relation, Schema, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A 6-attribute relation with a planted non-linear AFD (A,B) -> C.
+fn wide_relation(n: usize) -> Relation {
+    Relation::from_rows(
+        Schema::new(["A", "B", "C", "D", "E", "F"]).unwrap(),
+        (0..n).map(|i| {
+            let a = i % 8;
+            let b = (i / 8) % 9;
+            let c = if i % 211 == 17 { 999 } else { (a * 3 + b * 5) % 13 };
+            let d = (i * 7) % 23;
+            let e = (i * 13) % 5;
+            let f = i % 31;
+            [a, b, c, d, e, f]
+                .into_iter()
+                .map(|v| Value::Int(v as i64))
+                .collect::<Vec<_>>()
+        }),
+    )
+    .unwrap()
+}
+
+fn bench_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery_linear");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        let rel = wide_relation(n);
+        group.bench_with_input(BenchmarkId::new("mu_plus", n), &rel, |b, r| {
+            b.iter(|| black_box(discover_linear(r, &MuPlus, 0.5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery_lattice");
+    group.sample_size(10);
+    let rel = wide_relation(2048);
+    for &max_lhs in &[1usize, 2, 3] {
+        let cfg = LatticeConfig {
+            max_lhs,
+            epsilon: 0.85,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("g3_prime", max_lhs),
+            &rel,
+            |b, r| b.iter(|| black_box(discover_for_rhs(r, AttrId(2), &G3Prime, cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linear, bench_lattice);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Experiment-pipeline benches: one Figure-1 sweep step and one full
+//! RWD relation scoring pass (fast measures), so regressions in the
+//! end-to-end paths are caught, not just in the primitives.
+
+use afd_core::fast_measures;
+use afd_eval::{average_scores, build_tables, violated_candidates};
+use afd_rwd::RwdBenchmark;
+use afd_synth::{Axis, SynthBenchmark};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig1_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_fig1_step");
+    group.sample_size(10);
+    let bench = SynthBenchmark {
+        axis: Axis::ErrorRate,
+        steps: 5,
+        tables_per_step: 4,
+        rows: (200, 600),
+        seed: 3,
+    };
+    let measures = fast_measures();
+    group.bench_function("generate_and_score", |b| {
+        b.iter(|| {
+            let step = bench.generate_step(2);
+            let pos = average_scores(&step.positives, &measures, 1);
+            let neg = average_scores(&step.negatives, &measures, 1);
+            black_box((pos, neg))
+        })
+    });
+    group.finish();
+}
+
+fn bench_rwd_relation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_rwd_relation");
+    group.sample_size(10);
+    let bench = RwdBenchmark::generate_scaled(0.002, 5);
+    let claims = &bench.relations[1];
+    let measures = fast_measures();
+    group.bench_function("score_claims_fast_measures", |b| {
+        b.iter(|| {
+            let cands = violated_candidates(&claims.relation);
+            let tables = build_tables(&claims.relation, &cands);
+            let scores: Vec<Vec<f64>> = measures
+                .iter()
+                .map(|m| tables.iter().map(|t| m.score_contingency(t)).collect())
+                .collect();
+            black_box(scores)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1_step, bench_rwd_relation);
+criterion_main!(benches);

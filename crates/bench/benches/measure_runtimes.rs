@@ -1,0 +1,37 @@
+//! Table V: per-measure scoring runtime on a fixed candidate.
+//!
+//! The paper's headline runtime result is the complexity cliff between
+//! the cheap measures (everything in VIOLATION/LOGICAL plus g1ˢ/FI) and
+//! the permutation-corrected ones (RFI⁺, RFI′⁺) with SFI in between.
+//! These benches measure `score_contingency` per measure at two table
+//! sizes; regenerate the Table V ordering with
+//! `cargo bench --bench measure_runtimes`.
+
+use afd_bench::fixture_table;
+use afd_core::all_measures;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_measure_runtimes");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        let table = fixture_table(n, 42);
+        for m in all_measures() {
+            // Bound the slow measures to the small size so the whole
+            // suite stays laptop-friendly; the cliff is visible at 1024.
+            if !m.properties().efficiently_computable && n > 1024 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(m.name(), n),
+                &table,
+                |b, t| b.iter(|| black_box(m.score_contingency(black_box(t)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

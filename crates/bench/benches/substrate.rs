@@ -1,0 +1,54 @@
+//! Substrate microbenchmarks: the primitives every experiment is built
+//! on — grouping, contingency construction, PLI construction and
+//! intersection, entropy evaluation.
+
+use afd_bench::{fixture_relation, fixture_table};
+use afd_relation::{AttrId, AttrSet, ContingencyTable, Pli};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_grouping");
+    group.sample_size(20);
+    for &n in &[1024usize, 8192] {
+        let rel = fixture_relation(n, 7);
+        let attrs = AttrSet::single(AttrId(0));
+        group.bench_with_input(BenchmarkId::new("group_encode", n), &rel, |b, r| {
+            b.iter(|| black_box(r.group_encode(black_box(&attrs))))
+        });
+        let x = AttrSet::single(AttrId(0));
+        let y = AttrSet::single(AttrId(1));
+        group.bench_with_input(BenchmarkId::new("contingency", n), &rel, |b, r| {
+            b.iter(|| black_box(ContingencyTable::from_relation(r, &x, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("pli_build", n), &rel, |b, r| {
+            b.iter(|| black_box(Pli::from_relation(r, &x)))
+        });
+        let pli = Pli::from_relation(&rel, &x);
+        let codes = rel.group_encode(&y).codes;
+        group.bench_with_input(
+            BenchmarkId::new("pli_refine", n),
+            &(pli, codes),
+            |b, (p, cs)| b.iter(|| black_box(p.refine(black_box(cs)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_entropy");
+    group.sample_size(20);
+    for &n in &[1024usize, 8192] {
+        let t = fixture_table(n, 9);
+        group.bench_with_input(BenchmarkId::new("shannon_y_given_x", n), &t, |b, t| {
+            b.iter(|| black_box(afd_entropy::shannon_y_given_x(black_box(t))))
+        });
+        group.bench_with_input(BenchmarkId::new("logical_y_given_x", n), &t, |b, t| {
+            b.iter(|| black_box(afd_entropy::logical_y_given_x(black_box(t))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping, bench_entropy);
+criterion_main!(benches);

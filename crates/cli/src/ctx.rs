@@ -1,0 +1,191 @@
+//! Shared experiment context: configuration and the scored-RWD pipeline
+//! every Figure-2 / Table-V style experiment consumes.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use afd_core::{all_measures, Measure};
+use afd_entropy::expected_mi_cost;
+use afd_eval::{
+    build_tables, common_completed, score_with_budget, violated_candidates, CandidateStats,
+    Labeled, MeasureRun,
+};
+use afd_relation::{lhs_uniqueness, rhs_skew, Fd};
+use afd_rwd::{RwdBenchmark, RwdRelation};
+
+/// Global experiment configuration (CLI flags).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// RWD row-count scale relative to Table II (default 0.02).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads for table scoring.
+    pub threads: usize,
+    /// Per-measure, per-relation budget for the slow measures.
+    pub budget: Duration,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+    /// Run synthetic benchmarks at full paper scale (50×50, 10k rows).
+    pub paper_scale: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scale: 0.02,
+            seed: 20240607,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            budget: Duration::from_millis(2000),
+            out_dir: PathBuf::from("results"),
+            paper_scale: false,
+        }
+    }
+}
+
+/// One candidate with its ground-truth label and structural stats.
+#[derive(Debug, Clone)]
+pub struct CandidateRecord {
+    /// The candidate FD.
+    pub fd: Fd,
+    /// `true` iff the candidate is a design AFD.
+    pub positive: bool,
+    /// LHS-uniqueness / RHS-skew for the mislabel analysis.
+    pub stats: CandidateStats,
+}
+
+/// Everything the RWD experiments need for one relation.
+#[derive(Debug)]
+pub struct RelationEval {
+    /// Relation name (Table II).
+    pub name: &'static str,
+    /// `|R|` at the evaluation scale.
+    pub n_rows: usize,
+    /// Attribute count.
+    pub arity: usize,
+    /// Declared perfect design FDs.
+    pub n_pfd: usize,
+    /// Declared approximate design FDs (ground-truth positives).
+    pub n_afd: usize,
+    /// Violated candidates, ordered positives-first then cheap-first (the
+    /// ordering the budgeted runs consume).
+    pub candidates: Vec<CandidateRecord>,
+    /// Budgeted scoring runs, aligned with `candidates`; one per measure.
+    pub runs: Vec<MeasureRun>,
+    /// Indices every measure completed — the relation's RWD⁻ subset.
+    pub common: Vec<usize>,
+}
+
+impl RelationEval {
+    /// Labels for measure `m` over the given candidate indices.
+    pub fn labels(&self, m: usize, subset: &[usize]) -> Vec<Labeled> {
+        subset
+            .iter()
+            .filter_map(|&i| {
+                self.runs[m].scores[i]
+                    .map(|s| Labeled::new(s, self.candidates[i].positive))
+            })
+            .collect()
+    }
+
+    /// Stats aligned with [`RelationEval::labels`] for the same subset.
+    pub fn stats(&self, subset: &[usize]) -> Vec<CandidateStats> {
+        subset.iter().map(|&i| self.candidates[i].stats).collect()
+    }
+
+    /// `true` iff the relation has ground-truth AFDs.
+    pub fn has_positives(&self) -> bool {
+        self.n_afd > 0
+    }
+}
+
+/// The scored RWD benchmark.
+pub struct RwdEval {
+    /// Measure names in registry order.
+    pub measure_names: Vec<&'static str>,
+    /// Per-relation evaluations, Table II order.
+    pub relations: Vec<RelationEval>,
+}
+
+impl RwdEval {
+    /// Generates the benchmark and runs the budgeted scoring pipeline.
+    pub fn compute(cfg: &Config) -> RwdEval {
+        let measures = all_measures();
+        let bench = RwdBenchmark::generate_scaled(cfg.scale, cfg.seed);
+        let relations = bench
+            .relations
+            .iter()
+            .map(|rel| evaluate_relation(rel, &measures, cfg))
+            .collect();
+        RwdEval {
+            measure_names: measures.iter().map(|m| m.name()).collect(),
+            relations,
+        }
+    }
+
+    /// Pooled labels for measure `m` over every relation's RWD⁻ subset.
+    pub fn pooled_labels(&self, m: usize) -> Vec<Labeled> {
+        self.relations
+            .iter()
+            .flat_map(|r| r.labels(m, &r.common))
+            .collect()
+    }
+
+    /// Number of measures.
+    pub fn n_measures(&self) -> usize {
+        self.measure_names.len()
+    }
+}
+
+fn evaluate_relation(
+    rel: &RwdRelation,
+    measures: &[Box<dyn Measure>],
+    cfg: &Config,
+) -> RelationEval {
+    let cands = violated_candidates(&rel.relation);
+    let mut records: Vec<CandidateRecord> = cands
+        .into_iter()
+        .map(|fd| {
+            let stats = CandidateStats {
+                lhs_uniqueness: lhs_uniqueness(&rel.relation, fd.lhs()),
+                rhs_skew: rhs_skew(&rel.relation, fd.rhs().ids()[0]),
+            };
+            CandidateRecord {
+                positive: rel.afds.contains(&fd),
+                fd,
+                stats,
+            }
+        })
+        .collect();
+    // Order: ground-truth AFDs first (like the paper, which made sure the
+    // slow measures scored every design AFD), then cheapest-first so a
+    // budget covers as many candidates as possible.
+    let tables_tmp = build_tables(
+        &rel.relation,
+        &records.iter().map(|r| r.fd.clone()).collect::<Vec<_>>(),
+    );
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            !records[i].positive,
+            expected_mi_cost(&tables_tmp[i]),
+        )
+    });
+    records = order.iter().map(|&i| records[i].clone()).collect();
+    let tables: Vec<_> = order.into_iter().map(|i| tables_tmp[i].clone()).collect();
+
+    let runs = score_with_budget(&tables, measures, cfg.budget);
+    let common = common_completed(&runs);
+    RelationEval {
+        name: rel.name,
+        n_rows: rel.relation.n_rows(),
+        arity: rel.relation.arity(),
+        n_pfd: rel.pfds.len(),
+        n_afd: rel.afds.len(),
+        candidates: records,
+        runs,
+        common,
+    }
+}

@@ -1,0 +1,140 @@
+//! The RWDe experiments (Appendix G): Table VIII (AUC per error type and
+//! level) and Table IX (winning numbers).
+
+use std::time::Duration;
+
+use afd_core::all_measures;
+use afd_eval::{
+    auc_pr, build_tables, common_completed, rank_at_max_recall, score_with_budget,
+    violated_candidates, winning_numbers, Labeled,
+};
+use afd_rwd::{make_rwde, RwdBenchmark, LEVELS};
+use afd_synth::ErrorType;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ctx::Config;
+use crate::render::{pct, TextTable};
+
+struct InstanceEval {
+    /// Per-measure labels (restricted to the instance's completed set).
+    labels: Vec<Vec<Labeled>>,
+    /// Per-measure rank at max recall.
+    ranks: Vec<usize>,
+}
+
+fn evaluate_instance(
+    rel: &afd_relation::Relation,
+    afds: &[afd_relation::Fd],
+    budget: Duration,
+) -> InstanceEval {
+    let measures = all_measures();
+    let cands = violated_candidates(rel);
+    let positives: Vec<bool> = cands.iter().map(|fd| afds.contains(fd)).collect();
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    let tables = build_tables(rel, &cands);
+    order.sort_by_key(|&i| (!positives[i], afd_entropy::expected_mi_cost(&tables[i])));
+    let tables: Vec<_> = order.iter().map(|&i| tables[i].clone()).collect();
+    let positives: Vec<bool> = order.iter().map(|&i| positives[i]).collect();
+    let runs = score_with_budget(&tables, &measures, budget);
+    let common = common_completed(&runs);
+    let labels: Vec<Vec<Labeled>> = runs
+        .iter()
+        .map(|run| {
+            common
+                .iter()
+                .filter_map(|&i| run.scores[i].map(|s| Labeled::new(s, positives[i])))
+                .collect()
+        })
+        .collect();
+    let ranks = labels.iter().map(|l| rank_at_max_recall(l)).collect();
+    InstanceEval { labels, ranks }
+}
+
+/// Runs the full RWDe grid and prints Tables VIII and IX.
+pub fn tables_8_and_9(cfg: &Config) {
+    let measures = all_measures();
+    let names: Vec<&str> = measures.iter().map(|m| m.name()).collect();
+    let bench = RwdBenchmark::generate_scaled(cfg.scale, cfg.seed);
+    // Paper: relations without PFDs (gathering, ident_taxon) are excluded.
+    let bases: Vec<_> = bench
+        .relations
+        .iter()
+        .filter(|r| !r.pfds.is_empty())
+        .collect();
+
+    // table8 columns / table9 triples.
+    let mut auc_cols: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut ranks_by_type: Vec<(ErrorType, Vec<Vec<usize>>)> = Vec::new();
+    // Use a smaller per-instance budget: the grid has ~96 instances.
+    let budget = cfg.budget / 4;
+    for etype in ErrorType::all() {
+        let mut type_ranks: Vec<Vec<usize>> = Vec::new();
+        for &level in &LEVELS {
+            let mut pooled: Vec<Vec<Labeled>> = vec![Vec::new(); names.len()];
+            for base in &bases {
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ (level.to_bits().rotate_left(7)) ^ (etype.name().len() as u64),
+                );
+                let Some(inst) = make_rwde(base, etype, level, &mut rng) else {
+                    continue;
+                };
+                let ev = evaluate_instance(&inst.relation, &inst.afds, budget);
+                for (m, l) in ev.labels.iter().enumerate() {
+                    pooled[m].extend_from_slice(l);
+                }
+                type_ranks.push(ev.ranks);
+            }
+            let col: Vec<f64> = pooled.iter().map(|l| auc_pr(l)).collect();
+            auc_cols.push((format!("{},{}", etype.name(), (level * 100.0) as u32), col));
+        }
+        ranks_by_type.push((etype, type_ranks));
+    }
+
+    // Table VIII.
+    let mut header = vec!["measure".to_string()];
+    header.extend(auc_cols.iter().map(|(h, _)| h.clone()));
+    let mut t8 = TextTable::new(header);
+    for (m, name) in names.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        row.extend(auc_cols.iter().map(|(_, col)| pct(col[m])));
+        t8.row(row);
+    }
+    println!("\n== Table VIII — AUC on RWDe (percent; columns are type,level%) ==");
+    t8.print();
+    let p8 = cfg.out_dir.join("table8.csv");
+    t8.write_csv(&p8).expect("write csv");
+    println!("[written {}]", p8.display());
+
+    // Table IX: winning numbers per error type (percent of triples won).
+    let mut t9 = TextTable::new(["measure", "copy", "bogus", "typo"]);
+    let wins: Vec<(ErrorType, Vec<usize>, usize)> = ranks_by_type
+        .iter()
+        .map(|(t, ranks)| {
+            let counted = ranks
+                .iter()
+                .filter(|r| r.iter().any(|&x| x > 0))
+                .count();
+            (*t, winning_numbers(ranks), counted.max(1))
+        })
+        .collect();
+    for (m, name) in names.iter().enumerate() {
+        let cell = |t: ErrorType| -> String {
+            wins.iter()
+                .find(|(wt, _, _)| *wt == t)
+                .map(|(_, w, n)| pct(w[m] as f64 / *n as f64))
+                .unwrap_or_else(|| "-".into())
+        };
+        t9.row([
+            name.to_string(),
+            cell(ErrorType::Copy),
+            cell(ErrorType::Bogus),
+            cell(ErrorType::Typo),
+        ]);
+    }
+    println!("\n== Table IX — winning numbers on RWDe (percent of instances won) ==");
+    t9.print();
+    let p9 = cfg.out_dir.join("table9.csv");
+    t9.write_csv(&p9).expect("write csv");
+    println!("[written {}]", p9.display());
+}

@@ -1,0 +1,86 @@
+//! Figure 1 (separation) and Figure 3 (average values) on the synthetic
+//! ERR / UNIQ / SKEW benchmarks.
+
+use afd_core::all_measures;
+use afd_eval::sensitivity_sweep;
+use afd_synth::{Axis, SynthBenchmark};
+
+use crate::ctx::Config;
+use crate::render::{f3, TextTable};
+
+fn benchmark(axis: Axis, cfg: &Config) -> SynthBenchmark {
+    if cfg.paper_scale {
+        SynthBenchmark::paper_scale(axis, cfg.seed)
+    } else {
+        SynthBenchmark::laptop_scale(axis, cfg.seed)
+    }
+}
+
+/// Runs one axis sweep and returns (param values, per-measure series of
+/// (avg⁺, avg⁻)).
+fn run_axis(axis: Axis, cfg: &Config) -> (Vec<f64>, Vec<Vec<(f64, f64)>>) {
+    let measures = all_measures();
+    let bench = benchmark(axis, cfg);
+    let sweep = sensitivity_sweep(&bench, &measures, cfg.threads);
+    let params: Vec<f64> = sweep.iter().map(|s| s.param).collect();
+    let series: Vec<Vec<(f64, f64)>> = (0..measures.len())
+        .map(|m| sweep.iter().map(|s| (s.avg_pos[m], s.avg_neg[m])).collect())
+        .collect();
+    (params, series)
+}
+
+/// `fig1`: separation δ(f, B) per benchmark and measure.
+pub fn fig1(cfg: &Config) {
+    let names: Vec<&str> = all_measures().iter().map(|m| m.name()).collect();
+    for axis in [Axis::ErrorRate, Axis::LhsUniqueness, Axis::RhsSkew] {
+        let (params, series) = run_axis(axis, cfg);
+        let mut header = vec![axis_label(axis).to_string()];
+        header.extend(names.iter().map(|n| n.to_string()));
+        let mut table = TextTable::new(header);
+        for (i, p) in params.iter().enumerate() {
+            let mut row = vec![f3(*p)];
+            row.extend(series.iter().map(|s| f3(s[i].0 - s[i].1)));
+            table.row(row);
+        }
+        println!("\n== Figure 1 — separation on {} ==", axis.name());
+        table.print();
+        let path = cfg.out_dir.join(format!("fig1_{}.csv", axis.name().to_lowercase()));
+        table.write_csv(&path).expect("write csv");
+        println!("[written {}]", path.display());
+    }
+}
+
+/// `fig3`: average measure values on B⁺ (solid) and B⁻ (dashed).
+pub fn fig3(cfg: &Config) {
+    let names: Vec<&str> = all_measures().iter().map(|m| m.name()).collect();
+    for axis in [Axis::ErrorRate, Axis::LhsUniqueness, Axis::RhsSkew] {
+        let (params, series) = run_axis(axis, cfg);
+        let mut header = vec![axis_label(axis).to_string()];
+        for n in &names {
+            header.push(format!("{n}+"));
+            header.push(format!("{n}-"));
+        }
+        let mut table = TextTable::new(header);
+        for (i, p) in params.iter().enumerate() {
+            let mut row = vec![f3(*p)];
+            for s in &series {
+                row.push(f3(s[i].0));
+                row.push(f3(s[i].1));
+            }
+            table.row(row);
+        }
+        println!("\n== Figure 3 — average values on {} ==", axis.name());
+        table.print();
+        let path = cfg.out_dir.join(format!("fig3_{}.csv", axis.name().to_lowercase()));
+        table.write_csv(&path).expect("write csv");
+        println!("[written {}]", path.display());
+    }
+}
+
+fn axis_label(axis: Axis) -> &'static str {
+    match axis {
+        Axis::ErrorRate => "error_rate",
+        Axis::LhsUniqueness => "lhs_uniqueness",
+        Axis::RhsSkew => "rhs_skew",
+    }
+}

@@ -1,0 +1,46 @@
+//! Table III: the qualitative property summary of all 14 measures,
+//! combined with the measured benchmark-level AUC from the RWD pipeline.
+
+use afd_core::all_measures;
+use afd_eval::auc_pr;
+
+use crate::ctx::{Config, RwdEval};
+use crate::render::{f3, TextTable};
+
+/// Prints Table III. Static rows come from the measure metadata (class,
+/// baselines, efficiency, sensitivity verdicts — themselves validated by
+/// the fig1 sweeps); the AUC row is measured on the simulated RWD.
+pub fn table3(cfg: &Config, eval: &RwdEval) {
+    let measures = all_measures();
+    let mut table = TextTable::new([
+        "measure",
+        "considered_in",
+        "class",
+        "has_baselines",
+        "efficient",
+        "inverse_to_error",
+        "insens_lhs_uniq",
+        "insens_rhs_skew",
+        "auc_rwd",
+    ]);
+    for (m, measure) in measures.iter().enumerate() {
+        let p = measure.properties();
+        let auc = auc_pr(&eval.pooled_labels(m));
+        table.row([
+            measure.name().to_string(),
+            p.considered_in.to_string(),
+            measure.class().tag().to_string(),
+            if p.has_baselines { "yes" } else { "no" }.to_string(),
+            if p.efficiently_computable { "yes" } else { "no" }.to_string(),
+            p.inverse_to_error.symbol().to_string(),
+            p.insensitive_lhs_uniqueness.symbol().to_string(),
+            p.insensitive_rhs_skew.symbol().to_string(),
+            f3(auc),
+        ]);
+    }
+    println!("\n== Table III — measure properties ==");
+    table.print();
+    let path = cfg.out_dir.join("table3.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("[written {}]", path.display());
+}

@@ -1,0 +1,166 @@
+//! `afd` — the experiment runner regenerating every table and figure of
+//! "Measuring Approximate Functional Dependencies: A Comparative Study"
+//! (ICDE 2024).
+//!
+//! ```text
+//! afd <experiment> [flags]
+//!
+//! experiments:
+//!   fig1     separation on ERR / UNIQ / SKEW         (Figure 1)
+//!   fig3     average B+/B- values on the sweeps      (Figure 3)
+//!   table2   RWD benchmark overview                  (Table II)
+//!   fig2a    AUC-PR heatmap on RWD-                  (Figure 2a / Table VI)
+//!   fig2b    rank at max recall                      (Figure 2b)
+//!   fig2c    mislabeled-candidate structure          (Figure 2c)
+//!   fig4     PR curves per measure                   (Figure 4)
+//!   table3   property summary                        (Table III)
+//!   table5   measure runtimes within budget          (Table V)
+//!   table7   candidates outside RWD-                 (Table VII)
+//!   table8   AUC on RWDe per error type x level      (Table VIII)
+//!   table9   winning numbers on RWDe                 (Table IX)
+//!   export-rwd  write the benchmark as CSV + ground truth
+//!   nonlinear   extension: non-linear lattice discovery on RWD
+//!   mc-rfi      extension: Monte-Carlo RFI' vs exact RFI'+
+//!   profile <csv>  rank the AFDs of your own CSV file
+//!   all      everything above (paper artifacts + extensions)
+//!
+//! flags:
+//!   --scale <f64>      RWD row scale vs. Table II (default 0.02)
+//!   --seed <u64>       master seed (default 20240607)
+//!   --threads <n>      scoring threads (default: available cores)
+//!   --budget-ms <n>    per-measure per-relation budget (default 2000)
+//!   --paper-scale      run synthetic sweeps at full 50x50 paper scale
+//!   --out <dir>        CSV output directory (default results/)
+//! ```
+
+mod ctx;
+mod exp_export;
+mod exp_extensions;
+mod exp_profile;
+mod exp_rwd;
+mod exp_rwde;
+mod exp_synth;
+mod exp_table3;
+mod render;
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ctx::{Config, RwdEval};
+
+const USAGE: &str = "usage: afd <experiment> [--scale f] [--seed n] [--threads n] \
+[--budget-ms n] [--paper-scale] [--out dir]\n\
+experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]";
+
+fn parse_flags(args: &[String]) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scale" => cfg.scale = take(&mut i)?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--seed" => cfg.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--threads" => {
+                cfg.threads = take(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--budget-ms" => {
+                cfg.budget = Duration::from_millis(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--budget-ms: {e}"))?,
+                )
+            }
+            "--paper-scale" => cfg.paper_scale = true,
+            "--out" => cfg.out_dir = take(&mut i)?.into(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if cmd == "profile" {
+        return match exp_profile::parse_profile_args(&args[1..]).and_then(|o| {
+            exp_profile::profile(&o)
+        }) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let cfg = match parse_flags(&args[1..]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // `table9` is produced by the same grid run as `table8`.
+    let commands: Vec<&str> = if cmd == "all" {
+        vec![
+            "table2", "fig1", "fig3", "fig2a", "fig2b", "fig2c", "fig4", "table3", "table5",
+            "table7", "table8", "nonlinear", "mc-rfi",
+        ]
+    } else {
+        vec![cmd]
+    };
+
+    // The RWD pipeline is shared by most experiments; compute it once up
+    // front when any requested command needs it.
+    const NEEDS_RWD: [&str; 8] = [
+        "table2", "fig2a", "fig2b", "fig2c", "fig4", "table3", "table5", "table7",
+    ];
+    let rwd_eval: Option<RwdEval> = if commands.iter().any(|c| NEEDS_RWD.contains(c)) {
+        eprintln!(
+            "[generating + scoring RWD at scale {} (budget {} ms/measure/relation)...]",
+            cfg.scale,
+            cfg.budget.as_millis()
+        );
+        Some(RwdEval::compute(&cfg))
+    } else {
+        None
+    };
+    let rwd = |_: &Config| -> &RwdEval { rwd_eval.as_ref().expect("precomputed above") };
+    for c in commands {
+        match c {
+            "fig1" => exp_synth::fig1(&cfg),
+            "fig3" => exp_synth::fig3(&cfg),
+            "table2" => exp_rwd::table2(&cfg, rwd(&cfg)),
+            "fig2a" => exp_rwd::fig2a(&cfg, rwd(&cfg)),
+            "fig2b" => exp_rwd::fig2b(&cfg, rwd(&cfg)),
+            "fig2c" => exp_rwd::fig2c(&cfg, rwd(&cfg)),
+            "fig4" => exp_rwd::fig4(&cfg, rwd(&cfg)),
+            "table3" => exp_table3::table3(&cfg, rwd(&cfg)),
+            "table5" => exp_rwd::table5(&cfg, rwd(&cfg)),
+            "table7" => exp_rwd::table7(&cfg, rwd(&cfg)),
+            "table8" | "table9" => exp_rwde::tables_8_and_9(&cfg),
+            "export-rwd" => exp_export::export_rwd(&cfg),
+            "nonlinear" => exp_extensions::nonlinear(&cfg),
+            "mc-rfi" => exp_extensions::mc_rfi(&cfg),
+            other => {
+                eprintln!("unknown experiment `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,32 @@
+//! # afd-discovery
+//!
+//! AFD discovery algorithms built on the measures of `afd-core`:
+//!
+//! * [`threshold`]: the paper's induced discovery algorithm `A_f^ε` over
+//!   linear candidates;
+//! * [`lattice`]: TANE-style levelwise search for minimal **non-linear**
+//!   AFDs (multi-attribute LHS) with exactness and minimality pruning —
+//!   the use case for which the paper recommends the
+//!   LHS-uniqueness-insensitive measures (g3′, RFI′⁺, µ⁺);
+//! * [`g3_pli`]: the classic PLI fast path for `g3` (ablation baseline).
+//!
+//! ```
+//! use afd_discovery::{discover_linear};
+//! use afd_core::MuPlus;
+//! use afd_relation::Relation;
+//!
+//! let rel = Relation::from_pairs((0..100).map(|i| {
+//!     let x = i as u64 % 10;
+//!     (x, if i == 3 { 99 } else { x % 3 })
+//! }));
+//! let found = discover_linear(&rel, &MuPlus, 0.5);
+//! assert_eq!(found.len(), 1); // X -> Y, despite the error
+//! ```
+
+pub mod g3_pli;
+pub mod lattice;
+pub mod threshold;
+
+pub use g3_pli::g3_from_pli;
+pub use lattice::{discover_all, discover_for_rhs, LatticeConfig};
+pub use threshold::{discover_linear, rank_linear, Discovered};

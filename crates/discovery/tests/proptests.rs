@@ -1,0 +1,79 @@
+//! Property-based tests for the discovery algorithms.
+
+use afd_core::{measure_by_name, MuPlus};
+use afd_discovery::{discover_for_rhs, discover_linear, LatticeConfig};
+use afd_relation::{AttrId, Relation, Schema, Value};
+use proptest::prelude::*;
+
+/// Strategy: a random 3-attribute relation with small domains.
+fn rel3() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0i64..5, 0i64..4, 0i64..3), 1..80).prop_map(|rows| {
+        Relation::from_rows(
+            Schema::new(["A", "B", "C"]).unwrap(),
+            rows.into_iter()
+                .map(|(a, b, c)| vec![Value::Int(a), Value::Int(b), Value::Int(c)]),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn discovered_scores_respect_threshold(rel in rel3(), eps in 0.0f64..0.99) {
+        let found = discover_linear(&rel, &MuPlus, eps);
+        for d in &found {
+            prop_assert!(d.score >= eps && d.score < 1.0);
+            prop_assert!(!d.fd.holds_in(&rel), "satisfied FD returned");
+        }
+        // Sorted descending.
+        for w in found.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn lower_threshold_is_superset(rel in rel3()) {
+        let strict = discover_linear(&rel, &MuPlus, 0.7);
+        let loose = discover_linear(&rel, &MuPlus, 0.3);
+        for d in &strict {
+            prop_assert!(loose.iter().any(|l| l.fd == d.fd), "monotonicity violated");
+        }
+    }
+
+    #[test]
+    fn lattice_results_are_minimal_and_violated(rel in rel3()) {
+        let measure = measure_by_name("g3'").unwrap();
+        let cfg = LatticeConfig { max_lhs: 2, epsilon: 0.5 };
+        let found = discover_for_rhs(&rel, AttrId(2), measure.as_ref(), cfg);
+        for d in &found {
+            prop_assert!(!d.fd.holds_in(&rel));
+            prop_assert!(d.fd.lhs().len() <= 2);
+            prop_assert_eq!(d.fd.rhs().ids(), &[AttrId(2)]);
+        }
+        for a in &found {
+            for b in &found {
+                if a.fd != b.fd {
+                    prop_assert!(
+                        !a.fd.lhs().is_subset(b.fd.lhs()),
+                        "non-minimal result"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_level1_matches_linear_discovery(rel in rel3()) {
+        let cfg = LatticeConfig { max_lhs: 1, epsilon: 0.4 };
+        let lattice = discover_for_rhs(&rel, AttrId(2), &MuPlus, cfg);
+        let linear: Vec<_> = discover_linear(&rel, &MuPlus, 0.4)
+            .into_iter()
+            .filter(|d| d.fd.rhs().ids() == [AttrId(2)])
+            .collect();
+        prop_assert_eq!(lattice.len(), linear.len());
+        for (a, b) in lattice.iter().zip(&linear) {
+            prop_assert_eq!(&a.fd, &b.fd);
+            prop_assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+}

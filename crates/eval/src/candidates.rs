@@ -1,0 +1,89 @@
+//! Candidate FD enumeration (Section VI-A).
+//!
+//! The RWD benchmark considers all *linear* candidate FDs `(X, Y)` such
+//! that at least one tuple has non-NULL values in both attributes. The
+//! evaluation then restricts attention to candidates **violated** in the
+//! relation (discovery only ever returns FDs with `f < 1`).
+
+use afd_relation::{AttrId, Fd, Relation, NULL_CODE};
+
+/// All linear candidates `X -> Y` (`X ≠ Y`) with a non-NULL co-occurrence.
+pub fn linear_candidates(rel: &Relation) -> Vec<Fd> {
+    let arity = rel.arity();
+    let mut out = Vec::new();
+    for x in 0..arity {
+        for y in 0..arity {
+            if x == y {
+                continue;
+            }
+            if co_occur(rel, AttrId(x as u32), AttrId(y as u32)) {
+                out.push(Fd::linear(AttrId(x as u32), AttrId(y as u32)));
+            }
+        }
+    }
+    out
+}
+
+/// Candidates violated in `rel` — the discovery search space (satisfied
+/// FDs are found by exact discovery and excluded, Section IV).
+pub fn violated_candidates(rel: &Relation) -> Vec<Fd> {
+    linear_candidates(rel)
+        .into_iter()
+        .filter(|fd| !fd.holds_in(rel))
+        .collect()
+}
+
+fn co_occur(rel: &Relation, x: AttrId, y: AttrId) -> bool {
+    let cx = rel.column(x).codes();
+    let cy = rel.column(y).codes();
+    cx.iter()
+        .zip(cy)
+        .any(|(&a, &b)| a != NULL_CODE && b != NULL_CODE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_relation::{Schema, Value};
+
+    #[test]
+    fn all_ordered_pairs_when_no_nulls() {
+        let rel = Relation::from_pairs([(1, 2), (3, 4)]);
+        assert_eq!(linear_candidates(&rel).len(), 2);
+    }
+
+    #[test]
+    fn null_columns_excluded() {
+        let schema = Schema::new(["a", "b", "c"]).unwrap();
+        let mut rel = Relation::empty(schema);
+        // c never co-occurs with a: rows with c have NULL a.
+        rel.push_row([Value::Int(1), Value::Int(1), Value::Null])
+            .unwrap();
+        rel.push_row([Value::Null, Value::Int(2), Value::Int(2)])
+            .unwrap();
+        let cands = linear_candidates(&rel);
+        let has = |x: u32, y: u32| {
+            cands
+                .iter()
+                .any(|fd| fd.lhs().ids() == [AttrId(x)] && fd.rhs().ids() == [AttrId(y)])
+        };
+        assert!(has(0, 1) && has(1, 0));
+        assert!(has(1, 2) && has(2, 1));
+        assert!(!has(0, 2) && !has(2, 0));
+    }
+
+    #[test]
+    fn violated_excludes_satisfied() {
+        // X -> Y holds; Y -> X violated.
+        let rel = Relation::from_pairs([(1, 10), (2, 10), (1, 10)]);
+        let v = violated_candidates(&rel);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lhs().ids(), [AttrId(1)]);
+    }
+
+    #[test]
+    fn empty_relation_has_no_candidates() {
+        let rel = Relation::from_pairs(std::iter::empty());
+        assert!(linear_candidates(&rel).is_empty());
+    }
+}

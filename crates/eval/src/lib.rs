@@ -1,0 +1,28 @@
+//! # afd-eval
+//!
+//! The evaluation harness of the comparative study:
+//!
+//! * [`candidates`]: linear candidate enumeration with the paper's
+//!   co-occurrence and violation filters;
+//! * [`ranking`]: (parallel) scoring of candidate sets under all measures,
+//!   sharing contingency construction;
+//! * [`pr`]: PR curves, AUC-PR (average precision with tie grouping),
+//!   rank-at-max-recall;
+//! * [`separation`]: the δ(f, B) sensitivity sweeps behind Figures 1/3;
+//! * [`runtime`]: time-budgeted runs (Table V) and the RWD⁻ mechanism;
+//! * [`metrics`]: winning numbers (Table IX) and mislabeled-candidate
+//!   statistics (Figure 2c).
+
+pub mod candidates;
+pub mod metrics;
+pub mod pr;
+pub mod ranking;
+pub mod runtime;
+pub mod separation;
+
+pub use candidates::{linear_candidates, violated_candidates};
+pub use metrics::{average_stats, mislabeled_stats, winning_numbers, CandidateStats};
+pub use pr::{auc_pr, pr_curve, precision_at_max_recall, rank_at_max_recall, Labeled};
+pub use ranking::{build_tables, score_matrix};
+pub use runtime::{common_completed, score_with_budget, MeasureRun};
+pub use separation::{average_scores, sensitivity_sweep, StepStats};

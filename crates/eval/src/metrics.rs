@@ -1,0 +1,159 @@
+//! Aggregate comparison metrics: winning numbers (Table IX) and
+//! mislabeled-candidate statistics (Figure 2c).
+
+use crate::pr::{rank_at_max_recall, Labeled};
+
+/// Winning numbers: given per-triple, per-measure rank-at-max-recall
+/// values (`ranks[triple][measure]`), counts for each measure how many
+/// triples it wins (its r@mr is minimal; ties all win). Triples with no
+/// positives (r@mr = 0 everywhere) are skipped.
+pub fn winning_numbers(ranks: &[Vec<usize>]) -> Vec<usize> {
+    let Some(first) = ranks.first() else {
+        return Vec::new();
+    };
+    let m = first.len();
+    let mut wins = vec![0usize; m];
+    for triple in ranks {
+        debug_assert_eq!(triple.len(), m);
+        let best = triple
+            .iter()
+            .copied()
+            .filter(|&r| r > 0)
+            .min()
+            .unwrap_or(0);
+        if best == 0 {
+            continue;
+        }
+        for (w, &r) in wins.iter_mut().zip(triple) {
+            if r == best {
+                *w += 1;
+            }
+        }
+    }
+    wins
+}
+
+/// Per-candidate structural statistics used by the mislabel analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateStats {
+    /// LHS-uniqueness `|dom(X)|/N` of the candidate.
+    pub lhs_uniqueness: f64,
+    /// RHS-skew of the candidate.
+    pub rhs_skew: f64,
+}
+
+/// Average LHS-uniqueness and RHS-skew over the *mislabeled* candidates
+/// of a ranking: the non-AFD candidates ranked at or above the lowest
+/// true AFD (the r@mr prefix minus the true AFDs). Returns `None` when
+/// there are no positives or no mistakes.
+pub fn mislabeled_stats(
+    labels: &[Labeled],
+    stats: &[CandidateStats],
+) -> Option<(f64, f64)> {
+    assert_eq!(labels.len(), stats.len(), "parallel slices");
+    let r = rank_at_max_recall(labels);
+    if r == 0 {
+        return None;
+    }
+    let min_pos = labels
+        .iter()
+        .filter(|l| l.positive)
+        .map(|l| l.score)
+        .fold(f64::INFINITY, f64::min);
+    let mislabeled: Vec<&CandidateStats> = labels
+        .iter()
+        .zip(stats)
+        .filter(|(l, _)| l.score >= min_pos && !l.positive)
+        .map(|(_, s)| s)
+        .collect();
+    if mislabeled.is_empty() {
+        return None;
+    }
+    let n = mislabeled.len() as f64;
+    Some((
+        mislabeled.iter().map(|s| s.lhs_uniqueness).sum::<f64>() / n,
+        mislabeled.iter().map(|s| s.rhs_skew).sum::<f64>() / n,
+    ))
+}
+
+/// Average stats over an arbitrary candidate subset (the "AFD(R)" and
+/// "rest" reference rows of Figure 2c). Returns `None` on empty input.
+pub fn average_stats<'a>(
+    stats: impl IntoIterator<Item = &'a CandidateStats>,
+) -> Option<(f64, f64)> {
+    let (mut su, mut ss, mut n) = (0.0, 0.0, 0usize);
+    for s in stats {
+        su += s.lhs_uniqueness;
+        ss += s.rhs_skew;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((su / n as f64, ss / n as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winning_numbers_count_minima_with_ties() {
+        let ranks = vec![
+            vec![2, 3, 2], // measures 0 and 2 tie-win
+            vec![5, 4, 6], // measure 1 wins
+            vec![0, 0, 0], // skipped (no positives)
+        ];
+        assert_eq!(winning_numbers(&ranks), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn winning_numbers_ignores_zero_ranks_within_triple() {
+        // A measure with r@mr 0 (no positives seen) cannot win.
+        let ranks = vec![vec![0, 4, 7]];
+        assert_eq!(winning_numbers(&ranks), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn mislabeled_stats_average_the_mistakes() {
+        let labels = vec![
+            Labeled::new(0.9, false), // mislabeled (above lowest positive)
+            Labeled::new(0.8, true),
+            Labeled::new(0.7, false), // mislabeled? score >= 0.5 -> yes
+            Labeled::new(0.5, true),
+            Labeled::new(0.1, false), // below: not counted
+        ];
+        let stats = vec![
+            CandidateStats { lhs_uniqueness: 0.9, rhs_skew: 2.0 },
+            CandidateStats { lhs_uniqueness: 0.1, rhs_skew: 0.0 },
+            CandidateStats { lhs_uniqueness: 0.7, rhs_skew: 4.0 },
+            CandidateStats { lhs_uniqueness: 0.1, rhs_skew: 0.0 },
+            CandidateStats { lhs_uniqueness: 0.5, rhs_skew: 9.0 },
+        ];
+        let (u, s) = mislabeled_stats(&labels, &stats).unwrap();
+        assert!((u - 0.8).abs() < 1e-12);
+        assert!((s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mislabeled_none_when_perfect() {
+        let labels = vec![Labeled::new(0.9, true), Labeled::new(0.1, false)];
+        let stats = vec![
+            CandidateStats { lhs_uniqueness: 0.0, rhs_skew: 0.0 },
+            CandidateStats { lhs_uniqueness: 0.0, rhs_skew: 0.0 },
+        ];
+        assert_eq!(mislabeled_stats(&labels, &stats), None);
+    }
+
+    #[test]
+    fn average_stats_basics() {
+        assert_eq!(average_stats([]), None);
+        let stats = [
+            CandidateStats { lhs_uniqueness: 0.2, rhs_skew: 1.0 },
+            CandidateStats { lhs_uniqueness: 0.4, rhs_skew: 3.0 },
+        ];
+        let (u, s) = average_stats(stats.iter()).unwrap();
+        assert!((u - 0.3).abs() < 1e-12 && (s - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Precision–recall analysis of measure rankings (Section VI
+//! methodology).
+//!
+//! A measure `f` plus a threshold ε induces a discovery algorithm
+//! `A_f^ε` returning all violated candidates with `f ∈ [ε, 1)`. Sweeping ε
+//! over the observed scores traces the PR curve of the family `DISC_f`;
+//! the area under it (AUC-PR, computed as average precision with proper
+//! tie handling) is the paper's headline comparison metric.
+
+/// One scored candidate with its ground-truth label
+/// (`true` = design AFD).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Labeled {
+    /// The measure's score for this candidate.
+    pub score: f64,
+    /// Whether the candidate is in the ground-truth AFD set.
+    pub positive: bool,
+}
+
+impl Labeled {
+    /// Convenience constructor.
+    pub fn new(score: f64, positive: bool) -> Self {
+        Labeled { score, positive }
+    }
+}
+
+/// Sorts labels by descending score, grouping ties.
+fn sorted_groups(labels: &[Labeled]) -> Vec<(f64, u64, u64)> {
+    let mut sorted: Vec<Labeled> = labels.to_vec();
+    sorted.sort_by(|a, b| b.score.total_cmp(&a.score));
+    // Collapse equal scores into (score, positives, total) groups: a
+    // threshold can only sit between distinct score values.
+    let mut groups: Vec<(f64, u64, u64)> = Vec::new();
+    for l in sorted {
+        match groups.last_mut() {
+            Some((s, pos, tot)) if *s == l.score => {
+                *pos += u64::from(l.positive);
+                *tot += 1;
+            }
+            _ => groups.push((l.score, u64::from(l.positive), 1)),
+        }
+    }
+    groups
+}
+
+/// The PR curve as `(recall, precision)` points, one per distinct
+/// threshold, in increasing-recall order. Empty when there are no
+/// positives.
+pub fn pr_curve(labels: &[Labeled]) -> Vec<(f64, f64)> {
+    let total_pos: u64 = labels.iter().map(|l| u64::from(l.positive)).sum();
+    if total_pos == 0 {
+        return Vec::new();
+    }
+    let mut curve = Vec::new();
+    let (mut tp, mut seen) = (0u64, 0u64);
+    for (_, pos, tot) in sorted_groups(labels) {
+        tp += pos;
+        seen += tot;
+        curve.push((tp as f64 / total_pos as f64, tp as f64 / seen as f64));
+    }
+    curve
+}
+
+/// AUC-PR as average precision: `Σ_k (R_k − R_{k−1}) · P_k` over the
+/// distinct-threshold prefix points. Returns 0 when there are no
+/// positives.
+pub fn auc_pr(labels: &[Labeled]) -> f64 {
+    let curve = pr_curve(labels);
+    let mut auc = 0.0;
+    let mut prev_recall = 0.0;
+    for (r, p) in curve {
+        auc += (r - prev_recall) * p;
+        prev_recall = r;
+    }
+    auc
+}
+
+/// Rank at max recall: `|A_f^ε|` with `ε = min_{φ ∈ AFD(R)} f(φ)` — how
+/// many candidates must be inspected, in decreasing score order, to
+/// recover every ground-truth AFD. Returns 0 when there are no positives.
+pub fn rank_at_max_recall(labels: &[Labeled]) -> usize {
+    let min_pos = labels
+        .iter()
+        .filter(|l| l.positive)
+        .map(|l| l.score)
+        .fold(f64::INFINITY, f64::min);
+    if min_pos.is_infinite() {
+        return 0;
+    }
+    labels.iter().filter(|l| l.score >= min_pos).count()
+}
+
+/// Precision at max recall: fraction of true AFDs among the
+/// [`rank_at_max_recall`] top-ranked candidates.
+pub fn precision_at_max_recall(labels: &[Labeled]) -> f64 {
+    let r = rank_at_max_recall(labels);
+    if r == 0 {
+        return 0.0;
+    }
+    let pos: usize = labels.iter().filter(|l| l.positive).count();
+    pos as f64 / r as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(pairs: &[(f64, bool)]) -> Vec<Labeled> {
+        pairs.iter().map(|&(s, p)| Labeled::new(s, p)).collect()
+    }
+
+    #[test]
+    fn perfect_ranking_auc_one() {
+        let labels = l(&[(0.9, true), (0.8, true), (0.3, false), (0.1, false)]);
+        assert!((auc_pr(&labels) - 1.0).abs() < 1e-12);
+        assert_eq!(rank_at_max_recall(&labels), 2);
+        assert_eq!(precision_at_max_recall(&labels), 1.0);
+    }
+
+    #[test]
+    fn worst_ranking_low_auc() {
+        let labels = l(&[(0.9, false), (0.8, false), (0.3, true)]);
+        // Only point: recall 1 at precision 1/3.
+        assert!((auc_pr(&labels) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rank_at_max_recall(&labels), 3);
+    }
+
+    #[test]
+    fn interleaved_ranking_average_precision() {
+        // pos at ranks 1 and 3: AP = 0.5·1 + 0.5·(2/3).
+        let labels = l(&[(0.9, true), (0.5, false), (0.4, true), (0.2, false)]);
+        assert!((auc_pr(&labels) - (0.5 + 0.5 * 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_are_grouped() {
+        // A positive and a negative share a score: a threshold cannot
+        // separate them, so precision at that point is 1/2.
+        let labels = l(&[(0.5, true), (0.5, false)]);
+        let curve = pr_curve(&labels);
+        assert_eq!(curve, vec![(1.0, 0.5)]);
+        assert!((auc_pr(&labels) - 0.5).abs() < 1e-12);
+        assert_eq!(rank_at_max_recall(&labels), 2);
+    }
+
+    #[test]
+    fn no_positives_degenerate() {
+        let labels = l(&[(0.9, false), (0.1, false)]);
+        assert_eq!(auc_pr(&labels), 0.0);
+        assert!(pr_curve(&labels).is_empty());
+        assert_eq!(rank_at_max_recall(&labels), 0);
+        assert_eq!(precision_at_max_recall(&labels), 0.0);
+    }
+
+    #[test]
+    fn curve_recall_is_monotone() {
+        let labels = l(&[
+            (0.9, false),
+            (0.7, true),
+            (0.7, false),
+            (0.6, true),
+            (0.2, false),
+            (0.1, true),
+        ]);
+        let curve = pr_curve(&labels);
+        for w in curve.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(curve.last().unwrap().0, 1.0);
+        let auc = auc_pr(&labels);
+        assert!(auc > 0.0 && auc < 1.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Separation analysis on the synthetic benchmarks (Section V-B,
+//! Figures 1 and 3).
+//!
+//! For benchmark `B` and measure `f`, the *separation* at a sweep step is
+//! `δ(f, B) = avg_{R ∈ B⁺} f(X→Y, R) − avg_{R ∈ B⁻} f(X→Y, R)`.
+//! A good measure keeps δ large across the whole sweep; δ ≈ 0 means the
+//! measure cannot tell FD-generated data from independent data.
+
+use afd_core::Measure;
+use afd_relation::{AttrId, AttrSet, ContingencyTable, Relation};
+use afd_synth::SynthBenchmark;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Average measure values at one sweep step, indexed by measure.
+#[derive(Debug, Clone)]
+pub struct StepStats {
+    /// The swept parameter value (η, uniqueness, or skew).
+    pub param: f64,
+    /// Average score over B⁺ tables, per measure.
+    pub avg_pos: Vec<f64>,
+    /// Average score over B⁻ tables, per measure.
+    pub avg_neg: Vec<f64>,
+}
+
+impl StepStats {
+    /// `δ(f, B)` for measure index `m`.
+    pub fn separation(&self, m: usize) -> f64 {
+        self.avg_pos[m] - self.avg_neg[m]
+    }
+}
+
+/// Runs the full sweep: every step of `bench`, scoring the binary FD
+/// `X → Y` on every B⁺ and B⁻ table under every measure.
+/// Tables within a step are scored across `threads` workers.
+pub fn sensitivity_sweep(
+    bench: &SynthBenchmark,
+    measures: &[Box<dyn Measure>],
+    threads: usize,
+) -> Vec<StepStats> {
+    (0..bench.steps)
+        .map(|step| {
+            let data = bench.generate_step(step);
+            let pos = average_scores(&data.positives, measures, threads);
+            let neg = average_scores(&data.negatives, measures, threads);
+            StepStats {
+                param: data.param,
+                avg_pos: pos,
+                avg_neg: neg,
+            }
+        })
+        .collect()
+}
+
+/// Average score of each measure over a set of binary relations.
+pub fn average_scores(
+    tables: &[Relation],
+    measures: &[Box<dyn Measure>],
+    threads: usize,
+) -> Vec<f64> {
+    let m = measures.len();
+    if tables.is_empty() {
+        return vec![0.0; m];
+    }
+    let x = AttrSet::single(AttrId(0));
+    let y = AttrSet::single(AttrId(1));
+    let sums = Mutex::new(vec![0.0f64; m]);
+    let next = AtomicUsize::new(0);
+    let work = |_: &crossbeam::thread::Scope<'_>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= tables.len() {
+            break;
+        }
+        let t = ContingencyTable::from_relation(&tables[i], &x, &y);
+        let scores: Vec<f64> = measures
+            .iter()
+            .map(|measure| measure.score_contingency(&t))
+            .collect();
+        let mut guard = sums.lock();
+        for (acc, s) in guard.iter_mut().zip(scores) {
+            *acc += s;
+        }
+    };
+    if threads <= 1 || tables.len() < 2 {
+        crossbeam::thread::scope(|s| work(s)).expect("inline scope");
+    } else {
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads.min(tables.len()) {
+                s.spawn(work);
+            }
+        })
+        .expect("worker panicked");
+    }
+    let mut sums = sums.into_inner();
+    for acc in &mut sums {
+        *acc /= tables.len() as f64;
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::{all_measures, measure_by_name};
+    use afd_synth::{Axis, SynthBenchmark};
+
+    fn tiny(axis: Axis) -> SynthBenchmark {
+        SynthBenchmark {
+            axis,
+            steps: 3,
+            tables_per_step: 4,
+            rows: (150, 400),
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn good_measures_separate_on_err() {
+        let bench = tiny(Axis::ErrorRate);
+        let measures = vec![
+            measure_by_name("g3'").unwrap(),
+            measure_by_name("mu+").unwrap(),
+            measure_by_name("g1").unwrap(),
+        ];
+        let sweep = sensitivity_sweep(&bench, &measures, 2);
+        assert_eq!(sweep.len(), 3);
+        // At low error (step 0: η = 0 means positives are exact -> score 1),
+        // g3' and mu+ should separate strongly.
+        let s0 = &sweep[0];
+        assert!(s0.separation(0) > 0.5, "g3' sep={}", s0.separation(0));
+        assert!(s0.separation(1) > 0.5, "mu+ sep={}", s0.separation(1));
+        // g1 has (near-)zero separation: both sides score close to 1.
+        assert!(
+            s0.separation(2) < 0.2,
+            "g1 sep should be small, got {}",
+            s0.separation(2)
+        );
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let bench = tiny(Axis::ErrorRate);
+        let measures = all_measures();
+        let a = sensitivity_sweep(&bench, &measures, 1);
+        let b = sensitivity_sweep(&bench, &measures, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.param, y.param);
+            for m in 0..measures.len() {
+                assert!((x.avg_pos[m] - y.avg_pos[m]).abs() < 1e-12);
+                assert!((x.avg_neg[m] - y.avg_neg[m]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn average_scores_empty_input() {
+        let measures = all_measures();
+        assert_eq!(
+            average_scores(&[], &measures, 2),
+            vec![0.0; measures.len()]
+        );
+    }
+}

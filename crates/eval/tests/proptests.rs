@@ -1,0 +1,85 @@
+//! Property-based tests for the evaluation metrics.
+
+use afd_eval::{auc_pr, pr_curve, precision_at_max_recall, rank_at_max_recall, Labeled};
+use proptest::prelude::*;
+
+fn labels() -> impl Strategy<Value = Vec<Labeled>> {
+    prop::collection::vec(
+        (0u32..100, prop::bool::ANY).prop_map(|(s, p)| Labeled::new(s as f64 / 100.0, p)),
+        0..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn auc_in_unit_interval(ls in labels()) {
+        let auc = auc_pr(&ls);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&auc), "auc={auc}");
+    }
+
+    #[test]
+    fn perfect_ranking_has_auc_one(n_pos in 1usize..10, n_neg in 0usize..10) {
+        let mut ls = Vec::new();
+        for i in 0..n_pos {
+            ls.push(Labeled::new(0.9 + i as f64 * 0.001, true));
+        }
+        for i in 0..n_neg {
+            ls.push(Labeled::new(0.1 - i as f64 * 0.001, false));
+        }
+        prop_assert!((auc_pr(&ls) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(rank_at_max_recall(&ls), n_pos);
+        prop_assert_eq!(precision_at_max_recall(&ls), 1.0);
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform(ls in labels()) {
+        let transformed: Vec<Labeled> = ls
+            .iter()
+            .map(|l| Labeled::new(l.score * 0.5 + 0.25, l.positive))
+            .collect();
+        prop_assert!((auc_pr(&ls) - auc_pr(&transformed)).abs() < 1e-12);
+        prop_assert_eq!(rank_at_max_recall(&ls), rank_at_max_recall(&transformed));
+    }
+
+    #[test]
+    fn rank_at_max_recall_bounds(ls in labels()) {
+        let r = rank_at_max_recall(&ls);
+        let n_pos = ls.iter().filter(|l| l.positive).count();
+        if n_pos == 0 {
+            prop_assert_eq!(r, 0);
+        } else {
+            prop_assert!(r >= n_pos, "r={r} n_pos={n_pos}");
+            prop_assert!(r <= ls.len());
+        }
+    }
+
+    #[test]
+    fn curve_reaches_full_recall(ls in labels()) {
+        let n_pos = ls.iter().filter(|l| l.positive).count();
+        let curve = pr_curve(&ls);
+        if n_pos == 0 {
+            prop_assert!(curve.is_empty());
+        } else {
+            prop_assert!((curve.last().unwrap().0 - 1.0).abs() < 1e-12);
+            for w in curve.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0 + 1e-12, "recall not monotone");
+            }
+            for &(r, p) in &curve {
+                prop_assert!((0.0..=1.0).contains(&r) && (0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn shuffling_labels_preserves_metrics(ls in labels(), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut shuffled = ls.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        prop_assert!((auc_pr(&ls) - auc_pr(&shuffled)).abs() < 1e-9);
+        prop_assert_eq!(rank_at_max_recall(&ls), rank_at_max_recall(&shuffled));
+    }
+}

@@ -1,0 +1,336 @@
+//! Contingency tables: the joint frequency structure every AFD measure
+//! consumes.
+//!
+//! For a candidate FD `X -> Y` over relation `R`, the contingency table
+//! holds the nonzero joint counts `n_ij` of each distinct (non-NULL)
+//! `X`-tuple `x_i` with each distinct `Y`-tuple `y_j`, along with the row
+//! sums `a_i = |σ_{X=x_i}(R)|`, the column sums `b_j = |σ_{Y=y_j}(R)|` and
+//! the total `N`. Rows with a NULL in `X ∪ Y` are dropped, implementing the
+//! paper's Section VI-A semantics.
+
+use std::collections::HashMap;
+
+use crate::dictionary::NULL_CODE;
+use crate::relation::{NullSemantics, Relation};
+use crate::schema::AttrSet;
+
+/// A sparse `K_X × K_Y` joint frequency table.
+#[derive(Debug, Clone)]
+pub struct ContingencyTable {
+    n: u64,
+    row_totals: Vec<u64>,
+    col_totals: Vec<u64>,
+    /// Sparse cells per X-group: `(y_index, count)`, sorted by `y_index`.
+    rows: Vec<Vec<(u32, u64)>>,
+}
+
+impl ContingencyTable {
+    /// Builds the contingency table of `x_attrs` vs `y_attrs` on `rel`,
+    /// dropping rows with a NULL in either side (the paper's semantics).
+    pub fn from_relation(rel: &Relation, x_attrs: &AttrSet, y_attrs: &AttrSet) -> Self {
+        Self::from_relation_with(rel, x_attrs, y_attrs, NullSemantics::DropTuples)
+    }
+
+    /// As [`ContingencyTable::from_relation`] with explicit NULL
+    /// semantics ([`NullSemantics::NullAsValue`] keeps NULL rows, grouping
+    /// all NULLs as one value).
+    pub fn from_relation_with(
+        rel: &Relation,
+        x_attrs: &AttrSet,
+        y_attrs: &AttrSet,
+        nulls: NullSemantics,
+    ) -> Self {
+        let gx = rel.group_encode_with(x_attrs, nulls);
+        let gy = rel.group_encode_with(y_attrs, nulls);
+        Self::from_codes(&gx.codes, &gy.codes)
+    }
+
+    /// Builds the table from parallel per-row group codes ([`NULL_CODE`]
+    /// marks rows to drop). Codes need not be dense; they are remapped.
+    pub fn from_codes(x_codes: &[u32], y_codes: &[u32]) -> Self {
+        assert_eq!(x_codes.len(), y_codes.len(), "parallel code slices");
+        let mut xmap: HashMap<u32, u32> = HashMap::new();
+        let mut ymap: HashMap<u32, u32> = HashMap::new();
+        let mut cells: Vec<HashMap<u32, u64>> = Vec::new();
+        let mut row_totals: Vec<u64> = Vec::new();
+        let mut col_totals: Vec<u64> = Vec::new();
+        let mut n = 0u64;
+        for (&xc, &yc) in x_codes.iter().zip(y_codes) {
+            if xc == NULL_CODE || yc == NULL_CODE {
+                continue;
+            }
+            let xn = xmap.len() as u32;
+            let i = *xmap.entry(xc).or_insert(xn);
+            if i as usize == cells.len() {
+                cells.push(HashMap::new());
+                row_totals.push(0);
+            }
+            let yn = ymap.len() as u32;
+            let j = *ymap.entry(yc).or_insert(yn);
+            if j as usize == col_totals.len() {
+                col_totals.push(0);
+            }
+            *cells[i as usize].entry(j).or_insert(0) += 1;
+            row_totals[i as usize] += 1;
+            col_totals[j as usize] += 1;
+            n += 1;
+        }
+        let rows = cells
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(u32, u64)> = m.into_iter().collect();
+                v.sort_unstable_by_key(|&(j, _)| j);
+                v
+            })
+            .collect();
+        ContingencyTable {
+            n,
+            row_totals,
+            col_totals,
+            rows,
+        }
+    }
+
+    /// Builds a table from a dense count matrix (`counts[i][j] = n_ij`).
+    /// Zero rows/columns are dropped so margins stay strictly positive.
+    pub fn from_counts(counts: &[Vec<u64>]) -> Self {
+        let n_cols = counts.iter().map(Vec::len).max().unwrap_or(0);
+        let mut col_totals = vec![0u64; n_cols];
+        let mut rows = Vec::new();
+        let mut row_totals = Vec::new();
+        let mut n = 0u64;
+        for row in counts {
+            let mut cells = Vec::new();
+            let mut total = 0u64;
+            for (j, &c) in row.iter().enumerate() {
+                if c > 0 {
+                    cells.push((j as u32, c));
+                    col_totals[j] += c;
+                    total += c;
+                    n += c;
+                }
+            }
+            if total > 0 {
+                rows.push(cells);
+                row_totals.push(total);
+            }
+        }
+        // Compact away all-zero columns.
+        let mut remap = vec![u32::MAX; n_cols];
+        let mut next = 0u32;
+        for (j, &t) in col_totals.iter().enumerate() {
+            if t > 0 {
+                remap[j] = next;
+                next += 1;
+            }
+        }
+        for row in &mut rows {
+            for cell in row.iter_mut() {
+                cell.0 = remap[cell.0 as usize];
+            }
+        }
+        let col_totals = col_totals.into_iter().filter(|&t| t > 0).collect();
+        ContingencyTable {
+            n,
+            row_totals,
+            col_totals,
+            rows,
+        }
+    }
+
+    /// Total count `N` (tuples surviving NULL filtering).
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// `true` iff no tuple survived NULL filtering.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `K_X`: number of distinct X-tuples (`|dom_R(X)|`).
+    pub fn n_x(&self) -> usize {
+        self.row_totals.len()
+    }
+
+    /// `K_Y`: number of distinct Y-tuples (`|dom_R(Y)|`).
+    pub fn n_y(&self) -> usize {
+        self.col_totals.len()
+    }
+
+    /// Row sums `a_i`.
+    pub fn row_totals(&self) -> &[u64] {
+        &self.row_totals
+    }
+
+    /// Column sums `b_j`.
+    pub fn col_totals(&self) -> &[u64] {
+        &self.col_totals
+    }
+
+    /// Sparse cells of X-group `i`: `(y_index, n_ij)` sorted by `y_index`.
+    pub fn row(&self, i: usize) -> &[(u32, u64)] {
+        &self.rows[i]
+    }
+
+    /// Iterates over `(i, j, n_ij)` for all nonzero cells.
+    pub fn cells(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().map(move |&(j, c)| (i, j as usize, c)))
+    }
+
+    /// Number of nonzero cells, i.e. `|dom_R(XY)|`.
+    pub fn nonzero_cells(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// `true` iff the FD `X -> Y` holds exactly on the NULL-filtered data:
+    /// every X-group maps to a single Y-value. Vacuously true when empty.
+    pub fn is_exact_fd(&self) -> bool {
+        self.rows.iter().all(|row| row.len() <= 1)
+    }
+
+    /// `Σ_i max_j n_ij` — the size of the largest FD-satisfying subrelation
+    /// (numerator of `g3`).
+    pub fn sum_row_max(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|row| row.iter().map(|&(_, c)| c).max().unwrap_or(0))
+            .sum()
+    }
+
+    /// `Σ_ij n_ij²` — used by `g1'` and logical entropy.
+    pub fn sum_sq_cells(&self) -> u64 {
+        self.cells().map(|(_, _, c)| c * c).sum()
+    }
+
+    /// `Σ_i a_i²`.
+    pub fn sum_sq_rows(&self) -> u64 {
+        self.row_totals.iter().map(|&a| a * a).sum()
+    }
+
+    /// `Σ_j b_j²`.
+    pub fn sum_sq_cols(&self) -> u64 {
+        self.col_totals.iter().map(|&b| b * b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+    use crate::value::Value;
+    use crate::Schema;
+
+    fn table(pairs: &[(u64, u64)]) -> ContingencyTable {
+        let rel = Relation::from_pairs(pairs.iter().copied());
+        ContingencyTable::from_relation(
+            &rel,
+            &AttrSet::single(AttrId(0)),
+            &AttrSet::single(AttrId(1)),
+        )
+    }
+
+    #[test]
+    fn margins_sum_to_n() {
+        let t = table(&[(1, 1), (1, 2), (2, 1), (2, 1), (3, 3)]);
+        assert_eq!(t.n(), 5);
+        assert_eq!(t.row_totals().iter().sum::<u64>(), 5);
+        assert_eq!(t.col_totals().iter().sum::<u64>(), 5);
+        assert_eq!(t.cells().map(|(_, _, c)| c).sum::<u64>(), 5);
+        assert_eq!(t.n_x(), 3);
+        assert_eq!(t.n_y(), 3);
+        assert_eq!(t.nonzero_cells(), 4);
+    }
+
+    #[test]
+    fn exact_fd_detection() {
+        assert!(table(&[(1, 1), (1, 1), (2, 2)]).is_exact_fd());
+        assert!(!table(&[(1, 1), (1, 2)]).is_exact_fd());
+        assert!(table(&[]).is_exact_fd());
+    }
+
+    #[test]
+    fn null_rows_dropped() {
+        let schema = Schema::new(["X", "Y"]).unwrap();
+        let mut rel = Relation::empty(schema);
+        rel.push_row([Value::Int(1), Value::Int(1)]).unwrap();
+        rel.push_row([Value::Null, Value::Int(1)]).unwrap();
+        rel.push_row([Value::Int(1), Value::Null]).unwrap();
+        rel.push_row([Value::Int(2), Value::Int(2)]).unwrap();
+        let t = ContingencyTable::from_relation(
+            &rel,
+            &AttrSet::single(AttrId(0)),
+            &AttrSet::single(AttrId(1)),
+        );
+        assert_eq!(t.n(), 2);
+        assert_eq!(t.n_x(), 2);
+        assert!(t.is_exact_fd());
+    }
+
+    #[test]
+    fn sums_match_hand_computation() {
+        // X=1: y1->2, y2->1 ; X=2: y1->3
+        let t = table(&[(1, 1), (1, 1), (1, 2), (2, 1), (2, 1), (2, 1)]);
+        assert_eq!(t.sum_row_max(), 2 + 3);
+        assert_eq!(t.sum_sq_cells(), 4 + 1 + 9);
+        assert_eq!(t.sum_sq_rows(), 9 + 9);
+        assert_eq!(t.sum_sq_cols(), 25 + 1);
+    }
+
+    #[test]
+    fn from_counts_drops_zero_margins() {
+        let t = ContingencyTable::from_counts(&[
+            vec![2, 0, 1],
+            vec![0, 0, 0], // dropped row
+            vec![0, 0, 3],
+        ]);
+        assert_eq!(t.n(), 6);
+        assert_eq!(t.n_x(), 2);
+        assert_eq!(t.n_y(), 2); // middle column empty -> dropped
+        assert_eq!(t.col_totals(), &[2, 4]);
+    }
+
+    #[test]
+    fn from_counts_matches_from_relation() {
+        let t1 = table(&[(0, 0), (0, 1), (1, 1)]);
+        let t2 = ContingencyTable::from_counts(&[vec![1, 1], vec![0, 1]]);
+        assert_eq!(t1.n(), t2.n());
+        assert_eq!(t1.sum_sq_cells(), t2.sum_sq_cells());
+        assert_eq!(t1.sum_row_max(), t2.sum_row_max());
+    }
+
+    #[test]
+    fn empty_relation_gives_empty_table() {
+        let t = table(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.n_x(), 0);
+        assert_eq!(t.sum_row_max(), 0);
+    }
+
+    #[test]
+    fn multi_attribute_sides() {
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let rows = [
+            [1i64, 1, 1],
+            [1, 1, 1],
+            [1, 2, 2],
+            [2, 1, 2],
+        ];
+        let rel = Relation::from_rows(
+            schema,
+            rows.iter().map(|r| r.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        let t = ContingencyTable::from_relation(
+            &rel,
+            &AttrSet::new([AttrId(0), AttrId(1)]),
+            &AttrSet::single(AttrId(2)),
+        );
+        assert_eq!(t.n_x(), 3); // (1,1),(1,2),(2,1)
+        assert_eq!(t.n_y(), 2);
+        assert!(t.is_exact_fd());
+    }
+}

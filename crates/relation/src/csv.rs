@@ -1,0 +1,282 @@
+//! Minimal CSV reader/writer for relations.
+//!
+//! Implemented in-repo (the offline crate set has no `csv`): RFC-4180-style
+//! quoting, type inference per column (all-Int → `Int`, all-numeric →
+//! `Float`, else `Str`), empty fields → `NULL`.
+
+use std::io::{BufRead, Write};
+
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Parses one CSV record from `line`, appending fields to `out`.
+/// Returns `false` if the record continues on the next line (unterminated
+/// quoted field containing a newline).
+fn parse_record(line: &str, out: &mut Vec<String>, carry: &mut Option<String>) -> bool {
+    let mut chars = line.chars().peekable();
+    // Resume an unterminated quoted field from a previous line.
+    let mut field = String::new();
+    let mut in_quotes = if let Some(prev) = carry.take() {
+        field = prev;
+        field.push('\n');
+        true
+    } else {
+        false
+    };
+    loop {
+        match chars.next() {
+            None => {
+                if in_quotes {
+                    *carry = Some(field);
+                    return false;
+                }
+                out.push(field);
+                return true;
+            }
+            Some(c) => {
+                if in_quotes {
+                    if c == '"' {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            field.push('"');
+                        } else {
+                            in_quotes = false;
+                        }
+                    } else {
+                        field.push(c);
+                    }
+                } else {
+                    match c {
+                        ',' => out.push(std::mem::take(&mut field)),
+                        '"' => in_quotes = true,
+                        _ => field.push(c),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reads a relation from CSV. The first record is the header (attribute
+/// names); empty fields become NULL; column types are inferred.
+///
+/// # Errors
+/// Returns [`RelationError::Csv`] on ragged rows or an unterminated quote,
+/// and propagates I/O errors.
+pub fn read_csv(reader: impl BufRead) -> Result<Relation, RelationError> {
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut fields: Vec<String> = Vec::new();
+    let mut carry: Option<String> = None;
+    let mut line_no = 0usize;
+    for line in reader.lines() {
+        line_no += 1;
+        let line = line?;
+        if parse_record(&line, &mut fields, &mut carry) {
+            records.push(std::mem::take(&mut fields));
+        }
+    }
+    if carry.is_some() {
+        return Err(RelationError::Csv {
+            line: line_no,
+            msg: "unterminated quoted field".into(),
+        });
+    }
+    let Some(header) = records.first() else {
+        return Err(RelationError::Csv {
+            line: 0,
+            msg: "missing header".into(),
+        });
+    };
+    let arity = header.len();
+    let schema = Schema::new(header.iter().cloned())?;
+    for (i, rec) in records.iter().enumerate().skip(1) {
+        if rec.len() != arity {
+            return Err(RelationError::Csv {
+                line: i + 1,
+                msg: format!("expected {arity} fields, got {}", rec.len()),
+            });
+        }
+    }
+    // Infer per-column types from non-empty fields.
+    let mut kinds = vec![Kind::Int; arity];
+    for rec in records.iter().skip(1) {
+        for (c, field) in rec.iter().enumerate() {
+            if field.is_empty() {
+                continue;
+            }
+            kinds[c] = kinds[c].narrow(field);
+        }
+    }
+    let mut rel = Relation::empty(schema);
+    for rec in records.iter().skip(1) {
+        let row: Vec<Value> = rec
+            .iter()
+            .zip(&kinds)
+            .map(|(field, kind)| kind.parse(field))
+            .collect();
+        rel.push_row(row).expect("arity checked above");
+    }
+    Ok(rel)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Int,
+    Float,
+    Str,
+}
+
+impl Kind {
+    fn narrow(self, field: &str) -> Kind {
+        match self {
+            Kind::Str => Kind::Str,
+            Kind::Int => {
+                if field.parse::<i64>().is_ok() {
+                    Kind::Int
+                } else if field.parse::<f64>().is_ok() {
+                    Kind::Float
+                } else {
+                    Kind::Str
+                }
+            }
+            Kind::Float => {
+                if field.parse::<f64>().is_ok() {
+                    Kind::Float
+                } else {
+                    Kind::Str
+                }
+            }
+        }
+    }
+
+    fn parse(self, field: &str) -> Value {
+        if field.is_empty() {
+            return Value::Null;
+        }
+        match self {
+            Kind::Int => Value::Int(field.parse().expect("inferred Int")),
+            Kind::Float => Value::float(field.parse().expect("inferred Float")),
+            Kind::Str => Value::str(field),
+        }
+    }
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s.contains([',', '"', '\n', '\r'])
+}
+
+fn write_field(w: &mut impl Write, s: &str) -> std::io::Result<()> {
+    if needs_quoting(s) {
+        write!(w, "\"{}\"", s.replace('"', "\"\""))
+    } else {
+        w.write_all(s.as_bytes())
+    }
+}
+
+/// Writes a relation as CSV (header + rows; NULL as empty field).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_csv(rel: &Relation, mut w: impl Write) -> Result<(), RelationError> {
+    for (i, name) in rel.schema().names().iter().enumerate() {
+        if i > 0 {
+            w.write_all(b",")?;
+        }
+        write_field(&mut w, name)?;
+    }
+    w.write_all(b"\n")?;
+    for r in 0..rel.n_rows() {
+        for (i, v) in rel.row(r).iter().enumerate() {
+            if i > 0 {
+                w.write_all(b",")?;
+            }
+            write_field(&mut w, &v.render())?;
+        }
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    fn parse(s: &str) -> Relation {
+        read_csv(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn basic_parse_with_type_inference() {
+        let r = parse("a,b,c\n1,2.5,x\n2,3,y\n");
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.value(0, AttrId(0)), Value::Int(1));
+        assert_eq!(r.value(0, AttrId(1)), Value::float(2.5));
+        assert_eq!(r.value(1, AttrId(2)), Value::str("y"));
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let r = parse("a,b\n1,\n,2\n");
+        assert!(r.value(0, AttrId(1)).is_null());
+        assert!(r.value(1, AttrId(0)).is_null());
+        assert_eq!(r.value(1, AttrId(1)), Value::Int(2));
+    }
+
+    #[test]
+    fn mixed_column_falls_back_to_str() {
+        let r = parse("a\n1\nx\n");
+        assert_eq!(r.value(0, AttrId(0)), Value::str("1"));
+        assert_eq!(r.value(1, AttrId(0)), Value::str("x"));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let r = parse("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+        assert_eq!(r.value(0, AttrId(0)), Value::str("x,y"));
+        assert_eq!(r.value(0, AttrId(1)), Value::str("he said \"hi\""));
+    }
+
+    #[test]
+    fn quoted_field_with_newline() {
+        let r = parse("a,b\n\"line1\nline2\",3\n");
+        assert_eq!(r.value(0, AttrId(0)), Value::str("line1\nline2"));
+        assert_eq!(r.value(0, AttrId(1)), Value::Int(3));
+    }
+
+    #[test]
+    fn ragged_row_is_error() {
+        assert!(matches!(
+            read_csv("a,b\n1\n".as_bytes()),
+            Err(RelationError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(matches!(
+            read_csv("a\n\"oops\n".as_bytes()),
+            Err(RelationError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        assert!(read_csv("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "a,b\n1,\"x,y\"\n,plain\n";
+        let r = parse(src);
+        let mut buf = Vec::new();
+        write_csv(&r, &mut buf).unwrap();
+        let r2 = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(r.n_rows(), r2.n_rows());
+        for i in 0..r.n_rows() {
+            assert_eq!(r.row(i), r2.row(i));
+        }
+    }
+}

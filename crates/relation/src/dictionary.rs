@@ -1,0 +1,118 @@
+//! Per-column dictionary encoding.
+//!
+//! Every column stores `u32` codes into a [`Dictionary`] of distinct values.
+//! NULL is not dictionary-encoded; it uses the sentinel [`NULL_CODE`]. All
+//! downstream machinery (contingency tables, PLIs, entropy) works on codes,
+//! which keeps grouping O(n) with small constants.
+
+use std::collections::HashMap;
+
+use crate::value::Value;
+
+/// Sentinel code marking a NULL cell. Never a valid dictionary index.
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// A mapping between distinct non-NULL [`Value`]s and dense `u32` codes.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<Value>,
+    index: HashMap<Value, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff no value has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Interns `v`, returning its code. NULL must be handled by the caller
+    /// (encode it as [`NULL_CODE`]); passing `Value::Null` here is a
+    /// programmer error.
+    ///
+    /// # Panics
+    /// Panics if `v` is `Value::Null` or if more than `u32::MAX - 1`
+    /// distinct values are interned.
+    pub fn intern(&mut self, v: Value) -> u32 {
+        assert!(!v.is_null(), "NULL must be encoded as NULL_CODE");
+        if let Some(&c) = self.index.get(&v) {
+            return c;
+        }
+        let c = u32::try_from(self.values.len()).expect("dictionary overflow");
+        assert!(c != NULL_CODE, "dictionary overflow");
+        self.index.insert(v.clone(), c);
+        self.values.push(v);
+        c
+    }
+
+    /// Looks up the code of `v` without interning.
+    pub fn code(&self, v: &Value) -> Option<u32> {
+        self.index.get(v).copied()
+    }
+
+    /// The value behind `code`, or `None` for [`NULL_CODE`] / out of range.
+    pub fn value(&self, code: u32) -> Option<&Value> {
+        if code == NULL_CODE {
+            None
+        } else {
+            self.values.get(code as usize)
+        }
+    }
+
+    /// Iterates over `(code, value)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Value)> {
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(Value::str("x"));
+        let b = d.intern(Value::str("y"));
+        let a2 = d.intern(Value::str("x"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_ways() {
+        let mut d = Dictionary::new();
+        let c = d.intern(Value::Int(42));
+        assert_eq!(d.code(&Value::Int(42)), Some(c));
+        assert_eq!(d.code(&Value::Int(43)), None);
+        assert_eq!(d.value(c), Some(&Value::Int(42)));
+        assert_eq!(d.value(NULL_CODE), None);
+        assert_eq!(d.value(7), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NULL")]
+    fn interning_null_panics() {
+        Dictionary::new().intern(Value::Null);
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let mut d = Dictionary::new();
+        d.intern(Value::Int(5));
+        d.intern(Value::Int(1));
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs[0], (0, &Value::Int(5)));
+        assert_eq!(pairs[1], (1, &Value::Int(1)));
+    }
+}

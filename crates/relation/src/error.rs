@@ -1,0 +1,85 @@
+//! Error type for the relation substrate.
+
+use std::fmt;
+
+/// Errors raised by relation construction, projection and I/O.
+#[derive(Debug)]
+pub enum RelationError {
+    /// Two attributes in one schema share a name.
+    DuplicateAttribute(String),
+    /// A row had a different arity than the schema.
+    ArityMismatch {
+        /// Attributes the schema expects.
+        expected: usize,
+        /// Attributes the row supplied.
+        got: usize,
+    },
+    /// An attribute id not present in the schema.
+    UnknownAttribute(String),
+    /// FD left- and right-hand sides overlap.
+    OverlappingFd(String),
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::DuplicateAttribute(n) => write!(f, "duplicate attribute name `{n}`"),
+            RelationError::ArityMismatch { expected, got } => {
+                write!(f, "row arity {got} does not match schema arity {expected}")
+            }
+            RelationError::UnknownAttribute(n) => write!(f, "unknown attribute `{n}`"),
+            RelationError::OverlappingFd(fd) => {
+                write!(f, "FD `{fd}` has overlapping LHS and RHS")
+            }
+            RelationError::Csv { line, msg } => write!(f, "CSV error on line {line}: {msg}"),
+            RelationError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelationError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RelationError {
+    fn from(e: std::io::Error) -> Self {
+        RelationError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RelationError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("arity 2"));
+        assert!(RelationError::DuplicateAttribute("x".into())
+            .to_string()
+            .contains("`x`"));
+        assert!(RelationError::Csv {
+            line: 4,
+            msg: "bad quote".into()
+        }
+        .to_string()
+        .contains("line 4"));
+    }
+}

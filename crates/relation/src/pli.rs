@@ -1,0 +1,245 @@
+//! Position list indexes (stripped partitions).
+//!
+//! A [`Pli`] represents the equivalence classes of rows that agree on an
+//! attribute set, with singleton classes stripped — the classic TANE
+//! structure. PLIs make multi-attribute (non-linear) AFD discovery cheap:
+//! the partition of `X ∪ {A}` is the product of the partition of `X` with
+//! the codes of `A`, computed in time linear in the stripped size.
+//!
+//! Rows whose group code is [`NULL_CODE`] are treated as pairwise-distinct
+//! (each NULL its own class), matching the paper's NULL semantics: a NULL
+//! row never participates in an agree-pair and is dropped from measure
+//! computation.
+
+use crate::dictionary::NULL_CODE;
+use crate::relation::{GroupEncoding, Relation};
+use crate::schema::AttrSet;
+
+/// A stripped partition: clusters (size ≥ 2) of row indices.
+#[derive(Debug, Clone)]
+pub struct Pli {
+    clusters: Vec<Vec<u32>>,
+    n_rows: usize,
+}
+
+impl Pli {
+    /// Builds the PLI of an attribute set on a relation.
+    pub fn from_relation(rel: &Relation, attrs: &AttrSet) -> Self {
+        Self::from_encoding(&rel.group_encode(attrs), rel.n_rows())
+    }
+
+    /// Builds a PLI from per-row group codes.
+    pub fn from_encoding(enc: &GroupEncoding, n_rows: usize) -> Self {
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); enc.n_groups as usize];
+        for (row, &c) in enc.codes.iter().enumerate() {
+            if c != NULL_CODE {
+                buckets[c as usize].push(row as u32);
+            }
+        }
+        let clusters = buckets.into_iter().filter(|b| b.len() >= 2).collect();
+        Pli { clusters, n_rows }
+    }
+
+    /// The stripped clusters.
+    pub fn clusters(&self) -> &[Vec<u32>] {
+        &self.clusters
+    }
+
+    /// Number of rows of the underlying relation.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Total number of rows inside clusters (the "stripped size").
+    pub fn stripped_size(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+
+    /// `true` iff every row is in its own class (a key / unique column).
+    pub fn is_unique(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Refines this partition with another attribute's per-row codes,
+    /// producing the PLI of the union attribute set.
+    ///
+    /// This is the TANE partition product: within each cluster, rows are
+    /// re-grouped by `codes`; NULL rows ([`NULL_CODE`]) fall out.
+    pub fn refine(&self, codes: &[u32]) -> Pli {
+        assert_eq!(codes.len(), self.n_rows, "codes cover all rows");
+        let mut clusters = Vec::new();
+        let mut probe: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        for cluster in &self.clusters {
+            probe.clear();
+            for &row in cluster {
+                let c = codes[row as usize];
+                if c != NULL_CODE {
+                    probe.entry(c).or_default().push(row);
+                }
+            }
+            for (_, rows) in probe.drain() {
+                if rows.len() >= 2 {
+                    clusters.push(rows);
+                }
+            }
+        }
+        Pli {
+            clusters,
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Intersection of two PLIs via the probe-table algorithm — equivalent
+    /// to refining `self` with the group codes induced by `other`.
+    pub fn intersect(&self, other: &Pli) -> Pli {
+        assert_eq!(self.n_rows, other.n_rows, "PLIs over the same relation");
+        // Materialise `other` as per-row codes: cluster id, NULL elsewhere.
+        let mut codes = vec![NULL_CODE; self.n_rows];
+        for (cid, cluster) in other.clusters.iter().enumerate() {
+            for &row in cluster {
+                codes[row as usize] = cid as u32;
+            }
+        }
+        // Rows in singleton classes of `other` can never form a pair — the
+        // NULL sentinel correctly drops them during refinement.
+        self.refine(&codes)
+    }
+
+    /// The number of *violating* rows w.r.t. a candidate `X -> A` where
+    /// `self` is the partition of `X`: `Σ_cluster (|cluster| − max_y count)`.
+    /// `codes` are the per-row codes of the RHS attribute; NULL RHS rows are
+    /// excluded from the cluster entirely (paper Section VI-A).
+    ///
+    /// `g3` on the lattice is then `1 − violations / N'` with `N'` the
+    /// number of NULL-free rows — discovery crates build on this primitive.
+    pub fn g3_violations(&self, codes: &[u32]) -> u64 {
+        assert_eq!(codes.len(), self.n_rows, "codes cover all rows");
+        let mut probe: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        let mut violations = 0u64;
+        for cluster in &self.clusters {
+            probe.clear();
+            let mut total = 0u64;
+            for &row in cluster {
+                let c = codes[row as usize];
+                if c != NULL_CODE {
+                    *probe.entry(c).or_insert(0) += 1;
+                    total += 1;
+                }
+            }
+            let max = probe.values().copied().max().unwrap_or(0);
+            violations += total - max;
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+    use crate::value::Value;
+    use crate::Schema;
+
+    fn rel3(rows: &[[i64; 3]]) -> Relation {
+        Relation::from_rows(
+            Schema::new(["A", "B", "C"]).unwrap(),
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>()),
+        )
+        .unwrap()
+    }
+
+    fn sorted_clusters(p: &Pli) -> Vec<Vec<u32>> {
+        let mut cs: Vec<Vec<u32>> = p
+            .clusters()
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        cs.sort();
+        cs
+    }
+
+    #[test]
+    fn singletons_are_stripped() {
+        let r = rel3(&[[1, 0, 0], [1, 0, 0], [2, 0, 0], [3, 0, 0]]);
+        let p = Pli::from_relation(&r, &AttrSet::single(AttrId(0)));
+        assert_eq!(sorted_clusters(&p), vec![vec![0, 1]]);
+        assert_eq!(p.stripped_size(), 2);
+        assert!(!p.is_unique());
+    }
+
+    #[test]
+    fn unique_column_gives_empty_pli() {
+        let r = rel3(&[[1, 0, 0], [2, 0, 0], [3, 0, 0]]);
+        let p = Pli::from_relation(&r, &AttrSet::single(AttrId(0)));
+        assert!(p.is_unique());
+    }
+
+    #[test]
+    fn refine_equals_direct_multiattr_pli() {
+        let r = rel3(&[
+            [1, 1, 0],
+            [1, 1, 0],
+            [1, 2, 0],
+            [2, 1, 0],
+            [2, 1, 0],
+            [1, 1, 0],
+        ]);
+        let pa = Pli::from_relation(&r, &AttrSet::single(AttrId(0)));
+        let refined = pa.refine(r.group_encode(&AttrSet::single(AttrId(1))).codes.as_slice());
+        let direct = Pli::from_relation(&r, &AttrSet::new([AttrId(0), AttrId(1)]));
+        assert_eq!(sorted_clusters(&refined), sorted_clusters(&direct));
+    }
+
+    #[test]
+    fn intersect_equals_direct_multiattr_pli() {
+        let r = rel3(&[
+            [1, 1, 0],
+            [1, 1, 0],
+            [1, 2, 0],
+            [2, 2, 0],
+            [2, 2, 0],
+            [2, 1, 0],
+        ]);
+        let pa = Pli::from_relation(&r, &AttrSet::single(AttrId(0)));
+        let pb = Pli::from_relation(&r, &AttrSet::single(AttrId(1)));
+        let both = pa.intersect(&pb);
+        let direct = Pli::from_relation(&r, &AttrSet::new([AttrId(0), AttrId(1)]));
+        assert_eq!(sorted_clusters(&both), sorted_clusters(&direct));
+    }
+
+    #[test]
+    fn null_rows_form_no_pairs() {
+        let mut r = rel3(&[[1, 0, 0], [1, 0, 0], [1, 0, 0]]);
+        r.set_value(2, AttrId(0), Value::Null);
+        let p = Pli::from_relation(&r, &AttrSet::single(AttrId(0)));
+        assert_eq!(sorted_clusters(&p), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn g3_violations_counts_minority_rows() {
+        // X=1 cluster: C values 7,7,8 -> 1 violation; X=2 cluster: 9,9 -> 0.
+        let r = rel3(&[
+            [1, 0, 7],
+            [1, 0, 7],
+            [1, 0, 8],
+            [2, 0, 9],
+            [2, 0, 9],
+        ]);
+        let p = Pli::from_relation(&r, &AttrSet::single(AttrId(0)));
+        let codes = r.group_encode(&AttrSet::single(AttrId(2))).codes;
+        assert_eq!(p.g3_violations(&codes), 1);
+    }
+
+    #[test]
+    fn g3_violations_zero_when_fd_holds() {
+        let r = rel3(&[[1, 0, 7], [1, 0, 7], [2, 0, 9]]);
+        let p = Pli::from_relation(&r, &AttrSet::single(AttrId(0)));
+        let codes = r.group_encode(&AttrSet::single(AttrId(2))).codes;
+        assert_eq!(p.g3_violations(&codes), 0);
+    }
+}

@@ -1,0 +1,528 @@
+//! Bag-based relations with dictionary-encoded columnar storage.
+//!
+//! A [`Relation`] is a bag of tuples over a [`Schema`] (Section III of the
+//! paper): duplicate rows are meaningful and all probability distributions
+//! are induced by tuple frequencies. Storage is columnar; every column keeps
+//! a [`Dictionary`] of distinct values and a `Vec<u32>` of codes, with NULL
+//! encoded as [`NULL_CODE`].
+
+use crate::dictionary::{Dictionary, NULL_CODE};
+use crate::error::RelationError;
+use crate::schema::{AttrId, AttrSet, Schema};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// How NULLs participate in grouping and FD semantics.
+///
+/// The paper (Section VI-A) drops NULL-containing tuples because "it is
+/// unclear whether two distinct occurrences of a NULL should be considered
+/// the same value, or distinct values". Both resolutions are offered:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NullSemantics {
+    /// Drop tuples with a NULL in the relevant attributes (paper default).
+    #[default]
+    DropTuples,
+    /// Treat NULL as one ordinary value: all NULLs are equal.
+    NullAsValue,
+}
+
+/// A single dictionary-encoded column.
+#[derive(Debug, Clone, Default)]
+pub struct Column {
+    codes: Vec<u32>,
+    dict: Dictionary,
+}
+
+impl Column {
+    /// The per-row codes ([`NULL_CODE`] marks NULL cells).
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The column dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The value in row `row` (`Value::Null` for NULL cells).
+    pub fn value(&self, row: usize) -> Value {
+        match self.dict.value(self.codes[row]) {
+            Some(v) => v.clone(),
+            None => Value::Null,
+        }
+    }
+
+    /// Number of NULL cells.
+    pub fn null_count(&self) -> usize {
+        self.codes.iter().filter(|&&c| c == NULL_CODE).count()
+    }
+}
+
+/// Dense group ids for the rows of a relation, restricted to one attribute
+/// set. Rows with a NULL in any of the attributes get [`NULL_CODE`].
+///
+/// Group ids are dense in `0..n_groups` and enumerate only groups that
+/// actually occur, so they can directly index count vectors.
+#[derive(Debug, Clone)]
+pub struct GroupEncoding {
+    /// Per-row group id; [`NULL_CODE`] for rows dropped due to NULL.
+    pub codes: Vec<u32>,
+    /// Number of distinct non-NULL groups.
+    pub n_groups: u32,
+}
+
+impl GroupEncoding {
+    /// Number of rows with a non-NULL group.
+    pub fn non_null_rows(&self) -> usize {
+        self.codes.iter().filter(|&&c| c != NULL_CODE).count()
+    }
+}
+
+/// A bag-based relation: a schema plus columnar data.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Relation {
+    /// Creates an empty relation over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = (0..schema.arity()).map(|_| Column::default()).collect();
+        Relation {
+            schema,
+            columns,
+            n_rows: 0,
+        }
+    }
+
+    /// Builds a relation from rows of values.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::ArityMismatch`] if a row's arity differs from
+    /// the schema's.
+    pub fn from_rows<R>(schema: Schema, rows: impl IntoIterator<Item = R>) -> Result<Self, RelationError>
+    where
+        R: IntoIterator<Item = Value>,
+    {
+        let mut rel = Relation::empty(schema);
+        for row in rows {
+            rel.push_row(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// Builds a binary relation over attributes `X`, `Y` from integer pairs —
+    /// the shape every synthetic benchmark in the paper uses.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let schema = Schema::new(["X", "Y"]).expect("distinct names");
+        let mut rel = Relation::empty(schema);
+        for (x, y) in pairs {
+            rel.push_row([Value::Int(x as i64), Value::Int(y as i64)])
+                .expect("arity 2");
+        }
+        rel
+    }
+
+    /// Appends one row.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::ArityMismatch`] on wrong arity.
+    pub fn push_row(&mut self, row: impl IntoIterator<Item = Value>) -> Result<(), RelationError> {
+        let mut n = 0;
+        for (i, v) in row.into_iter().enumerate() {
+            if i >= self.columns.len() {
+                // Consume the rest to report an accurate arity.
+                n = i + 1;
+                continue;
+            }
+            let col = &mut self.columns[i];
+            let code = if v.is_null() {
+                NULL_CODE
+            } else {
+                col.dict.intern(v)
+            };
+            col.codes.push(code);
+            n = i + 1;
+        }
+        if n != self.columns.len() {
+            // Roll back the partial row so the relation stays consistent.
+            for col in &mut self.columns {
+                col.codes.truncate(self.n_rows);
+            }
+            return Err(RelationError::ArityMismatch {
+                expected: self.columns.len(),
+                got: n,
+            });
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of tuples `|R|` (bag cardinality).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `true` iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// The column of attribute `a`.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range (programmer error).
+    pub fn column(&self, a: AttrId) -> &Column {
+        &self.columns[a.index()]
+    }
+
+    /// The value at (`row`, `attr`).
+    pub fn value(&self, row: usize, attr: AttrId) -> Value {
+        self.columns[attr.index()].value(row)
+    }
+
+    /// Overwrites the cell at (`row`, `attr`) — used by error channels.
+    ///
+    /// # Panics
+    /// Panics if `row`/`attr` are out of range (programmer error).
+    pub fn set_value(&mut self, row: usize, attr: AttrId, v: Value) {
+        let col = &mut self.columns[attr.index()];
+        col.codes[row] = if v.is_null() {
+            NULL_CODE
+        } else {
+            col.dict.intern(v)
+        };
+    }
+
+    /// One full row as values.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(row)).collect()
+    }
+
+    /// Bag-based projection `π_attrs(R)` (keeps duplicates, keeps NULLs).
+    pub fn project(&self, attrs: &AttrSet) -> Relation {
+        let schema = Schema::new(
+            attrs
+                .ids()
+                .iter()
+                .map(|&a| self.schema.name(a).to_string()),
+        )
+        .expect("attribute names unique in source schema");
+        let mut out = Relation::empty(schema);
+        for r in 0..self.n_rows {
+            let row: Vec<Value> = attrs.ids().iter().map(|&a| self.value(r, a)).collect();
+            out.push_row(row).expect("arity matches");
+        }
+        out.n_rows = self.n_rows;
+        out
+    }
+
+    /// Keeps only the rows for which `keep` returns `true`.
+    pub fn filter_rows(&self, mut keep: impl FnMut(usize) -> bool) -> Relation {
+        let mut out = Relation::empty(self.schema.clone());
+        for r in 0..self.n_rows {
+            if keep(r) {
+                out.push_row(self.row(r)).expect("same arity");
+            }
+        }
+        out
+    }
+
+    /// Dense group ids of each row over the attribute set `attrs`, with rows
+    /// containing any NULL in `attrs` mapped to [`NULL_CODE`]
+    /// (the paper's Section VI-A semantics).
+    ///
+    /// This is the grouping primitive behind contingency tables, PLIs and
+    /// `|dom_R(X)|`.
+    pub fn group_encode(&self, attrs: &AttrSet) -> GroupEncoding {
+        self.group_encode_with(attrs, NullSemantics::DropTuples)
+    }
+
+    /// As [`Relation::group_encode`] but with an explicit NULL semantics.
+    ///
+    /// The paper notes that FD semantics under NULLs are unsettled: two
+    /// NULL occurrences may be regarded as the same value or as distinct.
+    /// [`NullSemantics::DropTuples`] (the paper's choice) excludes NULL
+    /// rows entirely; [`NullSemantics::NullAsValue`] treats NULL as one
+    /// ordinary value, so NULL rows group together.
+    pub fn group_encode_with(&self, attrs: &AttrSet, nulls: NullSemantics) -> GroupEncoding {
+        match attrs.ids() {
+            [] => GroupEncoding {
+                codes: vec![0; self.n_rows],
+                n_groups: u32::from(self.n_rows > 0),
+            },
+            [a] => self.group_encode_single_with(*a, nulls),
+            ids => self.group_encode_multi_with(ids, nulls),
+        }
+    }
+
+    fn group_encode_single_with(&self, a: AttrId, nulls: NullSemantics) -> GroupEncoding {
+        let col = &self.columns[a.index()];
+        // Column codes are dense per dictionary but may contain gaps if the
+        // relation was filtered; remap to present-only dense ids.
+        let mut remap: Vec<u32> = vec![NULL_CODE; col.dict.len()];
+        let mut null_group = NULL_CODE;
+        let mut next = 0u32;
+        let mut codes = Vec::with_capacity(self.n_rows);
+        for &c in &col.codes {
+            if c == NULL_CODE {
+                match nulls {
+                    NullSemantics::DropTuples => codes.push(NULL_CODE),
+                    NullSemantics::NullAsValue => {
+                        if null_group == NULL_CODE {
+                            null_group = next;
+                            next += 1;
+                        }
+                        codes.push(null_group);
+                    }
+                }
+            } else {
+                let slot = &mut remap[c as usize];
+                if *slot == NULL_CODE {
+                    *slot = next;
+                    next += 1;
+                }
+                codes.push(*slot);
+            }
+        }
+        GroupEncoding {
+            codes,
+            n_groups: next,
+        }
+    }
+
+    fn group_encode_multi_with(&self, ids: &[AttrId], nulls: NullSemantics) -> GroupEncoding {
+        let cols: Vec<&Column> = ids.iter().map(|&a| &self.columns[a.index()]).collect();
+        let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut codes = Vec::with_capacity(self.n_rows);
+        let mut key = Vec::with_capacity(ids.len());
+        'rows: for r in 0..self.n_rows {
+            key.clear();
+            for col in &cols {
+                let c = col.codes[r];
+                if c == NULL_CODE && nulls == NullSemantics::DropTuples {
+                    codes.push(NULL_CODE);
+                    continue 'rows;
+                }
+                // Under NullAsValue, NULL_CODE acts as one ordinary symbol
+                // inside the composite key.
+                key.push(c);
+            }
+            let next = index.len() as u32;
+            let id = *index.entry(key.clone()).or_insert(next);
+            codes.push(id);
+        }
+        GroupEncoding {
+            n_groups: index.len() as u32,
+            codes,
+        }
+    }
+
+    /// `|dom_R(X)|`: the number of distinct non-NULL `attrs`-tuples.
+    pub fn distinct_count(&self, attrs: &AttrSet) -> usize {
+        self.group_encode(attrs).n_groups as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_xy(pairs: &[(i64, i64)]) -> Relation {
+        Relation::from_pairs(pairs.iter().map(|&(x, y)| (x as u64, y as u64)))
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let mut r = Relation::empty(schema);
+        r.push_row([Value::Int(1), Value::str("u")]).unwrap();
+        r.push_row([Value::Null, Value::str("v")]).unwrap();
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.value(0, AttrId(0)), Value::Int(1));
+        assert_eq!(r.value(1, AttrId(0)), Value::Null);
+        assert_eq!(r.row(1), vec![Value::Null, Value::str("v")]);
+    }
+
+    #[test]
+    fn arity_mismatch_rolls_back() {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let mut r = Relation::empty(schema);
+        assert!(r.push_row([Value::Int(1)]).is_err());
+        assert!(r
+            .push_row([Value::Int(1), Value::Int(2), Value::Int(3)])
+            .is_err());
+        assert_eq!(r.n_rows(), 0);
+        r.push_row([Value::Int(1), Value::Int(2)]).unwrap();
+        assert_eq!(r.n_rows(), 1);
+        assert_eq!(r.row(0), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let r = rel_xy(&[(1, 1), (1, 1), (2, 1)]);
+        assert_eq!(r.n_rows(), 3);
+        assert_eq!(r.distinct_count(&AttrSet::single(AttrId(0))), 2);
+        assert_eq!(r.distinct_count(&AttrSet::single(AttrId(1))), 1);
+    }
+
+    #[test]
+    fn group_encode_single_attr() {
+        let r = rel_xy(&[(5, 0), (7, 0), (5, 1)]);
+        let g = r.group_encode(&AttrSet::single(AttrId(0)));
+        assert_eq!(g.n_groups, 2);
+        assert_eq!(g.codes[0], g.codes[2]);
+        assert_ne!(g.codes[0], g.codes[1]);
+        assert_eq!(g.non_null_rows(), 3);
+    }
+
+    #[test]
+    fn group_encode_multi_attr() {
+        let r = rel_xy(&[(1, 1), (1, 2), (1, 1), (2, 1)]);
+        let g = r.group_encode(&AttrSet::new([AttrId(0), AttrId(1)]));
+        assert_eq!(g.n_groups, 3);
+        assert_eq!(g.codes[0], g.codes[2]);
+    }
+
+    #[test]
+    fn group_encode_null_rows_dropped() {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let mut r = Relation::empty(schema);
+        r.push_row([Value::Int(1), Value::Int(1)]).unwrap();
+        r.push_row([Value::Null, Value::Int(1)]).unwrap();
+        r.push_row([Value::Int(1), Value::Null]).unwrap();
+        let g = r.group_encode(&AttrSet::new([AttrId(0), AttrId(1)]));
+        assert_eq!(g.codes[1], NULL_CODE);
+        assert_eq!(g.codes[2], NULL_CODE);
+        assert_eq!(g.n_groups, 1);
+        assert_eq!(g.non_null_rows(), 1);
+    }
+
+    #[test]
+    fn group_encode_empty_attrset() {
+        let r = rel_xy(&[(1, 1), (2, 2)]);
+        let g = r.group_encode(&AttrSet::empty());
+        assert_eq!(g.n_groups, 1);
+        assert_eq!(g.codes, vec![0, 0]);
+    }
+
+    #[test]
+    fn group_encode_remaps_after_filter() {
+        let r = rel_xy(&[(1, 1), (2, 2), (3, 3)]);
+        let f = r.filter_rows(|i| i != 0);
+        let g = f.group_encode(&AttrSet::single(AttrId(0)));
+        // Codes must stay dense even though value `1` vanished.
+        assert_eq!(g.n_groups, 2);
+        assert!(g.codes.iter().all(|&c| c < 2));
+    }
+
+    #[test]
+    fn project_keeps_bag_semantics() {
+        let r = rel_xy(&[(1, 1), (1, 1), (2, 2)]);
+        let p = r.project(&AttrSet::single(AttrId(1)));
+        assert_eq!(p.n_rows(), 3);
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.schema().name(AttrId(0)), "Y");
+    }
+
+    #[test]
+    fn set_value_updates_cell() {
+        let mut r = rel_xy(&[(1, 1), (2, 2)]);
+        r.set_value(0, AttrId(1), Value::Int(9));
+        assert_eq!(r.value(0, AttrId(1)), Value::Int(9));
+        r.set_value(0, AttrId(1), Value::Null);
+        assert!(r.value(0, AttrId(1)).is_null());
+    }
+
+    #[test]
+    fn filter_rows_subset() {
+        let r = rel_xy(&[(1, 1), (2, 2), (3, 3)]);
+        let f = r.filter_rows(|i| i % 2 == 0);
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(f.value(1, AttrId(0)), Value::Int(3));
+    }
+
+    #[test]
+    fn null_count() {
+        let schema = Schema::new(["a"]).unwrap();
+        let mut r = Relation::empty(schema);
+        r.push_row([Value::Null]).unwrap();
+        r.push_row([Value::Int(1)]).unwrap();
+        assert_eq!(r.column(AttrId(0)).null_count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod null_semantics_tests {
+    use super::*;
+    use crate::schema::AttrId;
+    use crate::value::Value;
+    use crate::Schema;
+
+    fn rel_with_nulls() -> Relation {
+        let schema = Schema::new(["X", "Y"]).unwrap();
+        let mut r = Relation::empty(schema);
+        r.push_row([Value::Int(1), Value::Int(10)]).unwrap();
+        r.push_row([Value::Null, Value::Int(10)]).unwrap();
+        r.push_row([Value::Null, Value::Int(20)]).unwrap();
+        r.push_row([Value::Int(2), Value::Null]).unwrap();
+        r
+    }
+
+    #[test]
+    fn null_as_value_groups_all_nulls_together() {
+        let r = rel_with_nulls();
+        let enc = r.group_encode_with(
+            &AttrSet::single(AttrId(0)),
+            NullSemantics::NullAsValue,
+        );
+        // Groups: {1}, {NULL, NULL}, {2}.
+        assert_eq!(enc.n_groups, 3);
+        assert_eq!(enc.codes[1], enc.codes[2]);
+        assert_ne!(enc.codes[0], enc.codes[1]);
+        assert_eq!(enc.non_null_rows(), 4);
+    }
+
+    #[test]
+    fn drop_tuples_still_default() {
+        let r = rel_with_nulls();
+        let enc = r.group_encode(&AttrSet::single(AttrId(0)));
+        assert_eq!(enc.n_groups, 2);
+        assert_eq!(enc.codes[1], crate::dictionary::NULL_CODE);
+    }
+
+    #[test]
+    fn null_as_value_multi_attr_distinguishes_partners() {
+        let r = rel_with_nulls();
+        let enc = r.group_encode_with(
+            &AttrSet::new([AttrId(0), AttrId(1)]),
+            NullSemantics::NullAsValue,
+        );
+        // (NULL,10) and (NULL,20) are distinct groups.
+        assert_eq!(enc.codes.iter().filter(|&&c| c != NULL_CODE).count(), 4);
+        assert_ne!(enc.codes[1], enc.codes[2]);
+        assert_eq!(enc.n_groups, 4);
+    }
+
+    #[test]
+    fn fd_satisfaction_can_flip_between_semantics() {
+        let r = rel_with_nulls();
+        let fd = crate::Fd::linear(AttrId(0), AttrId(1));
+        // Dropping NULLs: rows 1 and 4 survive -> FD holds.
+        assert!(fd.holds_in(&r));
+        // NULL-as-value: the two NULL-X rows map to 10 and 20 -> violated.
+        assert!(!fd.holds_in_with(&r, NullSemantics::NullAsValue));
+    }
+}

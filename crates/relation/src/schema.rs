@@ -1,0 +1,266 @@
+//! Relation schemas: named attributes and attribute sets.
+
+use std::fmt;
+
+use crate::error::RelationError;
+
+/// Index of an attribute within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The attribute's position as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An ordered list of uniquely named attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    names: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute names.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::DuplicateAttribute`] if two attributes share
+    /// a name.
+    pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Result<Self, RelationError> {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        for (i, n) in names.iter().enumerate() {
+            if names[..i].iter().any(|m| m == n) {
+                return Err(RelationError::DuplicateAttribute(n.clone()));
+            }
+        }
+        Ok(Schema { names })
+    }
+
+    /// Convenience constructor: attributes named `A`, `B`, `C`, ... (or
+    /// `attr<i>` past 26).
+    pub fn with_arity(arity: usize) -> Self {
+        let names = (0..arity)
+            .map(|i| {
+                if i < 26 {
+                    char::from(b'A' + i as u8).to_string()
+                } else {
+                    format!("attr{i}")
+                }
+            })
+            .collect();
+        Schema { names }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of attribute `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (programmer error).
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks an attribute up by name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| AttrId(i as u32))
+    }
+
+    /// All attribute ids in schema order.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.names.len() as u32).map(AttrId)
+    }
+
+    /// All attribute names in schema order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Renders an attribute set like `A,B`.
+    pub fn render_attrs(&self, attrs: &[AttrId]) -> String {
+        attrs
+            .iter()
+            .map(|&a| self.name(a))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// A set of attributes, kept sorted and deduplicated.
+///
+/// Functional dependencies use `AttrSet` for both sides; the sort order makes
+/// set equality and subset tests cheap and gives FDs a canonical rendering.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrSet(Vec<AttrId>);
+
+impl AttrSet {
+    /// Builds a set from any iterator of attribute ids (sorts + dedups).
+    pub fn new(attrs: impl IntoIterator<Item = AttrId>) -> Self {
+        let mut v: Vec<AttrId> = attrs.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        AttrSet(v)
+    }
+
+    /// The empty attribute set.
+    pub fn empty() -> Self {
+        AttrSet(Vec::new())
+    }
+
+    /// Singleton set.
+    pub fn single(a: AttrId) -> Self {
+        AttrSet(vec![a])
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The attributes, sorted ascending.
+    pub fn ids(&self) -> &[AttrId] {
+        &self.0
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        AttrSet::new(self.0.iter().chain(other.0.iter()).copied())
+    }
+
+    /// `true` iff `self ∩ other = ∅`.
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        // Both sorted: linear merge scan.
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// `true` iff every attribute of `self` is in `other`.
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        let mut j = 0;
+        'outer: for a in &self.0 {
+            while j < other.0.len() {
+                match other.0[j].cmp(a) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// `true` iff the set contains `a`.
+    pub fn contains(&self, a: AttrId) -> bool {
+        self.0.binary_search(&a).is_ok()
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        AttrSet::new(iter)
+    }
+}
+
+impl From<AttrId> for AttrSet {
+    fn from(a: AttrId) -> Self {
+        AttrSet::single(a)
+    }
+}
+
+impl<const N: usize> From<[AttrId; N]> for AttrSet {
+    fn from(a: [AttrId; N]) -> Self {
+        AttrSet::new(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        assert!(matches!(
+            Schema::new(["a", "b", "a"]),
+            Err(RelationError::DuplicateAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(["x", "y"]).unwrap();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.attr("y"), Some(AttrId(1)));
+        assert_eq!(s.attr("z"), None);
+        assert_eq!(s.name(AttrId(0)), "x");
+        assert_eq!(s.attrs().count(), 2);
+    }
+
+    #[test]
+    fn with_arity_names() {
+        let s = Schema::with_arity(28);
+        assert_eq!(s.name(AttrId(0)), "A");
+        assert_eq!(s.name(AttrId(25)), "Z");
+        assert_eq!(s.name(AttrId(26)), "attr26");
+    }
+
+    #[test]
+    fn attrset_sorts_and_dedups() {
+        let s = AttrSet::new([AttrId(3), AttrId(1), AttrId(3)]);
+        assert_eq!(s.ids(), &[AttrId(1), AttrId(3)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn attrset_disjoint_and_subset() {
+        let a = AttrSet::new([AttrId(0), AttrId(2)]);
+        let b = AttrSet::new([AttrId(1), AttrId(3)]);
+        let c = AttrSet::new([AttrId(0), AttrId(1), AttrId(2)]);
+        assert!(a.is_disjoint(&b));
+        assert!(!a.is_disjoint(&c));
+        assert!(a.is_subset(&c));
+        assert!(!c.is_subset(&a));
+        assert!(AttrSet::empty().is_subset(&a));
+        assert!(AttrSet::empty().is_disjoint(&a));
+    }
+
+    #[test]
+    fn attrset_union_contains() {
+        let a = AttrSet::new([AttrId(0)]);
+        let b = AttrSet::new([AttrId(1)]);
+        let u = a.union(&b);
+        assert!(u.contains(AttrId(0)) && u.contains(AttrId(1)));
+        assert!(!u.contains(AttrId(2)));
+    }
+
+    #[test]
+    fn render_attrs() {
+        let s = Schema::new(["a", "b", "c"]).unwrap();
+        assert_eq!(s.render_attrs(&[AttrId(0), AttrId(2)]), "a,c");
+    }
+}

@@ -1,0 +1,199 @@
+//! Structural statistics of relations: LHS-uniqueness and RHS-skew.
+//!
+//! Section V of the paper studies measure sensitivity to two structural
+//! properties of a candidate FD `X -> Y`:
+//!
+//! * **LHS-uniqueness** `|dom_R(X)| / |R|` — how close `X` is to a key.
+//! * **RHS-skew** — the skewness of the distribution `p_R(Y)`.
+//!
+//! For numeric `Y` columns, skewness is the moment skewness of the value
+//! multiset (this is what the synthetic generator controls via the Beta
+//! distribution's skewness `2(β−α)√(α+β+1) / ((α+β+2)√(αβ))`). For
+//! categorical columns there is no numeric embedding, so we fall back to
+//! the skewness of the per-value frequency vector (`skew(value_counts)`),
+//! which is large exactly when a few values dominate — the same phenomenon
+//! the paper's RHS-skew axis varies.
+
+use crate::dictionary::NULL_CODE;
+use crate::relation::Relation;
+use crate::schema::{AttrId, AttrSet};
+use crate::value::Value;
+
+/// `|dom_R(X)| / N` over the non-NULL rows of `attrs`.
+/// Returns 0 for an empty (or all-NULL) relation.
+pub fn lhs_uniqueness(rel: &Relation, attrs: &AttrSet) -> f64 {
+    let enc = rel.group_encode(attrs);
+    let n = enc.non_null_rows();
+    if n == 0 {
+        0.0
+    } else {
+        enc.n_groups as f64 / n as f64
+    }
+}
+
+/// Moment (Fisher–Pearson) skewness of a weighted sample:
+/// `m3 / m2^{3/2}` with weighted central moments. Returns 0 when variance
+/// is zero or fewer than 2 effective observations.
+fn weighted_skewness(values: &[f64], weights: &[u64]) -> f64 {
+    let n: u64 = weights.iter().sum();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mean = values
+        .iter()
+        .zip(weights)
+        .map(|(&v, &w)| v * w as f64)
+        .sum::<f64>()
+        / nf;
+    let (mut m2, mut m3) = (0.0f64, 0.0f64);
+    for (&v, &w) in values.iter().zip(weights) {
+        let d = v - mean;
+        m2 += w as f64 * d * d;
+        m3 += w as f64 * d * d * d;
+    }
+    m2 /= nf;
+    m3 /= nf;
+    if m2 <= f64::EPSILON * mean.abs().max(1.0) {
+        0.0
+    } else {
+        m3 / m2.powf(1.5)
+    }
+}
+
+/// RHS-skew of a single attribute (see module docs for the definition).
+/// NULL cells are ignored.
+pub fn rhs_skew(rel: &Relation, attr: AttrId) -> f64 {
+    let col = rel.column(attr);
+    // Count value frequencies.
+    let mut counts = vec![0u64; col.dict().len()];
+    for &c in col.codes() {
+        if c != NULL_CODE {
+            counts[c as usize] += 1;
+        }
+    }
+    // Numeric embedding when available.
+    let mut numeric: Vec<f64> = Vec::with_capacity(counts.len());
+    let mut all_numeric = true;
+    for (code, v) in col.dict().iter() {
+        if counts[code as usize] == 0 {
+            numeric.push(0.0);
+            continue;
+        }
+        match v {
+            Value::Int(i) => numeric.push(*i as f64),
+            Value::Float(f) => numeric.push(f.get()),
+            _ => {
+                all_numeric = false;
+                break;
+            }
+        }
+    }
+    if all_numeric {
+        weighted_skewness(&numeric, &counts)
+    } else {
+        frequency_skewness_from_counts(&counts)
+    }
+}
+
+/// Skewness of the per-value frequency vector: each distinct value
+/// contributes its count as one observation. Uniform distributions score 0;
+/// a few dominant values yield a long right tail and a high score.
+pub fn frequency_skewness(rel: &Relation, attr: AttrId) -> f64 {
+    let col = rel.column(attr);
+    let mut counts = vec![0u64; col.dict().len()];
+    for &c in col.codes() {
+        if c != NULL_CODE {
+            counts[c as usize] += 1;
+        }
+    }
+    frequency_skewness_from_counts(&counts)
+}
+
+fn frequency_skewness_from_counts(counts: &[u64]) -> f64 {
+    let obs: Vec<f64> = counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| c as f64)
+        .collect();
+    let weights = vec![1u64; obs.len()];
+    weighted_skewness(&obs, &weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(pairs: &[(u64, u64)]) -> Relation {
+        Relation::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn uniqueness_of_key_is_one() {
+        let r = rel(&[(1, 0), (2, 0), (3, 0)]);
+        assert_eq!(lhs_uniqueness(&r, &AttrSet::single(AttrId(0))), 1.0);
+    }
+
+    #[test]
+    fn uniqueness_of_constant_is_1_over_n() {
+        let r = rel(&[(7, 0), (7, 1), (7, 2), (7, 3)]);
+        assert_eq!(lhs_uniqueness(&r, &AttrSet::single(AttrId(0))), 0.25);
+    }
+
+    #[test]
+    fn uniqueness_ignores_nulls() {
+        let mut r = rel(&[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        r.set_value(3, AttrId(0), Value::Null);
+        assert_eq!(lhs_uniqueness(&r, &AttrSet::single(AttrId(0))), 1.0);
+    }
+
+    #[test]
+    fn empty_relation_uniqueness_zero() {
+        let r = rel(&[]);
+        assert_eq!(lhs_uniqueness(&r, &AttrSet::single(AttrId(0))), 0.0);
+    }
+
+    #[test]
+    fn symmetric_numeric_distribution_has_zero_skew() {
+        let r = rel(&[(0, 1), (0, 2), (0, 2), (0, 3)]);
+        assert!(rhs_skew(&r, AttrId(1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn right_tailed_numeric_distribution_has_positive_skew() {
+        // Mass concentrated at 0 with a long right tail.
+        let mut pairs = vec![(0u64, 0u64); 20];
+        pairs.push((0, 10));
+        let r = rel(&pairs);
+        assert!(rhs_skew(&r, AttrId(1)) > 1.0);
+    }
+
+    #[test]
+    fn constant_column_zero_skew() {
+        let r = rel(&[(0, 5), (0, 5), (0, 5)]);
+        assert_eq!(rhs_skew(&r, AttrId(1)), 0.0);
+    }
+
+    #[test]
+    fn frequency_skewness_uniform_zero_dominated_positive() {
+        let uniform = rel(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(frequency_skewness(&uniform, AttrId(1)), 0.0);
+        let mut pairs = vec![(0u64, 0u64); 30];
+        pairs.extend([(0, 1), (0, 2), (0, 3)]);
+        let dominated = rel(&pairs);
+        assert!(frequency_skewness(&dominated, AttrId(1)) > 0.5);
+    }
+
+    #[test]
+    fn categorical_column_uses_frequency_skew() {
+        use crate::Schema;
+        let schema = Schema::new(["Y"]).unwrap();
+        let mut r = Relation::empty(schema);
+        for _ in 0..30 {
+            r.push_row([Value::str("common")]).unwrap();
+        }
+        r.push_row([Value::str("rare1")]).unwrap();
+        r.push_row([Value::str("rare2")]).unwrap();
+        assert!(rhs_skew(&r, AttrId(0)) > 0.0);
+    }
+}

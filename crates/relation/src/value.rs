@@ -1,0 +1,212 @@
+//! Cell values for bag-based relations.
+//!
+//! A cell holds either SQL-style `NULL` or a typed value. Values need `Eq` +
+//! `Hash` so they can be dictionary-encoded; floating-point cells are wrapped
+//! in [`OrderedF64`] which provides a total order (NaN normalised, `-0.0`
+//! folded into `0.0`).
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// An `f64` with total equality and ordering, suitable for dictionary keys.
+///
+/// All NaN payloads are collapsed into the canonical quiet NaN and `-0.0`
+/// is folded into `0.0`, so `Eq`/`Hash` agree with the intuitive notion of
+/// "the same cell value".
+#[derive(Debug, Clone, Copy)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps a float, normalising NaN and negative zero.
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            OrderedF64(f64::NAN)
+        } else if v == 0.0 {
+            OrderedF64(0.0)
+        } else {
+            OrderedF64(v)
+        }
+    }
+
+    /// Returns the wrapped float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    fn key(self) -> u64 {
+        // Canonical NaN has a fixed bit pattern after `new`, and -0.0 was
+        // folded, so bit equality matches semantic equality.
+        self.0.to_bits()
+    }
+}
+
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl std::hash::Hash for OrderedF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(v: f64) -> Self {
+        OrderedF64::new(v)
+    }
+}
+
+/// A single cell value in a relation.
+///
+/// `Null` follows the paper's Section VI-A semantics: when a measure is
+/// evaluated for an FD `X -> Y`, tuples with a `Null` in any attribute of
+/// `X ∪ Y` are dropped first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// SQL NULL / missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Total-ordered 64-bit float.
+    Float(OrderedF64),
+    /// UTF-8 string.
+    Str(Box<str>),
+}
+
+impl Value {
+    /// `true` iff the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<Box<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Builds a float value (normalising NaN / -0.0).
+    pub fn float(v: f64) -> Self {
+        Value::Float(OrderedF64::new(v))
+    }
+
+    /// Renders the value the way the CSV writer does (`Null` -> empty).
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Float(f) => Cow::Owned(f.get().to_string()),
+            Value::Str(s) => Cow::Borrowed(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            _ => f.write_str(&self.render()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn nan_values_are_equal_and_hash_equal() {
+        let a = OrderedF64::new(f64::NAN);
+        let b = OrderedF64::new(-f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn negative_zero_folds_into_zero() {
+        let a = OrderedF64::new(0.0);
+        let b = OrderedF64::new(-0.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn ordinary_floats_compare() {
+        assert!(OrderedF64::new(1.0) < OrderedF64::new(2.0));
+        assert_eq!(OrderedF64::new(3.5).get(), 3.5);
+    }
+
+    #[test]
+    fn value_display_and_render() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::str("abc").to_string(), "abc");
+        assert_eq!(Value::float(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(2i64)), Value::Int(2));
+    }
+
+    #[test]
+    fn is_null() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the relation substrate invariants.
+
+use afd_relation::{
+    read_csv, write_csv, AttrId, AttrSet, ContingencyTable, Pli, Relation, Schema, Value,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small bag of (x, y) pairs with limited domains so that
+/// duplicates and groups actually occur.
+fn pairs() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..8, 0u64..6), 0..120)
+}
+
+/// Strategy: rows of three optional small integers (None = NULL).
+fn rows3() -> impl Strategy<Value = Vec<[Option<i64>; 3]>> {
+    prop::collection::vec(
+        [
+            prop::option::weighted(0.85, 0i64..6),
+            prop::option::weighted(0.85, 0i64..5),
+            prop::option::weighted(0.85, 0i64..4),
+        ],
+        0..80,
+    )
+}
+
+fn rel3(rows: &[[Option<i64>; 3]]) -> Relation {
+    Relation::from_rows(
+        Schema::new(["A", "B", "C"]).unwrap(),
+        rows.iter()
+            .map(|r| r.iter().map(|&v| Value::from(v)).collect::<Vec<_>>()),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn contingency_margins_consistent(pairs in pairs()) {
+        let rel = Relation::from_pairs(pairs.iter().copied());
+        let t = ContingencyTable::from_relation(
+            &rel, &AttrSet::single(AttrId(0)), &AttrSet::single(AttrId(1)));
+        prop_assert_eq!(t.n() as usize, rel.n_rows());
+        prop_assert_eq!(t.row_totals().iter().sum::<u64>(), t.n());
+        prop_assert_eq!(t.col_totals().iter().sum::<u64>(), t.n());
+        prop_assert_eq!(t.cells().map(|(_,_,c)| c).sum::<u64>(), t.n());
+        // Each row's cells sum to its total.
+        for (i, &a) in t.row_totals().iter().enumerate() {
+            prop_assert_eq!(t.row(i).iter().map(|&(_,c)| c).sum::<u64>(), a);
+        }
+        // sum_row_max is between N/Ky-ish lower bound and N.
+        prop_assert!(t.sum_row_max() >= t.n_x() as u64 * u64::from(t.n() > 0));
+        prop_assert!(t.sum_row_max() <= t.n());
+    }
+
+    #[test]
+    fn group_encode_counts_match_distinct_rows(rows in rows3()) {
+        let rel = rel3(&rows);
+        let attrs = AttrSet::new([AttrId(0), AttrId(2)]);
+        let enc = rel.group_encode(&attrs);
+        // Count distinct non-null (A, C) pairs by brute force.
+        let mut distinct = std::collections::HashSet::new();
+        for r in &rows {
+            if let (Some(a), Some(c)) = (r[0], r[2]) {
+                distinct.insert((a, c));
+            }
+        }
+        prop_assert_eq!(enc.n_groups as usize, distinct.len());
+        // Two rows share a group iff their values agree.
+        for (i, ri) in rows.iter().enumerate() {
+            for (j, rj) in rows.iter().enumerate() {
+                let vi = (ri[0], ri[2]);
+                let vj = (rj[0], rj[2]);
+                if vi.0.is_some() && vi.1.is_some() && vj.0.is_some() && vj.1.is_some() {
+                    prop_assert_eq!(
+                        enc.codes[i] == enc.codes[j],
+                        vi == vj,
+                        "rows {} and {}", i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pli_refine_matches_direct(rows in rows3()) {
+        let rel = rel3(&rows);
+        let pa = Pli::from_relation(&rel, &AttrSet::single(AttrId(0)));
+        let refined = pa.refine(&rel.group_encode(&AttrSet::single(AttrId(1))).codes);
+        let direct = Pli::from_relation(&rel, &AttrSet::new([AttrId(0), AttrId(1)]));
+        let norm = |p: &Pli| {
+            let mut cs: Vec<Vec<u32>> = p.clusters().iter().map(|c| {
+                let mut c = c.clone(); c.sort_unstable(); c
+            }).collect();
+            cs.sort();
+            cs
+        };
+        prop_assert_eq!(norm(&refined), norm(&direct));
+    }
+
+    #[test]
+    fn pli_g3_violations_match_contingency(rows in rows3()) {
+        let rel = rel3(&rows);
+        let pli = Pli::from_relation(&rel, &AttrSet::single(AttrId(0)));
+        let codes = rel.group_encode(&AttrSet::single(AttrId(1))).codes;
+        let t = ContingencyTable::from_relation(
+            &rel, &AttrSet::single(AttrId(0)), &AttrSet::single(AttrId(1)));
+        prop_assert_eq!(pli.g3_violations(&codes), t.n() - t.sum_row_max());
+    }
+
+    #[test]
+    fn csv_roundtrip(rows in rows3()) {
+        let rel = rel3(&rows);
+        let mut buf = Vec::new();
+        write_csv(&rel, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.n_rows(), rel.n_rows());
+        for i in 0..rel.n_rows() {
+            prop_assert_eq!(back.row(i), rel.row(i));
+        }
+    }
+
+    #[test]
+    fn projection_preserves_cardinality_and_groups(pairs in pairs()) {
+        let rel = Relation::from_pairs(pairs.iter().copied());
+        let p = rel.project(&AttrSet::single(AttrId(1)));
+        prop_assert_eq!(p.n_rows(), rel.n_rows());
+        prop_assert_eq!(
+            p.distinct_count(&AttrSet::single(AttrId(0))),
+            rel.distinct_count(&AttrSet::single(AttrId(1)))
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # afd-rwd
+//!
+//! A **simulated** real-world AFD discovery benchmark mirroring the
+//! paper's RWD (Section VI) and RWDe (Appendix G).
+//!
+//! The original RWD is built from ten public datasets with manually
+//! annotated design schemas; those datasets are not shipped here, so each
+//! relation is generated to match its published shape — row count,
+//! attribute count, #PFD and #AFD from Table II — together with the
+//! structural hazards the paper identifies (near-key columns, heavy
+//! RHS-skew, semantically meaningless quasi-FDs). DESIGN.md §2 documents
+//! why this substitution preserves the comparison's behaviour.
+//!
+//! ```
+//! use afd_rwd::RwdBenchmark;
+//!
+//! let bench = RwdBenchmark::generate_scaled(0.005, 42);
+//! let dblp = &bench.relations[2];
+//! assert_eq!(dblp.pfds.len(), 75);
+//! assert_eq!(dblp.afds.len(), 2); // the discovery ground truth
+//! ```
+
+pub mod builder;
+pub mod relations;
+pub mod rwde;
+pub mod spec;
+
+pub use builder::{build, RwdRelation};
+pub use relations::{RwdBenchmark, PAPER_STATS};
+pub use rwde::{make_rwde, select_corruptible, RwdeInstance, LEVELS};
+pub use spec::{ColumnSpec, RelationSpec};

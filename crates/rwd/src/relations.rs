@@ -1,0 +1,420 @@
+//! The ten simulated RWD relations (Table II shapes).
+//!
+//! Every spec reproduces its original's published row count, attribute
+//! count, and declared #PFD / #AFD, plus the structural hazards the paper
+//! diagnoses: R3 ("dblp10k") carries near-key trap columns — the
+//! LHS-uniqueness hazard; R6 ("gath. agent") carries heavily skewed trap
+//! columns — the RHS-skew hazard; R7 ("gath. area") carries a noisy-copy
+//! quasi-FD that is not in the design schema, making perfect precision
+//! unattainable ("out of reach").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::builder::{build, RwdRelation};
+use crate::spec::{ColumnSpec, RelationSpec};
+
+/// Paper-reported Table II rows: `(name, rows, attrs, #PFD, #AFD)`.
+pub const PAPER_STATS: [(&str, usize, usize, usize, usize); 10] = [
+    ("adult", 32_561, 15, 2, 0),
+    ("claims", 97_231, 13, 2, 2),
+    ("dblp10k", 10_000, 34, 75, 2),
+    ("hospital", 114_919, 15, 22, 7),
+    ("tax", 1_000_000, 15, 3, 0),
+    ("gath_agent", 72_737, 18, 5, 2),
+    ("gath_area", 137_710, 11, 3, 2),
+    ("gathering", 90_991, 35, 0, 1),
+    ("ident_taxon", 562_958, 3, 0, 1),
+    ("identification", 91_799, 38, 14, 0),
+];
+
+/// Mixed filler columns: independent categoricals with varying
+/// cardinality and mild-to-moderate skew, deterministic in the index.
+fn fillers(count: usize, rows: usize, skew_boost: f64) -> Vec<ColumnSpec> {
+    (0..count)
+        .map(|i| ColumnSpec::Categorical {
+            cardinality: match i % 4 {
+                0 => 3 + i,
+                1 => 12 + 3 * i,
+                2 => (rows / 50).clamp(8, 400),
+                _ => (rows / 10).clamp(20, 2000),
+            },
+            skew: skew_boost + 0.25 * (i % 3) as f64,
+        })
+        .collect()
+}
+
+fn push_afd(cols: &mut Vec<ColumnSpec>, rows: usize, error_rate: f64) {
+    push_afd_card(cols, (rows / 20).clamp(20, 500), error_rate);
+}
+
+/// As [`push_afd`] with an explicit source cardinality. High-cardinality
+/// sources give the design AFD a high LHS-uniqueness — the regime where
+/// the unnormalised RFI⁺ (large E[FI] crushes the corrected score) and
+/// SFI (the α·K_X·K_Y smoothing mass drowns the table) lose the true
+/// dependencies, exactly as the paper reports on the real data.
+fn push_afd_card(cols: &mut Vec<ColumnSpec>, src_card: usize, error_rate: f64) {
+    let src = cols.len();
+    cols.push(ColumnSpec::Categorical {
+        cardinality: src_card,
+        skew: 0.3,
+    });
+    cols.push(ColumnSpec::DerivedNoisy {
+        source: src,
+        cardinality: (src_card / 4).max(5),
+        error_rate,
+    });
+}
+
+fn cluster_cols(cluster: usize, members: usize) -> impl Iterator<Item = ColumnSpec> {
+    (0..members).map(move |_| ColumnSpec::ClusterMember { cluster })
+}
+
+/// Appends `count` weak-association confusers, each keyed to one of the
+/// `count` columns preceding the current tail (which must exist). These
+/// correlated-but-not-FD pairs are what real tables are full of; without
+/// them the bias-corrected measures (RFI⁺, SFI) get an unrealistically
+/// easy ride (every non-FD would be exactly independent).
+fn push_weak_assocs(cols: &mut Vec<ColumnSpec>, count: usize) {
+    let first_source = cols.len().checked_sub(count).expect("enough sources");
+    for i in 0..count {
+        cols.push(ColumnSpec::WeakAssoc {
+            source: first_source + i,
+            cardinality: 6 + 5 * i,
+            strength: 0.55 + 0.08 * (i % 4) as f64,
+        });
+    }
+}
+
+fn base_card(rows: usize) -> usize {
+    (rows / 8).clamp(10, 1000)
+}
+
+fn spec_adult(rows: usize) -> RelationSpec {
+    let mut columns = vec![ColumnSpec::Key];
+    columns.extend(cluster_cols(0, 2));
+    columns.push(ColumnSpec::NearKey { uniqueness: 0.5 });
+    columns.extend(fillers(9, rows, 0.0));
+    push_weak_assocs(&mut columns, 2);
+    RelationSpec {
+        name: "adult",
+        paper_rows: 32_561,
+        clusters: vec![base_card(rows)],
+        columns,
+        declared_pfds: 2,
+        null_rates: vec![(5, 0.05), (9, 0.1)],
+    }
+}
+
+fn spec_claims(rows: usize) -> RelationSpec {
+    let mut columns = vec![ColumnSpec::Key];
+    columns.extend(cluster_cols(0, 2));
+    push_afd(&mut columns, rows, 0.01);
+    push_afd(&mut columns, rows, 0.015);
+    columns.extend(fillers(3, rows, 0.2));
+    push_weak_assocs(&mut columns, 2);
+    push_weak_assocs(&mut columns, 1);
+    RelationSpec {
+        name: "claims",
+        paper_rows: 97_231,
+        clusters: vec![base_card(rows)],
+        columns,
+        declared_pfds: 2,
+        null_rates: vec![(8, 0.08)],
+    }
+}
+
+fn spec_dblp(rows: usize) -> RelationSpec {
+    // The LHS-uniqueness hazard: many near-key columns whose candidates
+    // look like FDs to violation-style measures.
+    let mut columns = vec![ColumnSpec::Key];
+    columns.extend(cluster_cols(0, 10)); // 90 pairs, declare 75
+    push_afd_card(&mut columns, (rows / 3).max(30), 0.015);
+    push_afd_card(&mut columns, (rows / 5).max(25), 0.02);
+    for i in 0..8 {
+        // Uniqueness up to ~0.99: these trap candidates outrank true AFDs
+        // under g3/pdep/tau/FI (their g3 floor |dom(X)|/N is nearly 1),
+        // while the corrected measures (g3', mu+, RFI'+) see through them.
+        columns.push(ColumnSpec::NearKey {
+            uniqueness: 0.935 + 0.008 * i as f64,
+        });
+    }
+    columns.extend(fillers(7, rows, 0.0));
+    push_weak_assocs(&mut columns, 4);
+    RelationSpec {
+        name: "dblp10k",
+        paper_rows: 10_000,
+        clusters: vec![base_card(rows)],
+        columns,
+        declared_pfds: 75,
+        null_rates: vec![(30, 0.05)],
+    }
+}
+
+fn spec_hospital(rows: usize) -> RelationSpec {
+    // 20 cluster pairs + 2 exact edges = 22 PFDs; one shared source with
+    // 7 noisy targets = 7 AFDs. No key column (15 attrs total).
+    let mut columns: Vec<ColumnSpec> = cluster_cols(0, 5).collect();
+    columns.push(ColumnSpec::DerivedExact {
+        source: 0,
+        cardinality: base_card(rows) / 4,
+    });
+    columns.push(ColumnSpec::DerivedExact {
+        source: 1,
+        cardinality: base_card(rows) / 5,
+    });
+    let src_card = (rows / 6).max(30);
+    let src = columns.len();
+    columns.push(ColumnSpec::Categorical {
+        cardinality: src_card,
+        skew: 0.2,
+    });
+    for i in 0..6 {
+        columns.push(ColumnSpec::DerivedNoisy {
+            source: src,
+            cardinality: (src_card / 3 + i).max(5),
+            error_rate: 0.006 + 0.002 * i as f64,
+        });
+    }
+    // The 7th AFD shares the same dedicated source; a fresh source pair
+    // would push the arity past Table II's 15 attributes.
+    columns.push(ColumnSpec::DerivedNoisy {
+        source: src,
+        cardinality: 7,
+        error_rate: 0.02,
+    });
+    RelationSpec {
+        name: "hospital",
+        paper_rows: 114_919,
+        clusters: vec![base_card(rows)],
+        columns,
+        declared_pfds: 22,
+        null_rates: vec![(8, 0.05)],
+    }
+}
+
+fn spec_tax(rows: usize) -> RelationSpec {
+    let mut columns = vec![ColumnSpec::Key];
+    columns.extend(cluster_cols(0, 3)); // 6 pairs, declare 3
+    columns.extend(fillers(9, rows, 0.3));
+    push_weak_assocs(&mut columns, 2);
+    RelationSpec {
+        name: "tax",
+        paper_rows: 1_000_000,
+        clusters: vec![base_card(rows)],
+        columns,
+        declared_pfds: 3,
+        null_rates: vec![(6, 0.12)],
+    }
+}
+
+fn spec_gath_agent(rows: usize) -> RelationSpec {
+    // The RHS-skew hazard: several heavily dominated columns.
+    let mut columns = vec![ColumnSpec::Key];
+    columns.extend(cluster_cols(0, 3)); // declare 5 of 6
+    push_afd_card(&mut columns, (rows / 4).max(25), 0.006);
+    push_afd_card(&mut columns, (rows / 8).max(20), 0.009);
+    for i in 0..5 {
+        // One trap sits just above the weaker design AFD's score for the
+        // skew-sensitive measures (g3, g3', g1S, pdep) — the paper's R6
+        // effect, where those measures lose exactly one rank — while the
+        // skew-insensitive family (FI, tau, mu+, RFI'+) sees through it.
+        columns.push(ColumnSpec::Categorical {
+            cardinality: [8, 12, 14, 16, 20][i],
+            skew: [5.0, 4.0, 3.5, 3.0, 2.5][i],
+        });
+    }
+    columns.extend(fillers(3, rows, 0.2));
+    push_weak_assocs(&mut columns, 2);
+    RelationSpec {
+        name: "gath_agent",
+        paper_rows: 72_737,
+        clusters: vec![base_card(rows)],
+        columns,
+        declared_pfds: 5,
+        null_rates: vec![(13, 0.07)],
+    }
+}
+
+fn spec_gath_area(rows: usize) -> RelationSpec {
+    // "Out of reach": a semantically meaningless noisy copy pair scores
+    // as high as the design AFDs for every measure.
+    let mut columns = vec![ColumnSpec::Key];
+    columns.extend(cluster_cols(0, 3)); // declare 3
+    push_afd(&mut columns, rows, 0.01);
+    push_afd(&mut columns, rows, 0.015);
+    let src = columns.len();
+    columns.push(ColumnSpec::Categorical {
+        cardinality: (rows / 25).clamp(12, 300),
+        skew: 0.3,
+    });
+    columns.push(ColumnSpec::CopyNoisy {
+        source: src,
+        error_rate: 0.012,
+    });
+    columns.extend(fillers(1, rows, 0.2));
+    RelationSpec {
+        name: "gath_area",
+        paper_rows: 137_710,
+        clusters: vec![base_card(rows)],
+        columns,
+        declared_pfds: 3,
+        null_rates: vec![],
+    }
+}
+
+fn spec_gathering(rows: usize) -> RelationSpec {
+    let mut columns = vec![ColumnSpec::Key];
+    push_afd_card(&mut columns, (rows / 4).max(25), 0.009);
+    columns.push(ColumnSpec::NearKey { uniqueness: 0.85 });
+    columns.push(ColumnSpec::NearKey { uniqueness: 0.6 });
+    columns.push(ColumnSpec::Categorical {
+        cardinality: 15,
+        skew: 5.0,
+    });
+    columns.extend(fillers(25, rows, 0.1));
+    push_weak_assocs(&mut columns, 4);
+    RelationSpec {
+        name: "gathering",
+        paper_rows: 90_991,
+        clusters: vec![],
+        columns,
+        declared_pfds: 0,
+        null_rates: vec![(10, 0.15), (20, 0.05)],
+    }
+}
+
+fn spec_ident_taxon(rows: usize) -> RelationSpec {
+    let mut columns = Vec::new();
+    push_afd(&mut columns, rows, 0.005);
+    columns.push(ColumnSpec::Categorical {
+        cardinality: 40,
+        skew: 0.6,
+    });
+    RelationSpec {
+        name: "ident_taxon",
+        paper_rows: 562_958,
+        clusters: vec![],
+        columns,
+        declared_pfds: 0,
+        null_rates: vec![],
+    }
+}
+
+fn spec_identification(rows: usize) -> RelationSpec {
+    let mut columns = vec![ColumnSpec::Key];
+    columns.extend(cluster_cols(0, 4)); // 12 pairs
+    columns.push(ColumnSpec::DerivedExact {
+        source: 1,
+        cardinality: base_card(rows) / 4,
+    });
+    columns.push(ColumnSpec::DerivedExact {
+        source: 3,
+        cardinality: base_card(rows) / 6,
+    });
+    columns.push(ColumnSpec::NearKey { uniqueness: 0.7 });
+    columns.extend(fillers(26, rows, 0.15));
+    push_weak_assocs(&mut columns, 4);
+    RelationSpec {
+        name: "identification",
+        paper_rows: 91_799,
+        clusters: vec![base_card(rows)],
+        columns,
+        declared_pfds: 14,
+        null_rates: vec![(12, 0.1)],
+    }
+}
+
+/// The full simulated benchmark.
+#[derive(Debug, Clone)]
+pub struct RwdBenchmark {
+    /// The ten relations, in Table II order (R1..R10).
+    pub relations: Vec<RwdRelation>,
+}
+
+impl RwdBenchmark {
+    /// Generates the benchmark at a row-count `scale` of the paper sizes
+    /// (rows are floored at 400). `scale = 1.0` reproduces Table II row
+    /// counts exactly.
+    pub fn generate_scaled(scale: f64, seed: u64) -> Self {
+        let specs: [fn(usize) -> RelationSpec; 10] = [
+            spec_adult,
+            spec_claims,
+            spec_dblp,
+            spec_hospital,
+            spec_tax,
+            spec_gath_agent,
+            spec_gath_area,
+            spec_gathering,
+            spec_ident_taxon,
+            spec_identification,
+        ];
+        let relations = specs
+            .iter()
+            .enumerate()
+            .map(|(i, make)| {
+                let paper_rows = PAPER_STATS[i].1;
+                let rows = ((paper_rows as f64 * scale) as usize).max(400);
+                let spec = make(rows);
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                );
+                build(&spec, rows, &mut rng)
+            })
+            .collect();
+        RwdBenchmark { relations }
+    }
+
+    /// Laptop-scale default: 2% of the paper row counts.
+    pub fn generate(seed: u64) -> Self {
+        Self::generate_scaled(0.02, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_table_ii() {
+        let b = RwdBenchmark::generate_scaled(0.01, 7);
+        assert_eq!(b.relations.len(), 10);
+        for (rel, &(name, _, attrs, pfd, afd)) in b.relations.iter().zip(&PAPER_STATS) {
+            assert_eq!(rel.name, name);
+            assert_eq!(rel.relation.arity(), attrs, "{name} arity");
+            assert_eq!(rel.pfds.len(), pfd, "{name} #PFD");
+            assert_eq!(rel.afds.len(), afd, "{name} #AFD");
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_consistent() {
+        let b = RwdBenchmark::generate_scaled(0.01, 8);
+        for rel in &b.relations {
+            for fd in &rel.pfds {
+                assert!(fd.holds_in(&rel.relation), "{}: PFD violated", rel.name);
+            }
+            for fd in &rel.afds {
+                assert!(!fd.holds_in(&rel.relation), "{}: AFD satisfied", rel.name);
+            }
+        }
+    }
+
+    #[test]
+    fn total_design_fd_counts() {
+        // Paper: 143 design FDs = 126 PFDs + 17 AFDs.
+        let pfds: usize = PAPER_STATS.iter().map(|s| s.3).sum();
+        let afds: usize = PAPER_STATS.iter().map(|s| s.4).sum();
+        assert_eq!(pfds, 126);
+        assert_eq!(afds, 17);
+    }
+
+    #[test]
+    fn scaling_controls_rows() {
+        let small = RwdBenchmark::generate_scaled(0.005, 9);
+        // adult: 32561 * 0.005 = 162 -> floored at 400.
+        assert_eq!(small.relations[0].relation.n_rows(), 400);
+        // tax: 1M * 0.005 = 5000.
+        assert_eq!(small.relations[4].relation.n_rows(), 5000);
+    }
+}

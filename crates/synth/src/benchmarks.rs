@@ -1,0 +1,276 @@
+//! The three synthetic sensitivity benchmarks: ERR, UNIQ and SKEW
+//! (Section V-A).
+//!
+//! Each benchmark sweeps one structural parameter over `steps` values and
+//! generates `tables_per_step` positive (B⁺: FD + controlled errors) and
+//! negative (B⁻: independent X, Y) relations per step. Generation is lazy
+//! and deterministic: each `(benchmark, step, table)` triple derives its
+//! own seed, so experiments can be re-run per step without materialising
+//! 5000 relations at once.
+
+use afd_relation::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::beta::Beta;
+use crate::generator::{generate_negative, generate_positive, GenParams};
+
+/// The swept structural axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Error rate η ∈ [0, 10%] (benchmark ERR).
+    ErrorRate,
+    /// LHS-domain multiplier `|dom(X)|/N` ∈ [0.2, 10] (benchmark UNIQ;
+    /// the paper sweeps `|dom(X)|` from `N/5` to `10N` — multipliers
+    /// beyond 1 oversample the domain and push the *measured*
+    /// LHS-uniqueness towards 1).
+    LhsUniqueness,
+    /// RHS-skew ∈ [0, 10] (benchmark SKEW).
+    RhsSkew,
+}
+
+impl Axis {
+    /// Benchmark name as used in the paper ("ERR", "UNIQ", "SKEW").
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::ErrorRate => "ERR",
+            Axis::LhsUniqueness => "UNIQ",
+            Axis::RhsSkew => "SKEW",
+        }
+    }
+
+    /// The swept parameter value at `step` of `steps`.
+    pub fn param(self, step: usize, steps: usize) -> f64 {
+        let t = if steps <= 1 {
+            0.0
+        } else {
+            step as f64 / (steps - 1) as f64
+        };
+        match self {
+            Axis::ErrorRate => 0.10 * t,
+            Axis::LhsUniqueness => 0.2 + (10.0 - 0.2) * t,
+            Axis::RhsSkew => 10.0 * t,
+        }
+    }
+}
+
+/// One synthetic benchmark (= one row of Figure 1).
+#[derive(Debug, Clone)]
+pub struct SynthBenchmark {
+    /// Which parameter is swept.
+    pub axis: Axis,
+    /// Number of sweep steps (paper: 50).
+    pub steps: usize,
+    /// Positive (and negative) tables per step (paper: 50).
+    pub tables_per_step: usize,
+    /// Row-count range (paper: [100, 10000]).
+    pub rows: (usize, usize),
+    /// Master seed; all generation derives from it deterministically.
+    pub seed: u64,
+}
+
+/// The relations of one sweep step.
+#[derive(Debug)]
+pub struct StepData {
+    /// The swept parameter's value at this step.
+    pub param: f64,
+    /// B⁺ tables: generated to satisfy `X → Y`, then corrupted.
+    pub positives: Vec<Relation>,
+    /// B⁻ tables: `X`, `Y` independent.
+    pub negatives: Vec<Relation>,
+}
+
+impl SynthBenchmark {
+    /// Paper-scale benchmark: 50 steps × 50 tables, rows ∈ [100, 10000].
+    pub fn paper_scale(axis: Axis, seed: u64) -> Self {
+        SynthBenchmark {
+            axis,
+            steps: 50,
+            tables_per_step: 50,
+            rows: (100, 10_000),
+            seed,
+        }
+    }
+
+    /// Laptop-scale benchmark for quick runs: fewer steps, fewer and
+    /// smaller tables — the separation curves keep their shape.
+    pub fn laptop_scale(axis: Axis, seed: u64) -> Self {
+        SynthBenchmark {
+            axis,
+            steps: 13,
+            tables_per_step: 8,
+            rows: (100, 1200),
+            seed,
+        }
+    }
+
+    /// The swept parameter's value at `step`.
+    pub fn param(&self, step: usize) -> f64 {
+        self.axis.param(step, self.steps)
+    }
+
+    /// Generates all tables of one step (deterministic in
+    /// `(seed, axis, step)`).
+    ///
+    /// # Panics
+    /// Panics if `step >= self.steps` (programmer error).
+    pub fn generate_step(&self, step: usize) -> StepData {
+        assert!(step < self.steps, "step {step} out of {}", self.steps);
+        let param = self.param(step);
+        let mut positives = Vec::with_capacity(self.tables_per_step);
+        let mut negatives = Vec::with_capacity(self.tables_per_step);
+        for table in 0..self.tables_per_step {
+            let mut rng = self.table_rng(step, table);
+            let p = self.table_params(param, &mut rng);
+            let (pos, _) = generate_positive(&p, &mut rng);
+            positives.push(pos);
+            negatives.push(generate_negative(&p, &mut rng));
+        }
+        StepData {
+            param,
+            positives,
+            negatives,
+        }
+    }
+
+    fn table_rng(&self, step: usize, table: usize) -> StdRng {
+        // SplitMix64-style seed derivation keeps tables independent.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(1 + step as u64))
+            .wrapping_add(0xBF58476D1CE4E5B9u64.wrapping_mul(1 + table as u64))
+            .wrapping_add(match self.axis {
+                Axis::ErrorRate => 0x1000,
+                Axis::LhsUniqueness => 0x2000,
+                Axis::RhsSkew => 0x3000,
+            });
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        StdRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// Samples per-table parameters, then pins the swept axis to `param`.
+    fn table_params(&self, param: f64, rng: &mut StdRng) -> GenParams {
+        let n_rows = rng.gen_range(self.rows.0..=self.rows.1);
+        let mut p = GenParams::sample_with_rows(n_rows, rng);
+        match self.axis {
+            Axis::ErrorRate => p.error_rate = param,
+            Axis::LhsUniqueness => {
+                p.dom_x = ((param * n_rows as f64) as usize).max(2);
+                p.dom_y = rng.gen_range(5..=(p.dom_x / 2).max(6)).max(2);
+            }
+            Axis::RhsSkew => p.beta_y = Beta::with_skewness(param),
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_relation::{lhs_uniqueness, rhs_skew, AttrId, AttrSet, Fd};
+
+    fn tiny(axis: Axis) -> SynthBenchmark {
+        SynthBenchmark {
+            axis,
+            steps: 5,
+            tables_per_step: 3,
+            rows: (100, 400),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn axis_param_endpoints() {
+        assert_eq!(Axis::ErrorRate.param(0, 50), 0.0);
+        assert!((Axis::ErrorRate.param(49, 50) - 0.10).abs() < 1e-12);
+        assert!((Axis::LhsUniqueness.param(0, 50) - 0.2).abs() < 1e-12);
+        assert!((Axis::LhsUniqueness.param(49, 50) - 10.0).abs() < 1e-12);
+        assert!((Axis::RhsSkew.param(49, 50) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_counts_and_determinism() {
+        let b = tiny(Axis::ErrorRate);
+        let s1 = b.generate_step(2);
+        let s2 = b.generate_step(2);
+        assert_eq!(s1.positives.len(), 3);
+        assert_eq!(s1.negatives.len(), 3);
+        for (a, b) in s1.positives.iter().zip(&s2.positives) {
+            assert_eq!(a.n_rows(), b.n_rows());
+            for i in 0..a.n_rows() {
+                assert_eq!(a.row(i), b.row(i));
+            }
+        }
+    }
+
+    #[test]
+    fn err_step_zero_positives_satisfy_fd() {
+        let b = tiny(Axis::ErrorRate);
+        let s = b.generate_step(0);
+        for rel in &s.positives {
+            assert!(Fd::linear(AttrId(0), AttrId(1)).holds_in(rel));
+        }
+    }
+
+    #[test]
+    fn err_high_steps_violate_fd() {
+        let b = tiny(Axis::ErrorRate);
+        let s = b.generate_step(4); // η = 10%
+        for rel in &s.positives {
+            assert!(!Fd::linear(AttrId(0), AttrId(1)).holds_in(rel));
+        }
+    }
+
+    #[test]
+    fn uniq_benchmark_raises_measured_uniqueness() {
+        let b = tiny(Axis::LhsUniqueness);
+        let avg_u = |step: usize| {
+            let s = b.generate_step(step);
+            let all: Vec<_> = s.positives.iter().chain(&s.negatives).collect();
+            all.iter()
+                .map(|r| lhs_uniqueness(r, &AttrSet::single(AttrId(0))))
+                .sum::<f64>()
+                / all.len() as f64
+        };
+        let low = avg_u(0); // multiplier 0.2
+        let high = avg_u(4); // multiplier 10: oversampled domain
+        assert!(low < 0.4, "low={low}");
+        assert!(high > 0.75, "high={high}");
+    }
+
+    #[test]
+    fn skew_benchmark_raises_measured_skew() {
+        let b = SynthBenchmark {
+            axis: Axis::RhsSkew,
+            steps: 5,
+            tables_per_step: 4,
+            rows: (1000, 2000),
+            seed: 11,
+        };
+        let low: f64 = b
+            .generate_step(0)
+            .negatives
+            .iter()
+            .map(|r| rhs_skew(r, AttrId(1)))
+            .sum::<f64>()
+            / 4.0;
+        let high: f64 = b
+            .generate_step(4)
+            .negatives
+            .iter()
+            .map(|r| rhs_skew(r, AttrId(1)))
+            .sum::<f64>()
+            / 4.0;
+        assert!(
+            high > low + 1.0,
+            "measured skew should rise along the sweep: low={low} high={high}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_step_panics() {
+        tiny(Axis::ErrorRate).generate_step(99);
+    }
+}

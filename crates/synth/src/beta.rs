@@ -1,0 +1,257 @@
+//! Beta-distribution sampling and skewness control.
+//!
+//! The paper's synthetic generator draws attribute values from Beta(α, β)
+//! distributions on [0, 1] (Section V-A). The offline crate set has no
+//! `rand_distr`, so the samplers are implemented here:
+//!
+//! * standard normal via the Marsaglia polar method,
+//! * Gamma via Marsaglia–Tsang (with the `U^(1/a)` boost for shape < 1),
+//! * Beta as `G_α / (G_α + G_β)`,
+//! * and a solver inverting the closed-form skewness
+//!   `2(β−α)√(α+β+1) / ((α+β+2)√(αβ))` so the SKEW benchmark can dial a
+//!   target skew directly.
+
+use rand::Rng;
+
+/// A Beta(α, β) distribution on [0, 1].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    /// First shape parameter (α > 0).
+    pub alpha: f64,
+    /// Second shape parameter (β > 0).
+    pub beta: f64,
+}
+
+impl Beta {
+    /// Creates a Beta distribution.
+    ///
+    /// # Panics
+    /// Panics if a shape parameter is not strictly positive (programmer
+    /// error: the distribution is undefined).
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha > 0.0 && beta > 0.0,
+            "Beta shapes must be positive, got ({alpha}, {beta})"
+        );
+        Beta { alpha, beta }
+    }
+
+    /// The uniform distribution Beta(1, 1).
+    pub fn uniform() -> Self {
+        Beta::new(1.0, 1.0)
+    }
+
+    /// Closed-form skewness `2(β−α)√(α+β+1) / ((α+β+2)√(αβ))`.
+    pub fn skewness(&self) -> f64 {
+        let (a, b) = (self.alpha, self.beta);
+        2.0 * (b - a) * (a + b + 1.0).sqrt() / ((a + b + 2.0) * (a * b).sqrt())
+    }
+
+    /// Mean `α / (α + β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Draws one sample in [0, 1].
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let x = sample_gamma(self.alpha, rng);
+        let y = sample_gamma(self.beta, rng);
+        if x + y == 0.0 {
+            // Numerically possible for tiny shapes; resolve by a fair coin.
+            return f64::from(rng.gen::<bool>());
+        }
+        x / (x + y)
+    }
+
+    /// Draws a sample and maps it to a domain index in `0..k`.
+    pub fn sample_index(&self, k: usize, rng: &mut impl Rng) -> usize {
+        debug_assert!(k > 0);
+        let v = self.sample(rng);
+        ((v * k as f64) as usize).min(k - 1)
+    }
+
+    /// Finds a Beta distribution with the given non-negative target
+    /// skewness, following the paper's parameter ranges (α ∈ (0, 1],
+    /// β ∈ [1, 10] for moderate skews). Skews ≤ skew(1, 10) are realised
+    /// with α = 1 and β ∈ [1, 10]; larger skews keep β = 10 and shrink α.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite targets (programmer error).
+    pub fn with_skewness(target: f64) -> Self {
+        assert!(target.is_finite() && target >= 0.0, "bad target {target}");
+        if target == 0.0 {
+            return Beta::uniform();
+        }
+        let max_beta_route = Beta::new(1.0, 10.0).skewness();
+        if target <= max_beta_route {
+            // Bisect β in [1, 10] with α = 1 (skew increases with β).
+            let f = |b: f64| Beta::new(1.0, b).skewness() - target;
+            let b = bisect(f, 1.0, 10.0);
+            Beta::new(1.0, b)
+        } else {
+            // Bisect α in (0, 1] with β = 10 (skew decreases with α).
+            let f = |a: f64| target - Beta::new(a, 10.0).skewness();
+            let a = bisect(f, 1e-4, 1.0);
+            Beta::new(a, 10.0)
+        }
+    }
+}
+
+/// Bisection for a monotone increasing `f` with `f(lo) ≤ 0 ≤ f(hi)`;
+/// clamps to the bracket if the sign condition fails at an endpoint.
+fn bisect(f: impl Fn(f64) -> f64, mut lo: f64, mut hi: f64) -> f64 {
+    if f(lo) > 0.0 {
+        return lo;
+    }
+    if f(hi) < 0.0 {
+        return hi;
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Standard normal sample (Marsaglia polar method).
+fn sample_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u = rng.gen::<f64>() * 2.0 - 1.0;
+        let v = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Gamma(shape, 1) sample via Marsaglia–Tsang; `U^(1/a)` boost for
+/// shape < 1.
+pub fn sample_gamma(shape: f64, rng: &mut impl Rng) -> f64 {
+    debug_assert!(shape > 0.0);
+    if shape < 1.0 {
+        // G(a) = G(a+1) · U^(1/a)
+        let boost: f64 = rng.gen::<f64>().powf(1.0 / shape);
+        return sample_gamma(shape + 1.0, rng) * boost;
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (3.0 * d.sqrt());
+    loop {
+        let x = sample_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = rng.gen::<f64>();
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean(b: Beta, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| b.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let m = sample_mean(Beta::uniform(), 20_000, 1);
+        assert!((m - 0.5).abs() < 0.01, "mean={m}");
+    }
+
+    #[test]
+    fn skewed_beta_mean_matches_formula() {
+        let b = Beta::new(0.5, 5.0);
+        let m = sample_mean(b, 30_000, 2);
+        assert!((m - b.mean()).abs() < 0.01, "mean={m} want={}", b.mean());
+    }
+
+    #[test]
+    fn samples_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for b in [Beta::new(0.1, 9.0), Beta::new(1.0, 1.0), Beta::new(0.9, 2.0)] {
+            for _ in 0..500 {
+                let v = b.sample(&mut rng);
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn skewness_formula_known_values() {
+        assert_eq!(Beta::uniform().skewness(), 0.0);
+        // Symmetric: zero skew.
+        assert_eq!(Beta::new(0.5, 0.5).skewness(), 0.0);
+        // α < β: right tail, positive skew.
+        assert!(Beta::new(1.0, 5.0).skewness() > 0.0);
+        assert!(Beta::new(5.0, 1.0).skewness() < 0.0);
+    }
+
+    #[test]
+    fn with_skewness_hits_targets() {
+        for target in [0.0, 0.3, 1.0, 1.4, 3.0, 6.0, 10.0] {
+            let b = Beta::with_skewness(target);
+            assert!(
+                (b.skewness() - target).abs() < 1e-6,
+                "target={target} got={} (α={}, β={})",
+                b.skewness(),
+                b.alpha,
+                b.beta
+            );
+        }
+    }
+
+    #[test]
+    fn with_skewness_respects_paper_ranges() {
+        for target in [0.5, 1.0, 5.0, 10.0] {
+            let b = Beta::with_skewness(target);
+            assert!(b.alpha <= 1.0 && b.alpha > 0.0, "α={}", b.alpha);
+            assert!((1.0..=10.0).contains(&b.beta), "β={}", b.beta);
+        }
+    }
+
+    #[test]
+    fn empirical_skew_tracks_target() {
+        let b = Beta::with_skewness(2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..40_000).map(|_| b.sample(&mut rng)).collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let m2 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let m3 = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n;
+        let skew = m3 / m2.powf(1.5);
+        assert!((skew - 2.0).abs() < 0.15, "empirical skew {skew}");
+    }
+
+    #[test]
+    fn sample_index_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = Beta::new(0.2, 8.0);
+        for _ in 0..1000 {
+            assert!(b.sample_index(7, &mut rng) < 7);
+        }
+        assert_eq!(Beta::uniform().sample_index(1, &mut rng), 0);
+    }
+
+    #[test]
+    fn gamma_mean_is_shape() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for shape in [0.5, 1.0, 3.0] {
+            let n = 30_000;
+            let m: f64 = (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f64>() / n as f64;
+            assert!((m - shape).abs() < 0.05 * shape.max(1.0), "shape={shape} mean={m}");
+        }
+    }
+}

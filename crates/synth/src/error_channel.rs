@@ -1,0 +1,219 @@
+//! Controlled error channels for real-world relations (Appendix G).
+//!
+//! Three error types, following Arocena et al.'s BART taxonomy as adopted
+//! by the paper:
+//!
+//! * **copy** — overwrite `w|Y` with the `Y`-value of another tuple
+//!   (keeps `dom(Y)` stable),
+//! * **typo** — replace `w|Y` with one of three fixed typo variants of the
+//!   original value (introduces a bounded number of new values),
+//! * **bogus** — replace `w|Y` with a freshly generated unique value
+//!   (introduces one new value per error).
+//!
+//! To guarantee that increasing error levels never *reduce* violations, at
+//! most `⌊N_x / 2⌋` tuples are modified per `X`-group `x` (`N_x` = group
+//! size), exactly as the paper prescribes.
+
+use afd_relation::{AttrId, AttrSet, Relation, Value, NULL_CODE};
+use rand::Rng;
+
+/// The three error types of Appendix G.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorType {
+    /// Copy another tuple's `Y`-value.
+    Copy,
+    /// One of three typo variants of the original value.
+    Typo,
+    /// A globally unique bogus value.
+    Bogus,
+}
+
+impl ErrorType {
+    /// All three types, in the paper's order.
+    pub fn all() -> [ErrorType; 3] {
+        [ErrorType::Copy, ErrorType::Typo, ErrorType::Bogus]
+    }
+
+    /// Lowercase name as used in Table VIII headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorType::Copy => "copy",
+            ErrorType::Typo => "typo",
+            ErrorType::Bogus => "bogus",
+        }
+    }
+}
+
+/// Derives the `i`-th (1..=3) typo variant of a value: a string with a
+/// deterministic mangled suffix, mimicking a recurring misspelling.
+fn typo_variant(v: &Value, i: usize) -> Value {
+    Value::str(format!("{}~typo{}", v.render(), i))
+}
+
+/// Injects up to `k` errors of type `etype` into the `y` column of `rel`,
+/// respecting the per-`X`-group cap `⌊N_x/2⌋` w.r.t. the `x` column.
+/// Rows with NULL in `x` or `y` are never selected. Returns the number of
+/// cells modified (may be < `k` when the caps bind).
+pub fn inject_errors(
+    rel: &mut Relation,
+    x: AttrId,
+    y: AttrId,
+    k: usize,
+    etype: ErrorType,
+    rng: &mut impl Rng,
+) -> usize {
+    let n = rel.n_rows();
+    if n == 0 || k == 0 {
+        return 0;
+    }
+    let enc = rel.group_encode(&AttrSet::single(x));
+    // Group sizes and per-group caps.
+    let mut group_size = vec![0u32; enc.n_groups as usize];
+    for &c in &enc.codes {
+        if c != NULL_CODE {
+            group_size[c as usize] += 1;
+        }
+    }
+    let mut budget: Vec<u32> = group_size.iter().map(|&s| s / 2).collect();
+    // Candidate rows in random order.
+    let mut order: Vec<usize> = (0..n)
+        .filter(|&r| enc.codes[r] != NULL_CODE && !rel.value(r, y).is_null())
+        .collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut modified = 0usize;
+    let mut bogus_counter = 0u64;
+    for row in order {
+        if modified >= k {
+            break;
+        }
+        let g = enc.codes[row] as usize;
+        if budget[g] == 0 {
+            continue;
+        }
+        let current = rel.value(row, y);
+        let replacement = match etype {
+            ErrorType::Copy => {
+                let mut found = None;
+                for _ in 0..64 {
+                    let d = rng.gen_range(0..n);
+                    let v = rel.value(d, y);
+                    if !v.is_null() && v != current {
+                        found = Some(v);
+                        break;
+                    }
+                }
+                match found {
+                    Some(v) => v,
+                    None => continue, // (nearly) constant column
+                }
+            }
+            ErrorType::Typo => typo_variant(&current, rng.gen_range(1..=3)),
+            ErrorType::Bogus => {
+                bogus_counter += 1;
+                Value::str(format!("bogus_{row}_{bogus_counter}"))
+            }
+        };
+        rel.set_value(row, y, replacement);
+        budget[g] -= 1;
+        modified += 1;
+    }
+    modified
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_relation::Fd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A clean FD X -> Y with 10 groups of 6 rows each.
+    fn clean() -> Relation {
+        Relation::from_pairs((0..60).map(|i| (i as u64 / 6, (i as u64 / 6) % 4)))
+    }
+
+    #[test]
+    fn copy_keeps_domain_stable() {
+        let mut rel = clean();
+        let before = rel.distinct_count(&AttrSet::single(AttrId(1)));
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = inject_errors(&mut rel, AttrId(0), AttrId(1), 10, ErrorType::Copy, &mut rng);
+        assert_eq!(m, 10);
+        assert!(rel.distinct_count(&AttrSet::single(AttrId(1))) <= before);
+        assert!(!Fd::linear(AttrId(0), AttrId(1)).holds_in(&rel));
+    }
+
+    #[test]
+    fn typo_introduces_bounded_new_values() {
+        let mut rel = clean();
+        let before = rel.distinct_count(&AttrSet::single(AttrId(1)));
+        let mut rng = StdRng::seed_from_u64(2);
+        inject_errors(&mut rel, AttrId(0), AttrId(1), 12, ErrorType::Typo, &mut rng);
+        let after = rel.distinct_count(&AttrSet::single(AttrId(1)));
+        // At most 3 typo variants per original value.
+        assert!(after <= before + 3 * before);
+        assert!(after > before);
+    }
+
+    #[test]
+    fn bogus_introduces_one_new_value_per_error() {
+        let mut rel = clean();
+        let before = rel.distinct_count(&AttrSet::single(AttrId(1)));
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = inject_errors(&mut rel, AttrId(0), AttrId(1), 8, ErrorType::Bogus, &mut rng);
+        assert_eq!(m, 8);
+        assert_eq!(
+            rel.distinct_count(&AttrSet::single(AttrId(1))),
+            before + 8
+        );
+    }
+
+    #[test]
+    fn per_group_cap_binds() {
+        // 2 groups of 4 rows: cap 2 each -> at most 4 errors total.
+        let mut rel = Relation::from_pairs((0..8).map(|i| (i as u64 / 4, 0)));
+        // Give Y two values so Copy has donors.
+        rel.set_value(0, AttrId(1), Value::Int(1));
+        rel.set_value(4, AttrId(1), Value::Int(1));
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = inject_errors(&mut rel, AttrId(0), AttrId(1), 100, ErrorType::Bogus, &mut rng);
+        assert_eq!(m, 4);
+    }
+
+    #[test]
+    fn null_rows_never_selected() {
+        let mut rel = clean();
+        for r in 0..30 {
+            rel.set_value(r, AttrId(1), Value::Null);
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        inject_errors(&mut rel, AttrId(0), AttrId(1), 60, ErrorType::Bogus, &mut rng);
+        // The 30 NULLs must still be NULL.
+        assert_eq!(rel.column(AttrId(1)).null_count(), 30);
+    }
+
+    #[test]
+    fn x_column_untouched() {
+        let mut rel = clean();
+        let xs_before: Vec<_> = (0..rel.n_rows()).map(|r| rel.value(r, AttrId(0))).collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        inject_errors(&mut rel, AttrId(0), AttrId(1), 20, ErrorType::Typo, &mut rng);
+        for (r, before) in xs_before.iter().enumerate() {
+            assert_eq!(&rel.value(r, AttrId(0)), before);
+        }
+    }
+
+    #[test]
+    fn zero_k_is_noop() {
+        let mut rel = clean();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(
+            inject_errors(&mut rel, AttrId(0), AttrId(1), 0, ErrorType::Copy, &mut rng),
+            0
+        );
+        assert!(Fd::linear(AttrId(0), AttrId(1)).holds_in(&rel));
+    }
+}

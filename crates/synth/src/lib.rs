@@ -1,0 +1,35 @@
+//! # afd-synth
+//!
+//! Synthetic data generation for the AFD measure study (Section V):
+//!
+//! * [`beta`]: Beta(α, β) sampling (via Marsaglia–Tsang Gamma) and a
+//!   skewness solver — the value distributions of the paper's generator;
+//! * [`generator`]: the B⁺/B⁻ generation process — dictionary-based FDs,
+//!   independent negatives, and the copy error channel;
+//! * [`error_channel`]: the copy/typo/bogus channels of Appendix G with
+//!   the `⌊N_x/2⌋` per-group cap;
+//! * [`benchmarks`]: the ERR / UNIQ / SKEW sensitivity benchmarks with
+//!   lazy, per-step deterministic generation.
+//!
+//! ```
+//! use afd_synth::{SynthBenchmark, Axis};
+//! use afd_relation::{Fd, AttrId};
+//!
+//! let bench = SynthBenchmark { axis: Axis::ErrorRate, steps: 3,
+//!     tables_per_step: 2, rows: (100, 200), seed: 1 };
+//! let step = bench.generate_step(2); // η ≈ 10%
+//! let fd = Fd::linear(AttrId(0), AttrId(1));
+//! assert!(step.positives.iter().all(|r| !fd.holds_in(r)));
+//! ```
+
+pub mod benchmarks;
+pub mod beta;
+pub mod error_channel;
+pub mod generator;
+
+pub use benchmarks::{Axis, StepData, SynthBenchmark};
+pub use beta::{sample_gamma, Beta};
+pub use error_channel::{inject_errors, ErrorType};
+pub use generator::{
+    apply_copy_errors, generate_negative, generate_positive, sample_low_skew_beta, GenParams,
+};

@@ -1,0 +1,92 @@
+//! Data-cleaning scenario: rank the AFD candidates of a dirty table.
+//!
+//! The paper's motivating use case — a relation whose design FDs were
+//! obscured by data-entry errors. A good measure ranks the true design
+//! FDs above the accidental correlations, so a domain expert only has to
+//! inspect a handful of top candidates.
+//!
+//! ```text
+//! cargo run --example data_cleaning_ranking
+//! ```
+
+use afd::{measure_by_name, rank_linear, AttrId, Fd, Relation, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a synthetic "orders" table with two design FDs
+/// (`product -> category`, `warehouse -> region`), 1% injected errors,
+/// and several correlated-but-meaningless columns.
+fn dirty_orders(n: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::new([
+        "order_id",
+        "product",
+        "category",
+        "warehouse",
+        "region",
+        "quantity",
+    ])
+    .expect("unique names");
+    let mut rel = Relation::empty(schema);
+    for i in 0..n {
+        let product = rng.gen_range(0..60i64);
+        let mut category = product % 8; // product -> category by design
+        let warehouse = rng.gen_range(0..12i64);
+        let mut region = warehouse % 4; // warehouse -> region by design
+        // 1% data-entry errors on each derived column.
+        if rng.gen::<f64>() < 0.01 {
+            category = rng.gen_range(0..8);
+        }
+        if rng.gen::<f64>() < 0.01 {
+            region = rng.gen_range(0..4);
+        }
+        let quantity = rng.gen_range(1..20i64);
+        rel.push_row([
+            Value::Int(i as i64),
+            Value::Int(product),
+            Value::Int(category),
+            Value::Int(warehouse),
+            Value::Int(region),
+            Value::Int(quantity),
+        ])
+        .expect("arity matches");
+    }
+    rel
+}
+
+fn main() {
+    let rel = dirty_orders(5000, 7);
+    let design = [
+        Fd::linear(AttrId(1), AttrId(2)), // product -> category
+        Fd::linear(AttrId(3), AttrId(4)), // warehouse -> region
+    ];
+    println!("design FDs obscured by errors:");
+    for fd in &design {
+        println!(
+            "  {}   (holds exactly: {})",
+            fd.display(rel.schema()),
+            fd.holds_in(&rel)
+        );
+    }
+
+    for name in ["mu+", "g3"] {
+        let measure = measure_by_name(name).expect("registered measure");
+        let ranked = rank_linear(&rel, measure.as_ref());
+        println!("\ntop 5 candidates by {name}:");
+        for (i, d) in ranked.iter().take(5).enumerate() {
+            let marker = if design.contains(&d.fd) { "  <- design FD" } else { "" };
+            println!(
+                "  {}. {:<28} {:.4}{marker}",
+                i + 1,
+                d.fd.display(rel.schema()).to_string(),
+                d.score
+            );
+        }
+        let worst_rank = design
+            .iter()
+            .map(|fd| ranked.iter().position(|d| &d.fd == fd).map_or(usize::MAX, |p| p + 1))
+            .max()
+            .expect("two design FDs");
+        println!("  -> all design FDs recovered within the top {worst_rank}");
+    }
+}

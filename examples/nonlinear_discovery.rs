@@ -1,0 +1,68 @@
+//! Non-linear AFD discovery: find a composite-key dependency
+//! `(airline, flight_no) -> destination` that no single attribute
+//! explains.
+//!
+//! The paper's conclusion motivates exactly this: as the LHS grows,
+//! LHS-uniqueness tends to 1, so only the uniqueness-insensitive
+//! measures (g3', RFI'+, mu+) are safe to use in a lattice search.
+//!
+//! ```text
+//! cargo run --release --example nonlinear_discovery
+//! ```
+
+use afd::{discover_all, measure_by_name, LatticeConfig, Relation, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn flights(n: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema =
+        Schema::new(["airline", "flight_no", "destination", "gate", "delay"]).expect("unique");
+    let mut rel = Relation::empty(schema);
+    for _ in 0..n {
+        let airline = rng.gen_range(0..6i64);
+        let flight_no = rng.gen_range(0..40i64);
+        // destination is determined by (airline, flight_no)...
+        let mut destination = (airline * 131 + flight_no * 17) % 25;
+        // ...except for 1% schedule-change errors.
+        if rng.gen::<f64>() < 0.01 {
+            destination = rng.gen_range(0..25);
+        }
+        let gate = rng.gen_range(0..30i64);
+        let delay = rng.gen_range(0..90i64);
+        rel.push_row([
+            Value::Int(airline),
+            Value::Int(flight_no),
+            Value::Int(destination),
+            Value::Int(gate),
+            Value::Int(delay),
+        ])
+        .expect("arity");
+    }
+    rel
+}
+
+fn main() {
+    let rel = flights(6000, 4);
+    println!(
+        "searching for minimal AFDs with |LHS| <= 2, epsilon = 0.9, measure = mu+ ...\n"
+    );
+    let measure = measure_by_name("mu+").expect("registered");
+    let cfg = LatticeConfig {
+        max_lhs: 2,
+        epsilon: 0.9,
+    };
+    let found = discover_all(&rel, measure.as_ref(), cfg);
+    if found.is_empty() {
+        println!("no AFDs found — try lowering epsilon");
+    }
+    for d in &found {
+        println!("  {:<44} score {:.4}", d.fd.display(rel.schema()).to_string(), d.score);
+    }
+    println!(
+        "\nThe composite dependency (airline,flight_no) -> destination is\n\
+         found despite the injected errors; neither airline nor flight_no\n\
+         alone determines the destination, and exact FD discovery would\n\
+         miss it entirely."
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: score one candidate FD under all 14 measures.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use afd::{all_measures, read_csv, AttrId, Fd};
+
+fn main() {
+    // A small dirty table: `zip` determines `city` by design, but row 6
+    // has a data-entry error and row 7 a missing city.
+    let csv = "\
+zip,city,customer
+94110,San Francisco,alice
+94110,San Francisco,bob
+94110,San Francisco,carol
+10001,New York,dan
+10001,New York,erin
+10001,Newyork,frank
+73301,,grace
+73301,Austin,heidi
+";
+    let rel = read_csv(csv.as_bytes()).expect("well-formed CSV");
+    let zip_city = Fd::linear(AttrId(0), AttrId(1));
+
+    println!("relation: {} rows, {} attributes", rel.n_rows(), rel.arity());
+    println!(
+        "zip -> city holds exactly? {}  (row 6 has a typo)",
+        zip_city.holds_in(&rel)
+    );
+    println!("\n{:<8} {:>8}   class", "measure", "score");
+    println!("{}", "-".repeat(34));
+    for m in all_measures() {
+        let score = m.score(&rel, &zip_city);
+        println!("{:<8} {:>8.4}   {}", m.name(), score, m.class());
+    }
+    println!(
+        "\nAll measures score in [0, 1]; 1 means the FD holds exactly.\n\
+         The paper's recommendation for AFD discovery is mu+ — as robust\n\
+         as RFI'+ but cheap to compute."
+    );
+}

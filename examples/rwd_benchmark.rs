@@ -1,0 +1,49 @@
+//! Evaluate all measures on one relation of the simulated RWD benchmark
+//! and report AUC-PR plus rank-at-max-recall — a single-relation slice of
+//! the paper's Figure 2.
+//!
+//! ```text
+//! cargo run --release --example rwd_benchmark
+//! ```
+
+use afd::eval::{auc_pr, rank_at_max_recall, violated_candidates, Labeled};
+use afd::{all_measures, RwdBenchmark};
+
+fn main() {
+    // dblp10k (R3): the "challenging" relation — near-key trap columns
+    // give violation-style measures a hard time.
+    let bench = RwdBenchmark::generate_scaled(0.01, 42);
+    let r3 = &bench.relations[2];
+    println!(
+        "relation {}: {} rows, {} attributes, {} PFDs, {} AFDs (ground truth)",
+        r3.name,
+        r3.relation.n_rows(),
+        r3.relation.arity(),
+        r3.pfds.len(),
+        r3.afds.len()
+    );
+    let cands = violated_candidates(&r3.relation);
+    println!("violated candidate FDs: {}\n", cands.len());
+
+    println!("{:<8} {:>8} {:>8}", "measure", "AUC-PR", "r@mr");
+    println!("{}", "-".repeat(28));
+    for m in all_measures() {
+        // The slow measures are fine here: one relation at 1% scale.
+        let labels: Vec<Labeled> = cands
+            .iter()
+            .map(|fd| Labeled::new(m.score(&r3.relation, fd), r3.afds.contains(fd)))
+            .collect();
+        println!(
+            "{:<8} {:>8.3} {:>8}",
+            m.name(),
+            auc_pr(&labels),
+            rank_at_max_recall(&labels)
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 2): g3', RFI'+ and mu+ reach optimal\n\
+         rank-at-max-recall ({} here); the LHS-uniqueness-sensitive measures\n\
+         (rho, g2, g3, FI, pdep, tau, g1) are trapped by the near-key columns.",
+        r3.afds.len()
+    );
+}

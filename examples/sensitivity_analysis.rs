@@ -1,0 +1,48 @@
+//! Miniature Figure 1: how measure separation reacts to error rate,
+//! LHS-uniqueness and RHS-skew.
+//!
+//! Runs a reduced ERR / UNIQ / SKEW sweep and prints δ(f, B) for a
+//! representative measure of each class plus the two measures the paper
+//! singles out as having no distinguishing power (g1, SFI).
+//!
+//! ```text
+//! cargo run --release --example sensitivity_analysis
+//! ```
+
+use afd::eval::sensitivity_sweep;
+use afd::{measure_by_name, Axis, SynthBenchmark};
+
+fn main() {
+    let measures: Vec<_> = ["g3'", "FI", "mu+", "g1", "SFI"]
+        .into_iter()
+        .map(|n| measure_by_name(n).expect("registered"))
+        .collect();
+    for axis in [Axis::ErrorRate, Axis::LhsUniqueness, Axis::RhsSkew] {
+        let bench = SynthBenchmark {
+            axis,
+            steps: 6,
+            tables_per_step: 6,
+            rows: (200, 800),
+            seed: 99,
+        };
+        let sweep = sensitivity_sweep(&bench, &measures, 4);
+        println!("\nseparation on {} (higher = better discrimination):", axis.name());
+        print!("{:>10}", "param");
+        for m in &measures {
+            print!("{:>8}", m.name());
+        }
+        println!();
+        for step in &sweep {
+            print!("{:>10.3}", step.param);
+            for m in 0..measures.len() {
+                print!("{:>8.3}", step.separation(m));
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nReadings (paper Section V): g1 and SFI hover near zero everywhere;\n\
+         FI's separation decays as LHS-uniqueness grows; g3' decays as\n\
+         RHS-skew grows; mu+ stays high on all three axes."
+    );
+}

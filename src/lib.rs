@@ -1,0 +1,59 @@
+//! # afd
+//!
+//! A production-quality Rust implementation of
+//! **"Measuring Approximate Functional Dependencies: A Comparative
+//! Study"** (Parciak et al., ICDE 2024): the 14 AFD measures, the
+//! substrates they need, discovery algorithms built on them, and the full
+//! experiment suite regenerating every table and figure of the paper.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`relation`] | `afd-relation` | bag relations, contingency tables, PLIs, CSV, NULLs |
+//! | [`entropy`] | `afd-entropy` | Shannon/logical entropy, permutation-null expectations |
+//! | [`measures`] | `afd-core` | the 14 measures behind the [`Measure`] trait |
+//! | [`synth`] | `afd-synth` | Beta-distributed generators, error channels, ERR/UNIQ/SKEW |
+//! | [`rwd`] | `afd-rwd` | the simulated real-world benchmark (RWD / RWDe) |
+//! | [`eval`] | `afd-eval` | PR/AUC, rank-at-max-recall, separation, budgets |
+//! | [`discovery`] | `afd-discovery` | threshold + lattice (non-linear) AFD discovery |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use afd::{Relation, Fd, AttrId, MuPlus, Measure};
+//!
+//! // zip -> city, with one typo in row 5.
+//! let rel = Relation::from_pairs([
+//!     (94110, 1), (94110, 1), (94110, 1),
+//!     (10001, 2), (10001, 2), (10001, 9),
+//! ]);
+//! let fd = Fd::linear(AttrId(0), AttrId(1));
+//! assert!(!fd.holds_in(&rel));                  // not an exact FD...
+//! let score = MuPlus.score(&rel, &fd);          // ...but a strong AFD
+//! assert!(score > 0.5);
+//! ```
+//!
+//! The paper's practical recommendation is [`MuPlus`] (`µ⁺`): as robust
+//! as the best-ranking measure (`RFI′⁺`) but orders of magnitude faster.
+
+pub use afd_core as measures;
+pub use afd_discovery as discovery;
+pub use afd_entropy as entropy;
+pub use afd_eval as eval;
+pub use afd_relation as relation;
+pub use afd_rwd as rwd;
+pub use afd_synth as synth;
+
+// The most common names, flattened for convenience.
+pub use afd_core::{
+    all_measures, fast_measures, measure_by_name, Fi, G1Prime, G1S, Measure, MeasureClass,
+    MuPlus, Pdep, RfiPlus, RfiPrimePlus, Rho, Sfi, Tau, G1, G2, G3, G3Prime,
+};
+pub use afd_discovery::{discover_all, discover_linear, rank_linear, LatticeConfig};
+pub use afd_eval::{auc_pr, rank_at_max_recall, violated_candidates, Labeled};
+pub use afd_relation::{
+    read_csv, write_csv, AttrId, AttrSet, ContingencyTable, Fd, Relation, Schema, Value,
+};
+pub use afd_rwd::RwdBenchmark;
+pub use afd_synth::{Axis, Beta, ErrorType, SynthBenchmark};

@@ -1,0 +1,103 @@
+//! Cross-crate integration tests: CSV → relation → measures → discovery,
+//! and the synthetic/RWD pipelines end to end.
+
+use afd::eval::{auc_pr, violated_candidates, Labeled};
+use afd::{
+    all_measures, discover_linear, measure_by_name, read_csv, rank_linear, write_csv, AttrId,
+    Fd, MuPlus, RwdBenchmark,
+};
+
+const DIRTY_CSV: &str = "\
+zip,city,state
+94110,SF,CA
+94110,SF,CA
+94110,SF,CA
+94110,Oakland,CA
+10001,NY,NY
+10001,NY,NY
+10001,NY,
+73301,Austin,TX
+73301,Austin,TX
+";
+
+#[test]
+fn csv_to_scores_pipeline() {
+    let rel = read_csv(DIRTY_CSV.as_bytes()).expect("parse");
+    assert_eq!(rel.n_rows(), 9);
+    let zip_city = Fd::linear(AttrId(0), AttrId(1));
+    assert!(!zip_city.holds_in(&rel));
+    for m in all_measures() {
+        let s = m.score(&rel, &zip_city);
+        assert!((0.0..1.0).contains(&s), "{} scored {s}", m.name());
+    }
+    // zip -> state holds exactly (the NULL row is dropped).
+    let zip_state = Fd::linear(AttrId(0), AttrId(2));
+    assert!(zip_state.holds_in(&rel));
+    for m in all_measures() {
+        assert_eq!(m.score(&rel, &zip_state), 1.0, "{}", m.name());
+    }
+}
+
+#[test]
+fn csv_roundtrip_preserves_scores() {
+    let rel = read_csv(DIRTY_CSV.as_bytes()).expect("parse");
+    let mut buf = Vec::new();
+    write_csv(&rel, &mut buf).expect("write");
+    let back = read_csv(buf.as_slice()).expect("reparse");
+    let fd = Fd::linear(AttrId(0), AttrId(1));
+    for m in all_measures() {
+        assert_eq!(m.score(&rel, &fd), m.score(&back, &fd), "{}", m.name());
+    }
+}
+
+#[test]
+fn discovery_agrees_with_manual_ranking() {
+    let rel = read_csv(DIRTY_CSV.as_bytes()).expect("parse");
+    let ranked = rank_linear(&rel, &MuPlus);
+    let discovered = discover_linear(&rel, &MuPlus, 0.3);
+    // Discovery is exactly the ranking truncated at the threshold.
+    let expected: Vec<_> = ranked.iter().filter(|d| d.score >= 0.3).collect();
+    assert_eq!(discovered.len(), expected.len());
+    for (d, e) in discovered.iter().zip(expected) {
+        assert_eq!(d.fd, e.fd);
+        assert_eq!(d.score, e.score);
+    }
+    // And never returns satisfied FDs.
+    for d in &discovered {
+        assert!(!d.fd.holds_in(&rel));
+    }
+}
+
+#[test]
+fn rwd_pipeline_recovers_ground_truth_with_good_measures() {
+    let bench = RwdBenchmark::generate_scaled(0.005, 123);
+    let mu = measure_by_name("mu+").expect("registered");
+    for rel in bench.relations.iter().filter(|r| !r.afds.is_empty()) {
+        let cands = violated_candidates(&rel.relation);
+        // Every ground-truth AFD must be in the candidate space.
+        for afd in &rel.afds {
+            assert!(cands.contains(afd), "{}: AFD missing", rel.name);
+        }
+        let labels: Vec<Labeled> = cands
+            .iter()
+            .map(|fd| Labeled::new(mu.score(&rel.relation, fd), rel.afds.contains(fd)))
+            .collect();
+        let auc = auc_pr(&labels);
+        assert!(
+            auc > 0.6,
+            "{}: mu+ AUC {auc} too low on simulated RWD",
+            rel.name
+        );
+    }
+}
+
+#[test]
+fn exact_fds_are_invisible_to_discovery_but_present_in_data() {
+    let bench = RwdBenchmark::generate_scaled(0.005, 9);
+    let dblp = &bench.relations[2];
+    let cands = violated_candidates(&dblp.relation);
+    for pfd in &dblp.pfds {
+        assert!(pfd.holds_in(&dblp.relation));
+        assert!(!cands.contains(pfd), "satisfied FD leaked into candidates");
+    }
+}
