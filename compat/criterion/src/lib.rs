@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Offers the macro and builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`) backed by a plain wall-clock
+//! harness: each benchmark is warmed up, then timed over
+//! `sample_size` samples of adaptively chosen iteration counts, and the
+//! per-iteration median / min / mean are printed one line per benchmark.
+//!
+//! Environment knobs:
+//! * `BENCH_SAMPLE_MS` — target milliseconds per sample (default 10).
+//! * `BENCH_JSON` — when set to a path, appends one JSON object per
+//!   benchmark (`{"id": ..., "median_ns": ..., ...}`) for scripting.
+
+use std::fmt::Display;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A parameterless id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs the timing loop for one benchmark.
+pub struct Bencher<'a> {
+    samples: usize,
+    results: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, keeping its result alive via `black_box`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let sample_target = sample_target();
+        // Warm up and size the per-sample iteration count.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let iters = (sample_target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.results.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn sample_target() -> Duration {
+    let ms = std::env::var("BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10u64);
+    Duration::from_millis(ms)
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Times `f` with access to `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let mut results = Vec::with_capacity(self.sample_size);
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: &mut results,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, &mut results);
+        self
+    }
+
+    /// Times a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut results = Vec::with_capacity(self.sample_size);
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: &mut results,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, &mut results);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{group}/{id:<40} median {:>12} min {:>12} mean {:>12} ({} samples)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(mean),
+        samples.len()
+    );
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"id\": \"{group}/{id}\", \"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}",
+                median.as_nanos(),
+                min.as_nanos(),
+                mean.as_nanos(),
+                samples.len()
+            );
+        }
+    }
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Times a stand-alone benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group runner function calling each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;

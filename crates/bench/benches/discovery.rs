@@ -14,7 +14,11 @@ fn wide_relation(n: usize) -> Relation {
         (0..n).map(|i| {
             let a = i % 8;
             let b = (i / 8) % 9;
-            let c = if i % 211 == 17 { 999 } else { (a * 3 + b * 5) % 13 };
+            let c = if i % 211 == 17 {
+                999
+            } else {
+                (a * 3 + b * 5) % 13
+            };
             let d = (i * 7) % 23;
             let e = (i * 13) % 5;
             let f = i % 31;
@@ -48,14 +52,41 @@ fn bench_lattice(c: &mut Criterion) {
             max_lhs,
             epsilon: 0.85,
         };
-        group.bench_with_input(
-            BenchmarkId::new("g3_prime", max_lhs),
-            &rel,
-            |b, r| b.iter(|| black_box(discover_for_rhs(r, AttrId(2), &G3Prime, cfg))),
-        );
+        group.bench_with_input(BenchmarkId::new("g3_prime", max_lhs), &rel, |b, r| {
+            b.iter(|| black_box(discover_for_rhs(r, AttrId(2), &G3Prime, cfg)))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_linear, bench_lattice);
+/// End-to-end non-linear discovery over every RHS attribute, sequential
+/// vs parallel, up to the 65 536-row fixture.
+fn bench_discover_all(c: &mut Criterion) {
+    use afd_discovery::discover_all_threaded;
+    let mut group = c.benchmark_group("discovery_all");
+    group.sample_size(10);
+    for &n in &[8192usize, 65_536] {
+        let rel = wide_relation(n);
+        let cfg = LatticeConfig {
+            max_lhs: 2,
+            epsilon: 0.85,
+        };
+        group.bench_with_input(BenchmarkId::new("sequential", n), &rel, |b, r| {
+            b.iter(|| black_box(discover_all_threaded(r, &G3Prime, cfg, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &rel, |b, r| {
+            b.iter(|| {
+                black_box(discover_all_threaded(
+                    r,
+                    &G3Prime,
+                    cfg,
+                    afd_parallel::max_threads(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linear, bench_lattice, bench_discover_all);
 criterion_main!(benches);

@@ -23,11 +23,9 @@ fn bench_measures(c: &mut Criterion) {
             if !m.properties().efficiently_computable && n > 1024 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(m.name(), n),
-                &table,
-                |b, t| b.iter(|| black_box(m.score_contingency(black_box(t)))),
-            );
+            group.bench_with_input(BenchmarkId::new(m.name(), n), &table, |b, t| {
+                b.iter(|| black_box(m.score_contingency(black_box(t))))
+            });
         }
     }
     group.finish();

@@ -84,8 +84,7 @@ impl RelationEval {
         subset
             .iter()
             .filter_map(|&i| {
-                self.runs[m].scores[i]
-                    .map(|s| Labeled::new(s, self.candidates[i].positive))
+                self.runs[m].scores[i].map(|s| Labeled::new(s, self.candidates[i].positive))
             })
             .collect()
     }
@@ -167,12 +166,7 @@ fn evaluate_relation(
         &records.iter().map(|r| r.fd.clone()).collect::<Vec<_>>(),
     );
     let mut order: Vec<usize> = (0..records.len()).collect();
-    order.sort_by_key(|&i| {
-        (
-            !records[i].positive,
-            expected_mi_cost(&tables_tmp[i]),
-        )
-    });
+    order.sort_by_key(|&i| (!records[i].positive, expected_mi_cost(&tables_tmp[i])));
     records = order.iter().map(|&i| records[i].clone()).collect();
     let tables: Vec<_> = order.into_iter().map(|i| tables_tmp[i].clone()).collect();
 

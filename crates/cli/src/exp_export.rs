@@ -28,12 +28,22 @@ pub fn export_rwd(cfg: &Config) {
         let file = fs::File::create(&path).expect("create csv");
         write_csv(&rel.relation, std::io::BufWriter::new(file)).expect("write csv");
         for fd in &rel.pfds {
-            writeln!(manifest, "{} PFD {}", rel.name, fd.display(rel.relation.schema()))
-                .expect("write manifest");
+            writeln!(
+                manifest,
+                "{} PFD {}",
+                rel.name,
+                fd.display(rel.relation.schema())
+            )
+            .expect("write manifest");
         }
         for fd in &rel.afds {
-            writeln!(manifest, "{} AFD {}", rel.name, fd.display(rel.relation.schema()))
-                .expect("write manifest");
+            writeln!(
+                manifest,
+                "{} AFD {}",
+                rel.name,
+                fd.display(rel.relation.schema())
+            )
+            .expect("write manifest");
         }
         println!(
             "[written {} — {} rows, {} attrs]",

@@ -32,9 +32,7 @@ pub fn nonlinear(cfg: &Config) {
         max_lhs: 2,
         epsilon: 0.9,
     };
-    let mut table = TextTable::new([
-        "relation", "measure", "emitted", "design", "spurious",
-    ]);
+    let mut table = TextTable::new(["relation", "measure", "emitted", "design", "spurious"]);
     // Relations with ground-truth AFDs and manageable arity.
     for rel in bench
         .relations
@@ -48,9 +46,9 @@ pub fn nonlinear(cfg: &Config) {
             let design = found
                 .iter()
                 .filter(|d| {
-                    rel.afds.iter().any(|afd| {
-                        afd.rhs() == d.fd.rhs() && afd.lhs().is_subset(d.fd.lhs())
-                    })
+                    rel.afds
+                        .iter()
+                        .any(|afd| afd.rhs() == d.fd.rhs() && afd.lhs().is_subset(d.fd.lhs()))
                 })
                 .count();
             table.row([
@@ -86,7 +84,11 @@ pub fn mc_rfi(cfg: &Config) {
             axis,
             steps: 5,
             tables_per_step: if cfg.paper_scale { 50 } else { 6 },
-            rows: if cfg.paper_scale { (100, 10_000) } else { (200, 900) },
+            rows: if cfg.paper_scale {
+                (100, 10_000)
+            } else {
+                (200, 900)
+            },
             seed: cfg.seed,
         };
         let sweep = sensitivity_sweep(&bench, &measures, cfg.threads);
@@ -100,9 +102,7 @@ pub fn mc_rfi(cfg: &Config) {
             ]);
         }
     }
-    println!(
-        "\n== Extension — Monte-Carlo RFI' (32 samples) tracks exact RFI'+ ==",
-    );
+    println!("\n== Extension — Monte-Carlo RFI' (32 samples) tracks exact RFI'+ ==",);
     table.print();
     let path = cfg.out_dir.join("ext_mc_rfi.csv");
     table.write_csv(&path).expect("write csv");

@@ -99,8 +99,8 @@ pub fn parse_profile_args(args: &[String]) -> Result<ProfileOptions, String> {
 pub fn profile(opts: &ProfileOptions) -> Result<(), String> {
     let file = File::open(&opts.path).map_err(|e| format!("{}: {e}", opts.path))?;
     let rel = read_csv(BufReader::new(file)).map_err(|e| e.to_string())?;
-    let measure =
-        measure_by_name(&opts.measure).ok_or_else(|| format!("unknown measure {}", opts.measure))?;
+    let measure = measure_by_name(&opts.measure)
+        .ok_or_else(|| format!("unknown measure {}", opts.measure))?;
     let schema = rel.schema().clone();
     println!(
         "{}: {} rows x {} attributes",
@@ -158,7 +158,11 @@ pub fn profile(opts: &ProfileOptions) -> Result<(), String> {
             opts.max_lhs, opts.measure, opts.epsilon
         );
         for d in nonlinear.iter().take(opts.top) {
-            println!("  {:<40} {}", d.fd.display(&schema).to_string(), f3(d.score));
+            println!(
+                "  {:<40} {}",
+                d.fd.display(&schema).to_string(),
+                f3(d.score)
+            );
         }
         if nonlinear.is_empty() {
             println!("  (none)");
@@ -178,7 +182,15 @@ mod tests {
     #[test]
     fn parses_positional_and_flags() {
         let o = parse_profile_args(&args(&[
-            "data.csv", "--measure", "g3'", "--epsilon", "0.8", "--top", "5", "--max-lhs", "2",
+            "data.csv",
+            "--measure",
+            "g3'",
+            "--epsilon",
+            "0.8",
+            "--top",
+            "5",
+            "--max-lhs",
+            "2",
         ]))
         .unwrap();
         assert_eq!(o.path, "data.csv");

@@ -12,7 +12,9 @@ use crate::render::{f3, pct, TextTable};
 /// filter).
 pub fn table2(cfg: &Config, eval: &RwdEval) {
     let g3 = measure_by_name("g3").expect("registered");
-    let mut table = TextTable::new(["relation", "#rows", "#attrs", "#cand", "#insp", "#PFD", "#AFD"]);
+    let mut table = TextTable::new([
+        "relation", "#rows", "#attrs", "#cand", "#insp", "#PFD", "#AFD",
+    ]);
     // Recompute g3 per candidate (cheap) to count inspectables.
     let bench = afd_rwd::RwdBenchmark::generate_scaled(cfg.scale, cfg.seed);
     for (r, base) in eval.relations.iter().zip(&bench.relations) {
@@ -33,7 +35,10 @@ pub fn table2(cfg: &Config, eval: &RwdEval) {
             r.n_afd.to_string(),
         ]);
     }
-    println!("\n== Table II — RWD overview (simulated, scale {}) ==", cfg.scale);
+    println!(
+        "\n== Table II — RWD overview (simulated, scale {}) ==",
+        cfg.scale
+    );
     table.print();
     let path = cfg.out_dir.join("table2.csv");
     table.write_csv(&path).expect("write csv");
@@ -92,10 +97,18 @@ pub fn fig2b(cfg: &Config, eval: &RwdEval) {
         .filter(|&ri| eval.relations[ri].has_positives())
         .collect();
     let mut header = vec!["measure".to_string()];
-    header.extend(with_pos.iter().map(|&ri| eval.relations[ri].name.to_string()));
+    header.extend(
+        with_pos
+            .iter()
+            .map(|&ri| eval.relations[ri].name.to_string()),
+    );
     let mut table = TextTable::new(header);
     let mut first = vec!["AFD(R)".to_string()];
-    first.extend(with_pos.iter().map(|&ri| eval.relations[ri].n_afd.to_string()));
+    first.extend(
+        with_pos
+            .iter()
+            .map(|&ri| eval.relations[ri].n_afd.to_string()),
+    );
     table.row(first);
     for (m, name) in eval.measure_names.iter().enumerate() {
         let mut row = vec![name.to_string()];
@@ -280,7 +293,10 @@ pub fn table7(cfg: &Config, eval: &RwdEval) {
     table.row(summary_row("tuples", &tuples));
     table.row(summary_row("lhs_uniqueness", &uniq));
     table.row(summary_row("rhs_skew", &skew));
-    println!("\n== Table VII — candidates outside RWD- ({} candidates) ==", tuples.len());
+    println!(
+        "\n== Table VII — candidates outside RWD- ({} candidates) ==",
+        tuples.len()
+    );
     table.print();
     let path = cfg.out_dir.join("table7.csv");
     table.write_csv(&path).expect("write csv");

@@ -111,10 +111,7 @@ pub fn tables_8_and_9(cfg: &Config) {
     let wins: Vec<(ErrorType, Vec<usize>, usize)> = ranks_by_type
         .iter()
         .map(|(t, ranks)| {
-            let counted = ranks
-                .iter()
-                .filter(|r| r.iter().any(|&x| x > 0))
-                .count();
+            let counted = ranks.iter().filter(|r| r.iter().any(|&x| x > 0)).count();
             (*t, winning_numbers(ranks), counted.max(1))
         })
         .collect();

@@ -44,7 +44,9 @@ pub fn fig1(cfg: &Config) {
         }
         println!("\n== Figure 1 — separation on {} ==", axis.name());
         table.print();
-        let path = cfg.out_dir.join(format!("fig1_{}.csv", axis.name().to_lowercase()));
+        let path = cfg
+            .out_dir
+            .join(format!("fig1_{}.csv", axis.name().to_lowercase()));
         table.write_csv(&path).expect("write csv");
         println!("[written {}]", path.display());
     }
@@ -71,7 +73,9 @@ pub fn fig3(cfg: &Config) {
         }
         println!("\n== Figure 3 — average values on {} ==", axis.name());
         table.print();
-        let path = cfg.out_dir.join(format!("fig3_{}.csv", axis.name().to_lowercase()));
+        let path = cfg
+            .out_dir
+            .join(format!("fig3_{}.csv", axis.name().to_lowercase()));
         table.write_csv(&path).expect("write csv");
         println!("[written {}]", path.display());
     }

@@ -31,7 +31,12 @@ pub fn table3(cfg: &Config, eval: &RwdEval) {
             p.considered_in.to_string(),
             measure.class().tag().to_string(),
             if p.has_baselines { "yes" } else { "no" }.to_string(),
-            if p.efficiently_computable { "yes" } else { "no" }.to_string(),
+            if p.efficiently_computable {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             p.inverse_to_error.symbol().to_string(),
             p.insensitive_lhs_uniqueness.symbol().to_string(),
             p.insensitive_rhs_skew.symbol().to_string(),

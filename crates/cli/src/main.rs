@@ -67,7 +67,9 @@ fn parse_flags(args: &[String]) -> Result<Config, String> {
             "--scale" => cfg.scale = take(&mut i)?.parse().map_err(|e| format!("--scale: {e}"))?,
             "--seed" => cfg.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--threads" => {
-                cfg.threads = take(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?
+                cfg.threads = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
             }
             "--budget-ms" => {
                 cfg.budget = Duration::from_millis(
@@ -96,9 +98,9 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if cmd == "profile" {
-        return match exp_profile::parse_profile_args(&args[1..]).and_then(|o| {
-            exp_profile::profile(&o)
-        }) {
+        return match exp_profile::parse_profile_args(&args[1..])
+            .and_then(|o| exp_profile::profile(&o))
+        {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -117,8 +119,19 @@ fn main() -> ExitCode {
     // `table9` is produced by the same grid run as `table8`.
     let commands: Vec<&str> = if cmd == "all" {
         vec![
-            "table2", "fig1", "fig3", "fig2a", "fig2b", "fig2c", "fig4", "table3", "table5",
-            "table7", "table8", "nonlinear", "mc-rfi",
+            "table2",
+            "fig1",
+            "fig3",
+            "fig2a",
+            "fig2b",
+            "fig2c",
+            "fig4",
+            "table3",
+            "table5",
+            "table7",
+            "table8",
+            "nonlinear",
+            "mc-rfi",
         ]
     } else {
         vec![cmd]

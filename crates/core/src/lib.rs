@@ -48,5 +48,5 @@ pub use extensions::{extended_measures, RfiMcPlus};
 pub use logical_measures::{G1Prime, MuPlus, Pdep, Tau, G1};
 pub use measure::{Measure, MeasureClass, MeasureProperties, Tribool};
 pub use registry::{all_measures, fast_measures, measure_by_name};
-pub use shannon_measures::{sfi_closed_form, Fi, G1S, RfiPlus, RfiPrimePlus, Sfi};
-pub use violation::{G2, G3, G3Prime, Rho};
+pub use shannon_measures::{sfi_closed_form, Fi, RfiPlus, RfiPrimePlus, Sfi, G1S};
+pub use violation::{G3Prime, Rho, G2, G3};

@@ -2,8 +2,8 @@
 
 use crate::logical_measures::{G1Prime, MuPlus, Pdep, Tau, G1};
 use crate::measure::Measure;
-use crate::shannon_measures::{Fi, G1S, RfiPlus, RfiPrimePlus, Sfi};
-use crate::violation::{G2, G3, G3Prime, Rho};
+use crate::shannon_measures::{Fi, RfiPlus, RfiPrimePlus, Sfi, G1S};
+use crate::violation::{G3Prime, Rho, G2, G3};
 
 /// All 14 measures in Table III column order:
 /// ρ, g2, g3, g3′, g1ˢ, FI, RFI⁺, RFI′⁺, SFI(0.5), g1, g1′, pdep, τ, µ⁺.
@@ -58,8 +58,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "rho", "g2", "g3", "g3'", "g1S", "FI", "RFI+", "RFI'+", "SFI", "g1", "g1'",
-                "pdep", "tau", "mu+"
+                "rho", "g2", "g3", "g3'", "g1S", "FI", "RFI+", "RFI'+", "SFI", "g1", "g1'", "pdep",
+                "tau", "mu+"
             ]
         );
     }

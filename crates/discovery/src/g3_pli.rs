@@ -74,10 +74,7 @@ mod tests {
         let lhs = AttrSet::new([AttrId(0), AttrId(1)]);
         let pli = Pli::from_relation(&r, &lhs);
         let fast = g3_from_pli(&r, &pli, AttrId(2));
-        let slow = G3.score(
-            &r,
-            &Fd::new(lhs, AttrSet::single(AttrId(2))).unwrap(),
-        );
+        let slow = G3.score(&r, &Fd::new(lhs, AttrSet::single(AttrId(2))).unwrap());
         assert!((fast - slow).abs() < 1e-12);
     }
 }

@@ -14,12 +14,32 @@
 //! * it was emitted as an AFD (supersets are non-minimal), or
 //! * the level limit is reached.
 //!
-//! Partitions are maintained as PLIs and refined attribute by attribute;
-//! scores come from the contingency table of (LHS group codes, RHS
-//! codes).
+//! ## Performance architecture
+//!
+//! Node partitions are dense per-row group codes refined attribute by
+//! attribute through `afd-relation`'s pair-code kernel
+//! ([`combine_codes_with`]) — no hash maps, no per-row key clones — and
+//! scored via the scratch contingency kernel
+//! ([`ContingencyTable::from_codes_with`]).
+//!
+//! The search is *level-synchronous parallel*: every candidate of a
+//! level is generated sequentially (so pruning and ordering are
+//! deterministic), then evaluated across worker threads, each with its
+//! own kernel [`Scratch`]. Because all candidates of a level have the
+//! same LHS size, a same-level emission can never subsume another
+//! same-level candidate (a subset of equal cardinality would be equal,
+//! and canonical prefix-extension generates every set exactly once), so
+//! evaluating a level in parallel is exactly equivalent to the
+//! sequential left-to-right sweep — [`discover_for_rhs_threaded`]
+//! returns identical output for every thread count.
+//!
+//! Minimality ("no emitted LHS is a subset of the candidate") is decided
+//! by a [`SubsetIndex`] — emitted sets as bitmasks bucketed by lowest
+//! attribute — instead of a linear scan over everything emitted so far.
 
 use afd_core::Measure;
-use afd_relation::{AttrId, AttrSet, ContingencyTable, Fd, Relation};
+use afd_parallel::{max_threads, par_map_with};
+use afd_relation::{combine_codes_with, AttrId, AttrSet, ContingencyTable, Fd, Relation, Scratch};
 
 use crate::threshold::Discovered;
 
@@ -41,13 +61,111 @@ impl Default for LatticeConfig {
     }
 }
 
+/// An open lattice node: an LHS attribute set with its dense per-row
+/// partition codes (NULL_CODE for dropped rows).
 struct Node {
     attrs: AttrSet,
-    /// Per-row group codes of the LHS (dense, NULL_CODE for NULL rows).
     codes: Vec<u32>,
+    n_groups: u32,
 }
 
-/// Discovers minimal non-linear AFDs `X -> rhs` with `|X| ≤ max_lhs`.
+/// Index over emitted LHS sets answering "is any emitted set a subset
+/// of this candidate?" without scanning every emission.
+///
+/// Sets are stored as `u64` bitmasks bucketed by their smallest
+/// attribute: a subset of the candidate must have its smallest attribute
+/// inside the candidate, so only the candidate's own attribute buckets
+/// are probed. Relations wider than 64 attributes fall back to a linear
+/// scan over `AttrSet`s.
+struct SubsetIndex {
+    buckets: Vec<Vec<u64>>,
+    wide: Vec<AttrSet>,
+}
+
+impl SubsetIndex {
+    fn new(arity: usize) -> Self {
+        SubsetIndex {
+            buckets: vec![Vec::new(); arity.min(64)],
+            wide: Vec::new(),
+        }
+    }
+
+    fn mask(attrs: &AttrSet) -> Option<u64> {
+        let mut m = 0u64;
+        for a in attrs.ids() {
+            if a.0 >= 64 {
+                return None;
+            }
+            m |= 1u64 << a.0;
+        }
+        Some(m)
+    }
+
+    fn insert(&mut self, attrs: &AttrSet) {
+        match Self::mask(attrs) {
+            Some(m) => {
+                let lowest = attrs.ids()[0].0 as usize;
+                self.buckets[lowest].push(m);
+            }
+            None => self.wide.push(attrs.clone()),
+        }
+    }
+
+    fn any_subset_of(&self, attrs: &AttrSet) -> bool {
+        if let Some(cand) = Self::mask(attrs) {
+            for a in attrs.ids() {
+                for &m in &self.buckets[a.0 as usize] {
+                    if m & cand == m {
+                        return true;
+                    }
+                }
+            }
+            false
+        } else {
+            // Wide relation: masks may be unusable for the candidate;
+            // check both stores linearly.
+            let bucket_hit = self.buckets.iter().flatten().any(|&m| {
+                // Reconstruct cheaply: a mask is a subset iff all its
+                // bits name attributes of the candidate.
+                (0..64).all(|b| m & (1 << b) == 0 || attrs.contains(AttrId(b)))
+            });
+            bucket_hit || self.wide.iter().any(|s| s.is_subset(attrs))
+        }
+    }
+}
+
+/// What evaluating one candidate produced.
+enum Verdict {
+    /// FD holds exactly: prune silently (supersets hold too).
+    Exact,
+    /// Scored at or above ε: emit, close the branch.
+    Emit(f64),
+    /// Below ε: keep searching upward.
+    Open,
+}
+
+/// Evaluates one candidate node against the RHS codes.
+fn evaluate(
+    scratch: &mut Scratch,
+    node: &Node,
+    rhs_codes: &[u32],
+    measure: &dyn Measure,
+    epsilon: f64,
+) -> Verdict {
+    let t = ContingencyTable::from_codes_with(scratch, &node.codes, rhs_codes);
+    if t.is_exact_fd() {
+        return Verdict::Exact;
+    }
+    let score = measure.score_contingency(&t);
+    if score >= epsilon {
+        Verdict::Emit(score)
+    } else {
+        Verdict::Open
+    }
+}
+
+/// Discovers minimal non-linear AFDs `X -> rhs` with `|X| ≤ max_lhs`,
+/// fanning candidate evaluation out over [`max_threads`] workers.
 ///
 /// # Panics
 /// Panics if `epsilon ∉ [0, 1)` or `max_lhs == 0` (programmer errors).
@@ -57,39 +175,76 @@ pub fn discover_for_rhs(
     measure: &dyn Measure,
     cfg: LatticeConfig,
 ) -> Vec<Discovered> {
+    discover_for_rhs_threaded(rel, rhs, measure, cfg, max_threads())
+}
+
+/// As [`discover_for_rhs`] with an explicit worker count. Output is
+/// identical for every `threads` value (see the module docs).
+pub fn discover_for_rhs_threaded(
+    rel: &Relation,
+    rhs: AttrId,
+    measure: &dyn Measure,
+    cfg: LatticeConfig,
+    threads: usize,
+) -> Vec<Discovered> {
     assert!((0.0..1.0).contains(&cfg.epsilon), "ε must be in [0, 1)");
     assert!(cfg.max_lhs >= 1, "max_lhs must be at least 1");
     let rhs_codes = rel.group_encode(&AttrSet::single(rhs)).codes;
-    let all_attrs: Vec<AttrId> = rel
-        .schema()
-        .attrs()
-        .filter(|&a| a != rhs)
-        .collect();
-    // Per-attribute codes, reused during refinement.
-    let attr_codes: Vec<Vec<u32>> = all_attrs
+    let all_attrs: Vec<AttrId> = rel.schema().attrs().filter(|&a| a != rhs).collect();
+    // Per-attribute encodings, the refinement operands.
+    let attr_encodings: Vec<(Vec<u32>, u32)> = all_attrs
         .iter()
-        .map(|&a| rel.group_encode(&AttrSet::single(a)).codes)
+        .map(|&a| {
+            let e = rel.group_encode(&AttrSet::single(a));
+            (e.codes, e.n_groups)
+        })
         .collect();
 
-    let mut out = Vec::new();
-    // Level 1.
-    let mut frontier: Vec<Node> = Vec::new();
-    for (i, &a) in all_attrs.iter().enumerate() {
-        let node = Node {
+    let mut out: Vec<Discovered> = Vec::new();
+    let mut emitted = SubsetIndex::new(rel.arity());
+    // Level 1 candidates.
+    let mut candidates: Vec<Node> = all_attrs
+        .iter()
+        .zip(&attr_encodings)
+        .map(|(&a, (codes, n_groups))| Node {
             attrs: AttrSet::single(a),
-            codes: attr_codes[i].clone(),
-        };
-        if !close_node(&node, &rhs_codes, rhs, measure, cfg.epsilon, &mut out) {
-            frontier.push(node);
+            codes: codes.clone(),
+            n_groups: *n_groups,
+        })
+        .collect();
+
+    for level in 1..=cfg.max_lhs {
+        if candidates.is_empty() {
+            break;
         }
-    }
-    // Higher levels: extend each open node with attributes greater than
-    // its maximum (canonical generation — every subset visited once).
-    // A child is skipped when *any* already-emitted LHS is a subset of it
-    // (closing a node only blocks its own extensions; minimality needs
-    // the global check — e.g. {B} emitted, {A,B} reachable via open {A}).
-    for _level in 2..=cfg.max_lhs {
-        let mut next = Vec::new();
+        // Evaluate the whole level in parallel, one Scratch per worker.
+        // `par_map_with` returns verdicts in candidate order, so merging
+        // below reproduces the sequential left-to-right sweep exactly.
+        let nodes = std::mem::take(&mut candidates);
+        let verdicts: Vec<Verdict> =
+            par_map_with(&nodes, threads, Scratch::new, |scratch, _, node| {
+                evaluate(scratch, node, &rhs_codes, measure, cfg.epsilon)
+            });
+        let mut frontier: Vec<Node> = Vec::new();
+        for (node, v) in nodes.into_iter().zip(verdicts) {
+            match v {
+                Verdict::Exact => {}
+                Verdict::Emit(score) => {
+                    emitted.insert(&node.attrs);
+                    out.push(Discovered {
+                        fd: Fd::new(node.attrs, AttrSet::single(rhs)).expect("rhs excluded"),
+                        score,
+                    });
+                }
+                Verdict::Open => frontier.push(node),
+            }
+        }
+        if level == cfg.max_lhs {
+            break;
+        }
+        // Generate the next level sequentially: canonical prefix
+        // extension (only attributes above the node's maximum), skipping
+        // children subsumed by an emitted LHS via the subset index.
         for node in &frontier {
             let max_attr = *node.attrs.ids().last().expect("non-empty LHS");
             for (i, &a) in all_attrs.iter().enumerate() {
@@ -97,82 +252,55 @@ pub fn discover_for_rhs(
                     continue;
                 }
                 let attrs = node.attrs.union(&AttrSet::single(a));
-                if out.iter().any(|d: &Discovered| d.fd.lhs().is_subset(&attrs)) {
+                if emitted.any_subset_of(&attrs) {
                     continue;
                 }
-                let child = Node {
+                let (b_codes, b_groups) = &attr_encodings[i];
+                let mut codes = node.codes.clone();
+                let n_groups = afd_relation::with_scratch(|scratch| {
+                    combine_codes_with(
+                        scratch,
+                        &mut codes,
+                        node.n_groups,
+                        b_codes,
+                        *b_groups,
+                        false,
+                    )
+                });
+                candidates.push(Node {
                     attrs,
-                    codes: refine_codes(&node.codes, &attr_codes[i]),
-                };
-                if !close_node(&child, &rhs_codes, rhs, measure, cfg.epsilon, &mut out) {
-                    next.push(child);
-                }
+                    codes,
+                    n_groups,
+                });
             }
-        }
-        frontier = next;
-        if frontier.is_empty() {
-            break;
         }
     }
     out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.fd.cmp(&b.fd)));
     out
 }
 
-/// Scores a node; returns `true` if the node must not be extended
-/// (exact FD or emitted AFD).
-fn close_node(
-    node: &Node,
-    rhs_codes: &[u32],
-    rhs: AttrId,
-    measure: &dyn Measure,
-    epsilon: f64,
-    out: &mut Vec<Discovered>,
-) -> bool {
-    let t = ContingencyTable::from_codes(&node.codes, rhs_codes);
-    if t.is_exact_fd() {
-        return true; // supersets hold too: prune, emit nothing (exact FD)
-    }
-    let score = measure.score_contingency(&t);
-    if score >= epsilon {
-        out.push(Discovered {
-            fd: Fd::new(node.attrs.clone(), AttrSet::single(rhs)).expect("rhs excluded"),
-            score,
-        });
-        return true; // minimality: supersets are redundant
-    }
-    false
+/// Discovers minimal non-linear AFDs for every RHS attribute, one RHS
+/// per worker ([`max_threads`]), each running the sequential per-RHS
+/// search. Output is identical to the fully sequential path.
+pub fn discover_all(rel: &Relation, measure: &dyn Measure, cfg: LatticeConfig) -> Vec<Discovered> {
+    discover_all_threaded(rel, measure, cfg, max_threads())
 }
 
-/// Combines two per-row code slices into dense pair codes
-/// (NULL propagates). The hash-based equivalent of a PLI product.
-fn refine_codes(a: &[u32], b: &[u32]) -> Vec<u32> {
-    use afd_relation::NULL_CODE;
-    use std::collections::HashMap;
-    let mut map: HashMap<(u32, u32), u32> = HashMap::new();
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            if x == NULL_CODE || y == NULL_CODE {
-                NULL_CODE
-            } else {
-                let next = map.len() as u32;
-                *map.entry((x, y)).or_insert(next)
-            }
-        })
-        .collect()
-}
-
-/// Discovers minimal non-linear AFDs for every RHS attribute.
-pub fn discover_all(
+/// As [`discover_all`] with an explicit worker count (`threads = 1`
+/// is the sequential reference the property tests compare against).
+pub fn discover_all_threaded(
     rel: &Relation,
     measure: &dyn Measure,
     cfg: LatticeConfig,
+    threads: usize,
 ) -> Vec<Discovered> {
-    let mut out: Vec<Discovered> = rel
-        .schema()
-        .attrs()
-        .flat_map(|rhs| discover_for_rhs(rel, rhs, measure, cfg))
-        .collect();
+    let rhss: Vec<AttrId> = rel.schema().attrs().collect();
+    // Parallelism is across RHS attributes; each per-RHS search runs
+    // sequentially (threads = 1) to avoid nested fan-out.
+    let per_rhs = afd_parallel::par_map(&rhss, threads, |_, &rhs| {
+        discover_for_rhs_threaded(rel, rhs, measure, cfg, 1)
+    });
+    let mut out: Vec<Discovered> = per_rhs.into_iter().flatten().collect();
     out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.fd.cmp(&b.fd)));
     out
 }
@@ -191,7 +319,11 @@ mod tests {
             (0..240).map(|i| {
                 let a = i % 6;
                 let b = (i / 6) % 8;
-                let c = if i == 17 || i == 99 { 77 } else { (a * 3 + b * 5) % 11 };
+                let c = if i == 17 || i == 99 {
+                    77
+                } else {
+                    (a * 3 + b * 5) % 11
+                };
                 let d = (i * 13) % 17;
                 [a, b, c, d]
                     .into_iter()
@@ -205,7 +337,10 @@ mod tests {
     #[test]
     fn finds_planted_nonlinear_afd() {
         let rel = nonlinear_rel();
-        let cfg = LatticeConfig { max_lhs: 2, epsilon: 0.8 };
+        let cfg = LatticeConfig {
+            max_lhs: 2,
+            epsilon: 0.8,
+        };
         let found = discover_for_rhs(&rel, AttrId(2), &MuPlus, cfg);
         let want = Fd::new(
             AttrSet::new([AttrId(0), AttrId(1)]),
@@ -221,7 +356,10 @@ mod tests {
     #[test]
     fn singletons_do_not_reach_threshold() {
         let rel = nonlinear_rel();
-        let cfg = LatticeConfig { max_lhs: 1, epsilon: 0.8 };
+        let cfg = LatticeConfig {
+            max_lhs: 1,
+            epsilon: 0.8,
+        };
         let found = discover_for_rhs(&rel, AttrId(2), &MuPlus, cfg);
         assert!(found.is_empty(), "unexpected singleton AFDs: {found:?}");
     }
@@ -229,7 +367,10 @@ mod tests {
     #[test]
     fn minimality_no_supersets_of_emitted() {
         let rel = nonlinear_rel();
-        let cfg = LatticeConfig { max_lhs: 3, epsilon: 0.8 };
+        let cfg = LatticeConfig {
+            max_lhs: 3,
+            epsilon: 0.8,
+        };
         let found = discover_for_rhs(&rel, AttrId(2), &G3Prime, cfg);
         for a in &found {
             for b in &found {
@@ -261,7 +402,10 @@ mod tests {
             }),
         )
         .unwrap();
-        let cfg = LatticeConfig { max_lhs: 3, epsilon: 0.5 };
+        let cfg = LatticeConfig {
+            max_lhs: 3,
+            epsilon: 0.5,
+        };
         let found = discover_for_rhs(&rel, AttrId(2), &MuPlus, cfg);
         for d in &found {
             assert!(!d.fd.holds_in(&rel), "exact FD emitted: {:?}", d.fd);
@@ -269,11 +413,14 @@ mod tests {
     }
 
     #[test]
-    fn refine_codes_matches_group_encode() {
+    fn pair_codes_match_group_encode() {
         let rel = nonlinear_rel();
-        let a = rel.group_encode(&AttrSet::single(AttrId(0))).codes;
-        let b = rel.group_encode(&AttrSet::single(AttrId(1))).codes;
-        let combined = refine_codes(&a, &b);
+        let ea = rel.group_encode(&AttrSet::single(AttrId(0)));
+        let eb = rel.group_encode(&AttrSet::single(AttrId(1)));
+        let mut combined = ea.codes.clone();
+        afd_relation::with_scratch(|s| {
+            combine_codes_with(s, &mut combined, ea.n_groups, &eb.codes, eb.n_groups, false)
+        });
         let direct = rel
             .group_encode(&AttrSet::new([AttrId(0), AttrId(1)]))
             .codes;
@@ -288,12 +435,66 @@ mod tests {
     #[test]
     fn discover_all_covers_every_rhs() {
         let rel = nonlinear_rel();
-        let cfg = LatticeConfig { max_lhs: 2, epsilon: 0.8 };
+        let cfg = LatticeConfig {
+            max_lhs: 2,
+            epsilon: 0.8,
+        };
         let found = discover_all(&rel, measure_by_name("g3'").unwrap().as_ref(), cfg);
         // At least the planted FD shows up; nothing satisfied leaks in.
         assert!(found.iter().any(|d| d.fd.rhs().ids() == [AttrId(2)]));
         for d in &found {
             assert!(d.score >= 0.8 && d.score < 1.0);
+        }
+    }
+
+    #[test]
+    fn parallel_identical_to_sequential() {
+        let rel = nonlinear_rel();
+        let cfg = LatticeConfig {
+            max_lhs: 3,
+            epsilon: 0.6,
+        };
+        let measure = measure_by_name("g3'").unwrap();
+        let seq = discover_all_threaded(&rel, measure.as_ref(), cfg, 1);
+        for threads in [2, 4, 8] {
+            let par = discover_all_threaded(&rel, measure.as_ref(), cfg, threads);
+            assert_eq!(seq.len(), par.len(), "threads={threads}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.fd, b.fd, "threads={threads}");
+                assert!(a.score.to_bits() == b.score.to_bits(), "threads={threads}");
+            }
+        }
+        // Per-RHS parallel evaluation is also invariant.
+        let s1 = discover_for_rhs_threaded(&rel, AttrId(2), measure.as_ref(), cfg, 1);
+        let s4 = discover_for_rhs_threaded(&rel, AttrId(2), measure.as_ref(), cfg, 4);
+        assert_eq!(s1.len(), s4.len());
+        for (a, b) in s1.iter().zip(&s4) {
+            assert_eq!(a.fd, b.fd);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn subset_index_agrees_with_linear_scan() {
+        let sets = [
+            AttrSet::new([AttrId(0)]),
+            AttrSet::new([AttrId(1), AttrId(3)]),
+            AttrSet::new([AttrId(2), AttrId(4), AttrId(5)]),
+        ];
+        let mut idx = SubsetIndex::new(8);
+        for s in &sets {
+            idx.insert(s);
+        }
+        let candidates = [
+            AttrSet::new([AttrId(0), AttrId(7)]),
+            AttrSet::new([AttrId(1), AttrId(2), AttrId(3)]),
+            AttrSet::new([AttrId(2), AttrId(4)]),
+            AttrSet::new([AttrId(5), AttrId(6)]),
+            AttrSet::new([AttrId(2), AttrId(4), AttrId(5), AttrId(6)]),
+        ];
+        for c in &candidates {
+            let linear = sets.iter().any(|s| s.is_subset(c));
+            assert_eq!(idx.any_subset_of(c), linear, "candidate {c:?}");
         }
     }
 }

@@ -28,5 +28,7 @@ pub mod lattice;
 pub mod threshold;
 
 pub use g3_pli::g3_from_pli;
-pub use lattice::{discover_all, discover_for_rhs, LatticeConfig};
+pub use lattice::{
+    discover_all, discover_all_threaded, discover_for_rhs, discover_for_rhs_threaded, LatticeConfig,
+};
 pub use threshold::{discover_linear, rank_linear, Discovered};

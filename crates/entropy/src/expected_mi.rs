@@ -176,10 +176,7 @@ mod tests {
         let exact = expected_mi_exact(&t);
         let mut rng = StdRng::seed_from_u64(7);
         let mc = expected_mi_monte_carlo(&t, 4000, &mut rng);
-        assert!(
-            (exact - mc).abs() < 0.02,
-            "exact={exact} monte-carlo={mc}"
-        );
+        assert!((exact - mc).abs() < 0.02, "exact={exact} monte-carlo={mc}");
     }
 
     #[test]

@@ -48,8 +48,7 @@ mod tests {
         let t = ContingencyTable::from_counts(&[vec![3, 1, 0], vec![1, 2, 2]]);
         let mut rng = StdRng::seed_from_u64(1);
         let hy = crate::shannon::shannon_y(&t);
-        let avg_hy =
-            expected_under_permutations(&t, 50, &mut rng, crate::shannon::shannon_y);
+        let avg_hy = expected_under_permutations(&t, 50, &mut rng, crate::shannon::shannon_y);
         assert!((hy - avg_hy).abs() < 1e-12);
     }
 
@@ -83,9 +82,6 @@ mod tests {
     fn empty_table_returns_zero() {
         let t = ContingencyTable::from_counts(&[]);
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(
-            expected_under_permutations(&t, 10, &mut rng, |_| 1.0),
-            0.0
-        );
+        assert_eq!(expected_under_permutations(&t, 10, &mut rng, |_| 1.0), 0.0);
     }
 }

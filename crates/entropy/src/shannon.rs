@@ -102,10 +102,7 @@ mod tests {
     #[test]
     fn chain_rule_holds() {
         let t = ContingencyTable::from_counts(&[vec![3, 1], vec![2, 2], vec![0, 4]]);
-        assert!(close(
-            shannon_y_given_x(&t),
-            shannon_xy(&t) - shannon_x(&t)
-        ));
+        assert!(close(shannon_y_given_x(&t), shannon_xy(&t) - shannon_x(&t)));
     }
 
     #[test]

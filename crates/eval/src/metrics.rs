@@ -15,12 +15,7 @@ pub fn winning_numbers(ranks: &[Vec<usize>]) -> Vec<usize> {
     let mut wins = vec![0usize; m];
     for triple in ranks {
         debug_assert_eq!(triple.len(), m);
-        let best = triple
-            .iter()
-            .copied()
-            .filter(|&r| r > 0)
-            .min()
-            .unwrap_or(0);
+        let best = triple.iter().copied().filter(|&r| r > 0).min().unwrap_or(0);
         if best == 0 {
             continue;
         }
@@ -46,10 +41,7 @@ pub struct CandidateStats {
 /// of a ranking: the non-AFD candidates ranked at or above the lowest
 /// true AFD (the r@mr prefix minus the true AFDs). Returns `None` when
 /// there are no positives or no mistakes.
-pub fn mislabeled_stats(
-    labels: &[Labeled],
-    stats: &[CandidateStats],
-) -> Option<(f64, f64)> {
+pub fn mislabeled_stats(labels: &[Labeled], stats: &[CandidateStats]) -> Option<(f64, f64)> {
     assert_eq!(labels.len(), stats.len(), "parallel slices");
     let r = rank_at_max_recall(labels);
     if r == 0 {
@@ -125,11 +117,26 @@ mod tests {
             Labeled::new(0.1, false), // below: not counted
         ];
         let stats = vec![
-            CandidateStats { lhs_uniqueness: 0.9, rhs_skew: 2.0 },
-            CandidateStats { lhs_uniqueness: 0.1, rhs_skew: 0.0 },
-            CandidateStats { lhs_uniqueness: 0.7, rhs_skew: 4.0 },
-            CandidateStats { lhs_uniqueness: 0.1, rhs_skew: 0.0 },
-            CandidateStats { lhs_uniqueness: 0.5, rhs_skew: 9.0 },
+            CandidateStats {
+                lhs_uniqueness: 0.9,
+                rhs_skew: 2.0,
+            },
+            CandidateStats {
+                lhs_uniqueness: 0.1,
+                rhs_skew: 0.0,
+            },
+            CandidateStats {
+                lhs_uniqueness: 0.7,
+                rhs_skew: 4.0,
+            },
+            CandidateStats {
+                lhs_uniqueness: 0.1,
+                rhs_skew: 0.0,
+            },
+            CandidateStats {
+                lhs_uniqueness: 0.5,
+                rhs_skew: 9.0,
+            },
         ];
         let (u, s) = mislabeled_stats(&labels, &stats).unwrap();
         assert!((u - 0.8).abs() < 1e-12);
@@ -140,8 +147,14 @@ mod tests {
     fn mislabeled_none_when_perfect() {
         let labels = vec![Labeled::new(0.9, true), Labeled::new(0.1, false)];
         let stats = vec![
-            CandidateStats { lhs_uniqueness: 0.0, rhs_skew: 0.0 },
-            CandidateStats { lhs_uniqueness: 0.0, rhs_skew: 0.0 },
+            CandidateStats {
+                lhs_uniqueness: 0.0,
+                rhs_skew: 0.0,
+            },
+            CandidateStats {
+                lhs_uniqueness: 0.0,
+                rhs_skew: 0.0,
+            },
         ];
         assert_eq!(mislabeled_stats(&labels, &stats), None);
     }
@@ -150,8 +163,14 @@ mod tests {
     fn average_stats_basics() {
         assert_eq!(average_stats([]), None);
         let stats = [
-            CandidateStats { lhs_uniqueness: 0.2, rhs_skew: 1.0 },
-            CandidateStats { lhs_uniqueness: 0.4, rhs_skew: 3.0 },
+            CandidateStats {
+                lhs_uniqueness: 0.2,
+                rhs_skew: 1.0,
+            },
+            CandidateStats {
+                lhs_uniqueness: 0.4,
+                rhs_skew: 3.0,
+            },
         ];
         let (u, s) = average_stats(stats.iter()).unwrap();
         assert!((u - 0.3).abs() < 1e-12 && (s - 2.0).abs() < 1e-12);

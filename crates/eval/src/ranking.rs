@@ -3,12 +3,11 @@
 //! The expensive part of evaluating a candidate is shared by all measures:
 //! building the NULL-filtered contingency table. [`score_matrix`] therefore
 //! builds each candidate's table once and scores every measure on it,
-//! fanning candidates out over a crossbeam thread scope.
+//! fanning candidates out over an `afd-parallel` scoped-thread pool.
 
 use afd_core::Measure;
+use afd_parallel::par_map;
 use afd_relation::{ContingencyTable, Fd, Relation};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Scores `[measure][candidate]` for all `candidates` on `rel`.
 ///
@@ -23,39 +22,20 @@ pub fn score_matrix(
 ) -> Vec<Vec<f64>> {
     let n = candidates.len();
     let m = measures.len();
-    if threads <= 1 || n < 2 {
-        let mut out = vec![vec![0.0; n]; m];
-        for (c, fd) in candidates.iter().enumerate() {
-            let t = fd.contingency(rel);
-            for (mi, measure) in measures.iter().enumerate() {
-                out[mi][c] = measure.score_contingency(&t);
-            }
+    let cols = par_map(candidates, threads, |_, fd| {
+        let t = fd.contingency(rel);
+        measures
+            .iter()
+            .map(|measure| measure.score_contingency(&t))
+            .collect::<Vec<f64>>()
+    });
+    let mut out = vec![vec![0.0; n]; m];
+    for (c, col) in cols.into_iter().enumerate() {
+        for (mi, v) in col.into_iter().enumerate() {
+            out[mi][c] = v;
         }
-        return out;
     }
-    let out = Mutex::new(vec![vec![0.0; n]; m]);
-    let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads.min(n) {
-            s.spawn(|_| loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= n {
-                    break;
-                }
-                let t = candidates[c].contingency(rel);
-                let col: Vec<f64> = measures
-                    .iter()
-                    .map(|measure| measure.score_contingency(&t))
-                    .collect();
-                let mut guard = out.lock();
-                for (mi, v) in col.into_iter().enumerate() {
-                    guard[mi][c] = v;
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-    out.into_inner()
+    out
 }
 
 /// Builds the contingency tables of all candidates (NULL-filtered),

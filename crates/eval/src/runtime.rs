@@ -81,11 +81,7 @@ mod tests {
     fn tables(n: usize) -> Vec<ContingencyTable> {
         (0..n)
             .map(|i| {
-                ContingencyTable::from_counts(&[
-                    vec![3 + i as u64, 1],
-                    vec![0, 4],
-                    vec![2, 2],
-                ])
+                ContingencyTable::from_counts(&[vec![3 + i as u64, 1], vec![0, 4], vec![2, 2]])
             })
             .collect()
     }

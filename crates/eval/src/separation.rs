@@ -7,10 +7,9 @@
 //! measure cannot tell FD-generated data from independent data.
 
 use afd_core::Measure;
+use afd_parallel::par_map;
 use afd_relation::{AttrId, AttrSet, ContingencyTable, Relation};
 use afd_synth::SynthBenchmark;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Average measure values at one sweep step, indexed by measure.
 #[derive(Debug, Clone)]
@@ -64,34 +63,21 @@ pub fn average_scores(
     }
     let x = AttrSet::single(AttrId(0));
     let y = AttrSet::single(AttrId(1));
-    let sums = Mutex::new(vec![0.0f64; m]);
-    let next = AtomicUsize::new(0);
-    let work = |_: &crossbeam::thread::Scope<'_>| loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= tables.len() {
-            break;
-        }
-        let t = ContingencyTable::from_relation(&tables[i], &x, &y);
-        let scores: Vec<f64> = measures
+    // Score each table on a worker, then fold sequentially in table order
+    // so float sums are identical for every thread count.
+    let per_table = par_map(tables, threads, |_, table| {
+        let t = ContingencyTable::from_relation(table, &x, &y);
+        measures
             .iter()
             .map(|measure| measure.score_contingency(&t))
-            .collect();
-        let mut guard = sums.lock();
-        for (acc, s) in guard.iter_mut().zip(scores) {
+            .collect::<Vec<f64>>()
+    });
+    let mut sums = vec![0.0f64; m];
+    for scores in per_table {
+        for (acc, s) in sums.iter_mut().zip(scores) {
             *acc += s;
         }
-    };
-    if threads <= 1 || tables.len() < 2 {
-        crossbeam::thread::scope(|s| work(s)).expect("inline scope");
-    } else {
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads.min(tables.len()) {
-                s.spawn(work);
-            }
-        })
-        .expect("worker panicked");
     }
-    let mut sums = sums.into_inner();
     for acc in &mut sums {
         *acc /= tables.len() as f64;
     }
@@ -155,9 +141,6 @@ mod tests {
     #[test]
     fn average_scores_empty_input() {
         let measures = all_measures();
-        assert_eq!(
-            average_scores(&[], &measures, 2),
-            vec![0.0; measures.len()]
-        );
+        assert_eq!(average_scores(&[], &measures, 2), vec![0.0; measures.len()]);
     }
 }

@@ -7,10 +7,16 @@
 //! sums `a_i = |σ_{X=x_i}(R)|`, the column sums `b_j = |σ_{Y=y_j}(R)|` and
 //! the total `N`. Rows with a NULL in `X ∪ Y` are dropped, implementing the
 //! paper's Section VI-A semantics.
-
-use std::collections::HashMap;
+//!
+//! Storage is CSR-style: one flat cell vector plus per-X-group offsets,
+//! built by [`ContingencyTable::from_codes_with`] using only dense
+//! stamped scratch arrays (no hashing, no per-group allocations) — a
+//! counting sort by X-group followed by a stamped tally per group. The
+//! hash-based reference implementation is retained as
+//! [`crate::naive::contingency_from_codes`].
 
 use crate::dictionary::NULL_CODE;
+use crate::kernels::{with_scratch, Scratch};
 use crate::relation::{NullSemantics, Relation};
 use crate::schema::AttrSet;
 
@@ -20,8 +26,11 @@ pub struct ContingencyTable {
     n: u64,
     row_totals: Vec<u64>,
     col_totals: Vec<u64>,
-    /// Sparse cells per X-group: `(y_index, count)`, sorted by `y_index`.
-    rows: Vec<Vec<(u32, u64)>>,
+    /// Nonzero cells `(y_index, count)` of all X-groups, row-major,
+    /// sorted by `y_index` within each row.
+    cells: Vec<(u32, u64)>,
+    /// CSR offsets into `cells`; length `n_x() + 1`.
+    row_starts: Vec<u32>,
 }
 
 impl ContingencyTable {
@@ -40,54 +49,159 @@ impl ContingencyTable {
         y_attrs: &AttrSet,
         nulls: NullSemantics,
     ) -> Self {
-        let gx = rel.group_encode_with(x_attrs, nulls);
-        let gy = rel.group_encode_with(y_attrs, nulls);
-        Self::from_codes(&gx.codes, &gy.codes)
+        with_scratch(|scratch| {
+            let gx = rel.group_encode_with_scratch(x_attrs, nulls, scratch);
+            let gy = rel.group_encode_with_scratch(y_attrs, nulls, scratch);
+            Self::from_codes_with(scratch, &gx.codes, &gy.codes)
+        })
     }
 
     /// Builds the table from parallel per-row group codes ([`NULL_CODE`]
     /// marks rows to drop). Codes need not be dense; they are remapped.
     pub fn from_codes(x_codes: &[u32], y_codes: &[u32]) -> Self {
+        with_scratch(|scratch| Self::from_codes_with(scratch, x_codes, y_codes))
+    }
+
+    /// As [`ContingencyTable::from_codes`], reusing the caller's
+    /// [`Scratch`] — the allocation-free kernel behind every measure
+    /// evaluation. Group indices are assigned in first-encounter (row)
+    /// order on both axes, exactly like the naive reference.
+    pub fn from_codes_with(scratch: &mut Scratch, x_codes: &[u32], y_codes: &[u32]) -> Self {
         assert_eq!(x_codes.len(), y_codes.len(), "parallel code slices");
-        let mut xmap: HashMap<u32, u32> = HashMap::new();
-        let mut ymap: HashMap<u32, u32> = HashMap::new();
-        let mut cells: Vec<HashMap<u32, u64>> = Vec::new();
+        // Pass 0: key bounds for the dense remap tables.
+        let (mut max_x, mut max_y, mut any) = (0u32, 0u32, false);
+        for (&xc, &yc) in x_codes.iter().zip(y_codes) {
+            if xc != NULL_CODE && yc != NULL_CODE {
+                any = true;
+                max_x = max_x.max(xc);
+                max_y = max_y.max(yc);
+            }
+        }
+        if !any {
+            return ContingencyTable {
+                n: 0,
+                row_totals: Vec::new(),
+                col_totals: Vec::new(),
+                cells: Vec::new(),
+                row_starts: vec![0],
+            };
+        }
+        scratch.map_a.ensure(max_x as usize + 1);
+        scratch.map_b.ensure(max_y as usize + 1);
+        scratch.map_a.begin();
+        scratch.map_b.begin();
         let mut row_totals: Vec<u64> = Vec::new();
         let mut col_totals: Vec<u64> = Vec::new();
-        let mut n = 0u64;
+        // Pass 1: remap both sides to dense first-encounter ids.
+        let mut xs = std::mem::take(&mut scratch.buf_a);
+        let mut ys = std::mem::take(&mut scratch.buf_b);
+        xs.clear();
+        ys.clear();
         for (&xc, &yc) in x_codes.iter().zip(y_codes) {
             if xc == NULL_CODE || yc == NULL_CODE {
                 continue;
             }
-            let xn = xmap.len() as u32;
-            let i = *xmap.entry(xc).or_insert(xn);
-            if i as usize == cells.len() {
-                cells.push(HashMap::new());
-                row_totals.push(0);
-            }
-            let yn = ymap.len() as u32;
-            let j = *ymap.entry(yc).or_insert(yn);
-            if j as usize == col_totals.len() {
-                col_totals.push(0);
-            }
-            *cells[i as usize].entry(j).or_insert(0) += 1;
-            row_totals[i as usize] += 1;
-            col_totals[j as usize] += 1;
-            n += 1;
+            let xi = match scratch.map_a.get(xc) {
+                Some(v) => v,
+                None => {
+                    let id = row_totals.len() as u32;
+                    scratch.map_a.set(xc, id);
+                    row_totals.push(0);
+                    id
+                }
+            };
+            let yj = match scratch.map_b.get(yc) {
+                Some(v) => v,
+                None => {
+                    let id = col_totals.len() as u32;
+                    scratch.map_b.set(yc, id);
+                    col_totals.push(0);
+                    id
+                }
+            };
+            row_totals[xi as usize] += 1;
+            col_totals[yj as usize] += 1;
+            xs.push(xi);
+            ys.push(yj);
         }
-        let rows = cells
-            .into_iter()
-            .map(|m| {
-                let mut v: Vec<(u32, u64)> = m.into_iter().collect();
-                v.sort_unstable_by_key(|&(j, _)| j);
-                v
-            })
-            .collect();
+        let n = xs.len() as u64;
+        let kx = row_totals.len();
+        // Pass 2: counting sort of the Y ids by X-group.
+        let cursors = &mut scratch.buf_c;
+        cursors.clear();
+        let mut acc = 0u32;
+        for &t in &row_totals {
+            cursors.push(acc);
+            acc += t as u32;
+        }
+        let sorted_y = &mut scratch.buf_d;
+        sorted_y.clear();
+        sorted_y.resize(xs.len(), 0);
+        for (&xi, &yj) in xs.iter().zip(ys.iter()) {
+            let c = &mut cursors[xi as usize];
+            sorted_y[*c as usize] = yj;
+            *c += 1;
+        }
+        // Pass 3: stamped tally per X-group, emitting CSR cells sorted
+        // by y index.
+        scratch.count.ensure(col_totals.len());
+        let mut cells: Vec<(u32, u64)> = Vec::new();
+        let mut row_starts: Vec<u32> = Vec::with_capacity(kx + 1);
+        let mut start = 0usize;
+        for (i, &total) in row_totals.iter().enumerate() {
+            let end = start + total as usize;
+            scratch.count.begin();
+            scratch.touched.clear();
+            for &yj in &sorted_y[start..end] {
+                match scratch.count.get(yj) {
+                    Some(c) => scratch.count.set(yj, c + 1),
+                    None => {
+                        scratch.count.set(yj, 1);
+                        scratch.touched.push(yj);
+                    }
+                }
+            }
+            scratch.touched.sort_unstable();
+            row_starts.push(cells.len() as u32);
+            for &yj in &scratch.touched {
+                cells.push((yj, scratch.count.get(yj).expect("touched key counted")));
+            }
+            debug_assert_eq!(i + 1, row_starts.len());
+            start = end;
+        }
+        row_starts.push(cells.len() as u32);
+        scratch.buf_a = xs;
+        scratch.buf_b = ys;
         ContingencyTable {
             n,
             row_totals,
             col_totals,
-            rows,
+            cells,
+            row_starts,
+        }
+    }
+
+    /// Internal constructor from per-X-group sparse rows (used by the
+    /// naive reference implementation in [`crate::naive`]).
+    pub(crate) fn from_sparse_rows(
+        rows: Vec<Vec<(u32, u64)>>,
+        row_totals: Vec<u64>,
+        col_totals: Vec<u64>,
+        n: u64,
+    ) -> Self {
+        let mut cells = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        let mut row_starts = Vec::with_capacity(rows.len() + 1);
+        for row in rows {
+            row_starts.push(cells.len() as u32);
+            cells.extend(row);
+        }
+        row_starts.push(cells.len() as u32);
+        ContingencyTable {
+            n,
+            row_totals,
+            col_totals,
+            cells,
+            row_starts,
         }
     }
 
@@ -130,12 +244,7 @@ impl ContingencyTable {
             }
         }
         let col_totals = col_totals.into_iter().filter(|&t| t > 0).collect();
-        ContingencyTable {
-            n,
-            row_totals,
-            col_totals,
-            rows,
-        }
+        Self::from_sparse_rows(rows, row_totals, col_totals, n)
     }
 
     /// Total count `N` (tuples surviving NULL filtering).
@@ -170,40 +279,36 @@ impl ContingencyTable {
 
     /// Sparse cells of X-group `i`: `(y_index, n_ij)` sorted by `y_index`.
     pub fn row(&self, i: usize) -> &[(u32, u64)] {
-        &self.rows[i]
+        &self.cells[self.row_starts[i] as usize..self.row_starts[i + 1] as usize]
     }
 
     /// Iterates over `(i, j, n_ij)` for all nonzero cells.
     pub fn cells(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
-        self.rows
-            .iter()
-            .enumerate()
-            .flat_map(|(i, row)| row.iter().map(move |&(j, c)| (i, j as usize, c)))
+        (0..self.n_x()).flat_map(move |i| self.row(i).iter().map(move |&(j, c)| (i, j as usize, c)))
     }
 
     /// Number of nonzero cells, i.e. `|dom_R(XY)|`.
     pub fn nonzero_cells(&self) -> usize {
-        self.rows.iter().map(Vec::len).sum()
+        self.cells.len()
     }
 
     /// `true` iff the FD `X -> Y` holds exactly on the NULL-filtered data:
     /// every X-group maps to a single Y-value. Vacuously true when empty.
     pub fn is_exact_fd(&self) -> bool {
-        self.rows.iter().all(|row| row.len() <= 1)
+        self.row_starts.windows(2).all(|w| w[1] - w[0] <= 1)
     }
 
     /// `Σ_i max_j n_ij` — the size of the largest FD-satisfying subrelation
     /// (numerator of `g3`).
     pub fn sum_row_max(&self) -> u64 {
-        self.rows
-            .iter()
-            .map(|row| row.iter().map(|&(_, c)| c).max().unwrap_or(0))
+        (0..self.n_x())
+            .map(|i| self.row(i).iter().map(|&(_, c)| c).max().unwrap_or(0))
             .sum()
     }
 
     /// `Σ_ij n_ij²` — used by `g1'` and logical entropy.
     pub fn sum_sq_cells(&self) -> u64 {
-        self.cells().map(|(_, _, c)| c * c).sum()
+        self.cells.iter().map(|&(_, c)| c * c).sum()
     }
 
     /// `Σ_i a_i²`.
@@ -313,15 +418,11 @@ mod tests {
     #[test]
     fn multi_attribute_sides() {
         let schema = Schema::new(["A", "B", "C"]).unwrap();
-        let rows = [
-            [1i64, 1, 1],
-            [1, 1, 1],
-            [1, 2, 2],
-            [2, 1, 2],
-        ];
+        let rows = [[1i64, 1, 1], [1, 1, 1], [1, 2, 2], [2, 1, 2]];
         let rel = Relation::from_rows(
             schema,
-            rows.iter().map(|r| r.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>()),
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>()),
         )
         .unwrap();
         let t = ContingencyTable::from_relation(
@@ -332,5 +433,21 @@ mod tests {
         assert_eq!(t.n_x(), 3); // (1,1),(1,2),(2,1)
         assert_eq!(t.n_y(), 2);
         assert!(t.is_exact_fd());
+    }
+
+    #[test]
+    fn optimized_matches_naive_on_sparse_codes() {
+        use crate::dictionary::NULL_CODE;
+        // Non-dense codes with NULLs and duplicates.
+        let x = vec![9, 9, 4, NULL_CODE, 4, 17, 9, NULL_CODE];
+        let y = vec![3, 3, 8, 1, NULL_CODE, 3, 8, 2];
+        let fast = ContingencyTable::from_codes(&x, &y);
+        let slow = crate::naive::contingency_from_codes(&x, &y);
+        assert_eq!(fast.n(), slow.n());
+        assert_eq!(fast.row_totals(), slow.row_totals());
+        assert_eq!(fast.col_totals(), slow.col_totals());
+        for i in 0..fast.n_x() {
+            assert_eq!(fast.row(i), slow.row(i), "row {i}");
+        }
     }
 }

@@ -25,9 +25,7 @@ impl Fd {
     /// side is empty.
     pub fn new(lhs: AttrSet, rhs: AttrSet) -> Result<Self, RelationError> {
         if lhs.is_empty() || rhs.is_empty() || !lhs.is_disjoint(&rhs) {
-            return Err(RelationError::OverlappingFd(format!(
-                "{lhs:?} -> {rhs:?}"
-            )));
+            return Err(RelationError::OverlappingFd(format!("{lhs:?} -> {rhs:?}")));
         }
         Ok(Fd { lhs, rhs })
     }

@@ -30,6 +30,8 @@ pub mod csv;
 pub mod dictionary;
 pub mod error;
 pub mod fd;
+pub mod kernels;
+pub mod naive;
 pub mod pli;
 pub mod relation;
 pub mod schema;
@@ -41,6 +43,7 @@ pub use csv::{read_csv, write_csv};
 pub use dictionary::{Dictionary, NULL_CODE};
 pub use error::RelationError;
 pub use fd::Fd;
+pub use kernels::{combine_codes_with, with_scratch, Scratch};
 pub use pli::Pli;
 pub use relation::{Column, GroupEncoding, NullSemantics, Relation};
 pub use schema::{AttrId, AttrSet, Schema};

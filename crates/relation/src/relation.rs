@@ -8,9 +8,9 @@
 
 use crate::dictionary::{Dictionary, NULL_CODE};
 use crate::error::RelationError;
+use crate::kernels::{combine_codes_with, with_scratch, Scratch};
 use crate::schema::{AttrId, AttrSet, Schema};
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// How NULLs participate in grouping and FD semantics.
 ///
@@ -102,7 +102,10 @@ impl Relation {
     /// # Errors
     /// Returns [`RelationError::ArityMismatch`] if a row's arity differs from
     /// the schema's.
-    pub fn from_rows<R>(schema: Schema, rows: impl IntoIterator<Item = R>) -> Result<Self, RelationError>
+    pub fn from_rows<R>(
+        schema: Schema,
+        rows: impl IntoIterator<Item = R>,
+    ) -> Result<Self, RelationError>
     where
         R: IntoIterator<Item = Value>,
     {
@@ -213,13 +216,8 @@ impl Relation {
 
     /// Bag-based projection `π_attrs(R)` (keeps duplicates, keeps NULLs).
     pub fn project(&self, attrs: &AttrSet) -> Relation {
-        let schema = Schema::new(
-            attrs
-                .ids()
-                .iter()
-                .map(|&a| self.schema.name(a).to_string()),
-        )
-        .expect("attribute names unique in source schema");
+        let schema = Schema::new(attrs.ids().iter().map(|&a| self.schema.name(a).to_string()))
+            .expect("attribute names unique in source schema");
         let mut out = Relation::empty(schema);
         for r in 0..self.n_rows {
             let row: Vec<Value> = attrs.ids().iter().map(|&a| self.value(r, a)).collect();
@@ -258,21 +256,44 @@ impl Relation {
     /// rows entirely; [`NullSemantics::NullAsValue`] treats NULL as one
     /// ordinary value, so NULL rows group together.
     pub fn group_encode_with(&self, attrs: &AttrSet, nulls: NullSemantics) -> GroupEncoding {
+        with_scratch(|scratch| self.group_encode_with_scratch(attrs, nulls, scratch))
+    }
+
+    /// As [`Relation::group_encode_with`], reusing the caller's
+    /// [`Scratch`] — the allocation-free kernel path. Multi-attribute
+    /// sets are folded attribute by attribute through the pair-code
+    /// kernel ([`crate::kernels::combine_codes_with`]): per-row composite
+    /// keys are packed integers remapped through dense stamped tables,
+    /// never per-row `Vec` clones. Group ids are assigned in
+    /// first-encounter (row) order, exactly like the naive reference
+    /// ([`crate::naive::group_encode_multi`]).
+    pub fn group_encode_with_scratch(
+        &self,
+        attrs: &AttrSet,
+        nulls: NullSemantics,
+        scratch: &mut Scratch,
+    ) -> GroupEncoding {
         match attrs.ids() {
             [] => GroupEncoding {
                 codes: vec![0; self.n_rows],
                 n_groups: u32::from(self.n_rows > 0),
             },
-            [a] => self.group_encode_single_with(*a, nulls),
-            ids => self.group_encode_multi_with(ids, nulls),
+            [a] => self.group_encode_single_with(*a, nulls, scratch),
+            ids => self.group_encode_multi_with(ids, nulls, scratch),
         }
     }
 
-    fn group_encode_single_with(&self, a: AttrId, nulls: NullSemantics) -> GroupEncoding {
+    fn group_encode_single_with(
+        &self,
+        a: AttrId,
+        nulls: NullSemantics,
+        scratch: &mut Scratch,
+    ) -> GroupEncoding {
         let col = &self.columns[a.index()];
         // Column codes are dense per dictionary but may contain gaps if the
         // relation was filtered; remap to present-only dense ids.
-        let mut remap: Vec<u32> = vec![NULL_CODE; col.dict.len()];
+        scratch.map_a.ensure(col.dict.len());
+        scratch.map_a.begin();
         let mut null_group = NULL_CODE;
         let mut next = 0u32;
         let mut codes = Vec::with_capacity(self.n_rows);
@@ -289,12 +310,14 @@ impl Relation {
                     }
                 }
             } else {
-                let slot = &mut remap[c as usize];
-                if *slot == NULL_CODE {
-                    *slot = next;
-                    next += 1;
+                match scratch.map_a.get(c) {
+                    Some(id) => codes.push(id),
+                    None => {
+                        scratch.map_a.set(c, next);
+                        codes.push(next);
+                        next += 1;
+                    }
                 }
-                codes.push(*slot);
             }
         }
         GroupEncoding {
@@ -303,31 +326,29 @@ impl Relation {
         }
     }
 
-    fn group_encode_multi_with(&self, ids: &[AttrId], nulls: NullSemantics) -> GroupEncoding {
-        let cols: Vec<&Column> = ids.iter().map(|&a| &self.columns[a.index()]).collect();
-        let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
-        let mut codes = Vec::with_capacity(self.n_rows);
-        let mut key = Vec::with_capacity(ids.len());
-        'rows: for r in 0..self.n_rows {
-            key.clear();
-            for col in &cols {
-                let c = col.codes[r];
-                if c == NULL_CODE && nulls == NullSemantics::DropTuples {
-                    codes.push(NULL_CODE);
-                    continue 'rows;
-                }
-                // Under NullAsValue, NULL_CODE acts as one ordinary symbol
-                // inside the composite key.
-                key.push(c);
-            }
-            let next = index.len() as u32;
-            let id = *index.entry(key.clone()).or_insert(next);
-            codes.push(id);
+    fn group_encode_multi_with(
+        &self,
+        ids: &[AttrId],
+        nulls: NullSemantics,
+        scratch: &mut Scratch,
+    ) -> GroupEncoding {
+        // Fold left-to-right through the pair-code kernel: after step k,
+        // `codes` holds dense group ids of the first k+1 attributes.
+        let first = self.group_encode_single_with(ids[0], nulls, scratch);
+        let mut codes = first.codes;
+        let mut n_groups = first.n_groups;
+        for &a in &ids[1..] {
+            let col = &self.columns[a.index()];
+            n_groups = combine_codes_with(
+                scratch,
+                &mut codes,
+                n_groups,
+                &col.codes,
+                col.dict.len() as u32,
+                nulls == NullSemantics::NullAsValue,
+            );
         }
-        GroupEncoding {
-            n_groups: index.len() as u32,
-            codes,
-        }
+        GroupEncoding { codes, n_groups }
     }
 
     /// `|dom_R(X)|`: the number of distinct non-NULL `attrs`-tuples.
@@ -484,10 +505,7 @@ mod null_semantics_tests {
     #[test]
     fn null_as_value_groups_all_nulls_together() {
         let r = rel_with_nulls();
-        let enc = r.group_encode_with(
-            &AttrSet::single(AttrId(0)),
-            NullSemantics::NullAsValue,
-        );
+        let enc = r.group_encode_with(&AttrSet::single(AttrId(0)), NullSemantics::NullAsValue);
         // Groups: {1}, {NULL, NULL}, {2}.
         assert_eq!(enc.n_groups, 3);
         assert_eq!(enc.codes[1], enc.codes[2]);

@@ -86,14 +86,7 @@ proptest! {
         let pa = Pli::from_relation(&rel, &AttrSet::single(AttrId(0)));
         let refined = pa.refine(&rel.group_encode(&AttrSet::single(AttrId(1))).codes);
         let direct = Pli::from_relation(&rel, &AttrSet::new([AttrId(0), AttrId(1)]));
-        let norm = |p: &Pli| {
-            let mut cs: Vec<Vec<u32>> = p.clusters().iter().map(|c| {
-                let mut c = c.clone(); c.sort_unstable(); c
-            }).collect();
-            cs.sort();
-            cs
-        };
-        prop_assert_eq!(norm(&refined), norm(&direct));
+        prop_assert_eq!(normalized_clusters(&refined), normalized_clusters(&direct));
     }
 
     #[test]
@@ -126,6 +119,120 @@ proptest! {
         prop_assert_eq!(
             p.distinct_count(&AttrSet::single(AttrId(0))),
             rel.distinct_count(&AttrSet::single(AttrId(1)))
+        );
+    }
+}
+
+// ------------------------------------------------------------------
+// Optimized kernels ≡ naive reference implementations
+// (the stamped-array kernels in `afd_relation::kernels` vs the retained
+// hash-based paths in `afd_relation::naive`).
+
+/// Partition equality up to cluster renaming: sorted sorted-clusters.
+fn normalized_clusters(p: &Pli) -> Vec<Vec<u32>> {
+    let mut cs: Vec<Vec<u32>> = p
+        .clusters()
+        .map(|c| {
+            let mut c = c.to_vec();
+            c.sort_unstable();
+            c
+        })
+        .collect();
+    cs.sort();
+    cs
+}
+
+proptest! {
+    #[test]
+    fn contingency_optimized_matches_naive(rows in rows3()) {
+        let rel = rel3(&rows);
+        let gx = rel.group_encode(&AttrSet::new([AttrId(0), AttrId(1)]));
+        let gy = rel.group_encode(&AttrSet::single(AttrId(2)));
+        let fast = ContingencyTable::from_codes(&gx.codes, &gy.codes);
+        let slow = afd_relation::naive::contingency_from_codes(&gx.codes, &gy.codes);
+        prop_assert_eq!(fast.n(), slow.n());
+        prop_assert_eq!(fast.n_x(), slow.n_x());
+        prop_assert_eq!(fast.n_y(), slow.n_y());
+        prop_assert_eq!(fast.row_totals(), slow.row_totals());
+        prop_assert_eq!(fast.col_totals(), slow.col_totals());
+        for i in 0..fast.n_x() {
+            prop_assert_eq!(fast.row(i), slow.row(i), "row {}", i);
+        }
+        // Margin/cell-sum invariants hold on the optimized table.
+        prop_assert_eq!(fast.cells().map(|(_, _, c)| c).sum::<u64>(), fast.n());
+        prop_assert_eq!(fast.row_totals().iter().sum::<u64>(), fast.n());
+        prop_assert_eq!(fast.col_totals().iter().sum::<u64>(), fast.n());
+    }
+
+    #[test]
+    fn group_encode_multi_matches_naive(rows in rows3()) {
+        let rel = rel3(&rows);
+        for nulls in [
+            afd_relation::NullSemantics::DropTuples,
+            afd_relation::NullSemantics::NullAsValue,
+        ] {
+            for ids in [
+                vec![AttrId(0), AttrId(1)],
+                vec![AttrId(0), AttrId(1), AttrId(2)],
+                vec![AttrId(1), AttrId(2)],
+            ] {
+                let attrs = AttrSet::new(ids.iter().copied());
+                let fast = rel.group_encode_with(&attrs, nulls);
+                let slow = afd_relation::naive::group_encode_multi(&rel, attrs.ids(), nulls);
+                // The pair-code fold assigns ids in first-encounter order,
+                // exactly like the naive composite-key map: byte equality.
+                prop_assert_eq!(&fast.codes, &slow.codes, "attrs {:?} nulls {:?}", &attrs, nulls);
+                prop_assert_eq!(fast.n_groups, slow.n_groups);
+            }
+        }
+    }
+
+    #[test]
+    fn pli_refine_matches_naive(rows in rows3()) {
+        let rel = rel3(&rows);
+        let pa = Pli::from_relation(&rel, &AttrSet::single(AttrId(0)));
+        let codes = rel.group_encode(&AttrSet::single(AttrId(1))).codes;
+        let fast = pa.refine(&codes);
+        let slow = afd_relation::naive::pli_refine(&pa, &codes);
+        prop_assert_eq!(normalized_clusters(&fast), normalized_clusters(&slow));
+        prop_assert_eq!(fast.stripped_size(), slow.stripped_size());
+        prop_assert_eq!(fast.n_rows(), slow.n_rows());
+    }
+
+    #[test]
+    fn pli_intersect_matches_naive_both_orientations(rows in rows3()) {
+        let rel = rel3(&rows);
+        let pa = Pli::from_relation(&rel, &AttrSet::single(AttrId(0)));
+        let pb = Pli::from_relation(&rel, &AttrSet::single(AttrId(1)));
+        let slow = afd_relation::naive::pli_intersect(&pa, &pb);
+        prop_assert_eq!(
+            normalized_clusters(&pa.intersect(&pb)),
+            normalized_clusters(&slow)
+        );
+        prop_assert_eq!(
+            normalized_clusters(&pb.intersect(&pa)),
+            normalized_clusters(&slow)
+        );
+    }
+
+    #[test]
+    fn pli_build_matches_naive(rows in rows3()) {
+        let rel = rel3(&rows);
+        let attrs = AttrSet::new([AttrId(0), AttrId(2)]);
+        let enc = rel.group_encode(&attrs);
+        let fast = Pli::from_encoding(&enc, rel.n_rows());
+        let slow = afd_relation::naive::pli_from_encoding(&enc, rel.n_rows());
+        prop_assert_eq!(normalized_clusters(&fast), normalized_clusters(&slow));
+    }
+
+    #[test]
+    fn g3_violations_matches_naive(rows in rows3()) {
+        let rel = rel3(&rows);
+        let pli = Pli::from_relation(&rel, &AttrSet::single(AttrId(0)));
+        let codes = rel.group_encode(&AttrSet::single(AttrId(1))).codes;
+        prop_assert_eq!(
+            pli.g3_violations(&codes),
+            afd_relation::naive::g3_violations(&pli, &codes)
         );
     }
 }

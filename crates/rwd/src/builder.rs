@@ -35,7 +35,11 @@ pub fn build(spec: &RelationSpec, rows: usize, rng: &mut impl Rng) -> RwdRelatio
     let cluster_card: Vec<usize> = spec.clusters.iter().map(|&c| c.clamp(2, n)).collect();
     let cluster_base: Vec<Vec<u32>> = cluster_card
         .iter()
-        .map(|&card| (0..n).map(|_| mild.sample_index(card, rng) as u32).collect())
+        .map(|&card| {
+            (0..n)
+                .map(|_| mild.sample_index(card, rng) as u32)
+                .collect()
+        })
         .collect();
 
     // Generate per-column codes.
@@ -272,9 +276,19 @@ mod tests {
                 ColumnSpec::ClusterMember { cluster: 0 },
                 ColumnSpec::ClusterMember { cluster: 0 },
                 ColumnSpec::ClusterMember { cluster: 0 },
-                ColumnSpec::Categorical { cardinality: 30, skew: 0.5 },
-                ColumnSpec::DerivedNoisy { source: 4, cardinality: 8, error_rate: 0.01 },
-                ColumnSpec::DerivedExact { source: 1, cardinality: 5 },
+                ColumnSpec::Categorical {
+                    cardinality: 30,
+                    skew: 0.5,
+                },
+                ColumnSpec::DerivedNoisy {
+                    source: 4,
+                    cardinality: 8,
+                    error_rate: 0.01,
+                },
+                ColumnSpec::DerivedExact {
+                    source: 1,
+                    cardinality: 5,
+                },
                 ColumnSpec::NearKey { uniqueness: 0.9 },
             ],
             declared_pfds: 7, // 6 cluster pairs + 1 exact edge

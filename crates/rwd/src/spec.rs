@@ -135,8 +135,15 @@ mod tests {
                 ColumnSpec::Key,
                 ColumnSpec::ClusterMember { cluster: 0 },
                 ColumnSpec::ClusterMember { cluster: 0 },
-                ColumnSpec::Categorical { cardinality: 4, skew: 0.0 },
-                ColumnSpec::DerivedNoisy { source: 3, cardinality: 2, error_rate: 0.01 },
+                ColumnSpec::Categorical {
+                    cardinality: 4,
+                    skew: 0.0,
+                },
+                ColumnSpec::DerivedNoisy {
+                    source: 3,
+                    cardinality: 2,
+                    error_rate: 0.01,
+                },
             ],
             declared_pfds: 2,
             null_rates: vec![],

@@ -181,7 +181,11 @@ mod tests {
     #[test]
     fn samples_in_unit_interval() {
         let mut rng = StdRng::seed_from_u64(3);
-        for b in [Beta::new(0.1, 9.0), Beta::new(1.0, 1.0), Beta::new(0.9, 2.0)] {
+        for b in [
+            Beta::new(0.1, 9.0),
+            Beta::new(1.0, 1.0),
+            Beta::new(0.9, 2.0),
+        ] {
             for _ in 0..500 {
                 let v = b.sample(&mut rng);
                 assert!((0.0..=1.0).contains(&v));
@@ -251,7 +255,10 @@ mod tests {
         for shape in [0.5, 1.0, 3.0] {
             let n = 30_000;
             let m: f64 = (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f64>() / n as f64;
-            assert!((m - shape).abs() < 0.05 * shape.max(1.0), "shape={shape} mean={m}");
+            assert!(
+                (m - shape).abs() < 0.05 * shape.max(1.0),
+                "shape={shape} mean={m}"
+            );
         }
     }
 }

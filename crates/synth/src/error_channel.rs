@@ -140,7 +140,14 @@ mod tests {
         let mut rel = clean();
         let before = rel.distinct_count(&AttrSet::single(AttrId(1)));
         let mut rng = StdRng::seed_from_u64(1);
-        let m = inject_errors(&mut rel, AttrId(0), AttrId(1), 10, ErrorType::Copy, &mut rng);
+        let m = inject_errors(
+            &mut rel,
+            AttrId(0),
+            AttrId(1),
+            10,
+            ErrorType::Copy,
+            &mut rng,
+        );
         assert_eq!(m, 10);
         assert!(rel.distinct_count(&AttrSet::single(AttrId(1))) <= before);
         assert!(!Fd::linear(AttrId(0), AttrId(1)).holds_in(&rel));
@@ -151,7 +158,14 @@ mod tests {
         let mut rel = clean();
         let before = rel.distinct_count(&AttrSet::single(AttrId(1)));
         let mut rng = StdRng::seed_from_u64(2);
-        inject_errors(&mut rel, AttrId(0), AttrId(1), 12, ErrorType::Typo, &mut rng);
+        inject_errors(
+            &mut rel,
+            AttrId(0),
+            AttrId(1),
+            12,
+            ErrorType::Typo,
+            &mut rng,
+        );
         let after = rel.distinct_count(&AttrSet::single(AttrId(1)));
         // At most 3 typo variants per original value.
         assert!(after <= before + 3 * before);
@@ -163,12 +177,16 @@ mod tests {
         let mut rel = clean();
         let before = rel.distinct_count(&AttrSet::single(AttrId(1)));
         let mut rng = StdRng::seed_from_u64(3);
-        let m = inject_errors(&mut rel, AttrId(0), AttrId(1), 8, ErrorType::Bogus, &mut rng);
-        assert_eq!(m, 8);
-        assert_eq!(
-            rel.distinct_count(&AttrSet::single(AttrId(1))),
-            before + 8
+        let m = inject_errors(
+            &mut rel,
+            AttrId(0),
+            AttrId(1),
+            8,
+            ErrorType::Bogus,
+            &mut rng,
         );
+        assert_eq!(m, 8);
+        assert_eq!(rel.distinct_count(&AttrSet::single(AttrId(1))), before + 8);
     }
 
     #[test]
@@ -179,7 +197,14 @@ mod tests {
         rel.set_value(0, AttrId(1), Value::Int(1));
         rel.set_value(4, AttrId(1), Value::Int(1));
         let mut rng = StdRng::seed_from_u64(4);
-        let m = inject_errors(&mut rel, AttrId(0), AttrId(1), 100, ErrorType::Bogus, &mut rng);
+        let m = inject_errors(
+            &mut rel,
+            AttrId(0),
+            AttrId(1),
+            100,
+            ErrorType::Bogus,
+            &mut rng,
+        );
         assert_eq!(m, 4);
     }
 
@@ -190,7 +215,14 @@ mod tests {
             rel.set_value(r, AttrId(1), Value::Null);
         }
         let mut rng = StdRng::seed_from_u64(5);
-        inject_errors(&mut rel, AttrId(0), AttrId(1), 60, ErrorType::Bogus, &mut rng);
+        inject_errors(
+            &mut rel,
+            AttrId(0),
+            AttrId(1),
+            60,
+            ErrorType::Bogus,
+            &mut rng,
+        );
         // The 30 NULLs must still be NULL.
         assert_eq!(rel.column(AttrId(1)).null_count(), 30);
     }
@@ -200,7 +232,14 @@ mod tests {
         let mut rel = clean();
         let xs_before: Vec<_> = (0..rel.n_rows()).map(|r| rel.value(r, AttrId(0))).collect();
         let mut rng = StdRng::seed_from_u64(6);
-        inject_errors(&mut rel, AttrId(0), AttrId(1), 20, ErrorType::Typo, &mut rng);
+        inject_errors(
+            &mut rel,
+            AttrId(0),
+            AttrId(1),
+            20,
+            ErrorType::Typo,
+            &mut rng,
+        );
         for (r, before) in xs_before.iter().enumerate() {
             assert_eq!(&rel.value(r, AttrId(0)), before);
         }

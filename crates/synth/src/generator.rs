@@ -103,12 +103,7 @@ pub fn generate_positive(p: &GenParams, rng: &mut impl Rng) -> (Relation, usize)
 ///
 /// Returns the number of cells modified (less than `k` only if the column
 /// is constant, in which case no error can be introduced at all).
-pub fn apply_copy_errors(
-    rel: &mut Relation,
-    y: AttrId,
-    k: usize,
-    rng: &mut impl Rng,
-) -> usize {
+pub fn apply_copy_errors(rel: &mut Relation, y: AttrId, k: usize, rng: &mut impl Rng) -> usize {
     let n = rel.n_rows();
     if n < 2 || k == 0 {
         return 0;

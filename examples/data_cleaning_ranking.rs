@@ -33,7 +33,7 @@ fn dirty_orders(n: usize, seed: u64) -> Relation {
         let mut category = product % 8; // product -> category by design
         let warehouse = rng.gen_range(0..12i64);
         let mut region = warehouse % 4; // warehouse -> region by design
-        // 1% data-entry errors on each derived column.
+                                        // 1% data-entry errors on each derived column.
         if rng.gen::<f64>() < 0.01 {
             category = rng.gen_range(0..8);
         }
@@ -74,7 +74,11 @@ fn main() {
         let ranked = rank_linear(&rel, measure.as_ref());
         println!("\ntop 5 candidates by {name}:");
         for (i, d) in ranked.iter().take(5).enumerate() {
-            let marker = if design.contains(&d.fd) { "  <- design FD" } else { "" };
+            let marker = if design.contains(&d.fd) {
+                "  <- design FD"
+            } else {
+                ""
+            };
             println!(
                 "  {}. {:<28} {:.4}{marker}",
                 i + 1,
@@ -84,7 +88,12 @@ fn main() {
         }
         let worst_rank = design
             .iter()
-            .map(|fd| ranked.iter().position(|d| &d.fd == fd).map_or(usize::MAX, |p| p + 1))
+            .map(|fd| {
+                ranked
+                    .iter()
+                    .position(|d| &d.fd == fd)
+                    .map_or(usize::MAX, |p| p + 1)
+            })
             .max()
             .expect("two design FDs");
         println!("  -> all design FDs recovered within the top {worst_rank}");

@@ -44,9 +44,7 @@ fn flights(n: usize, seed: u64) -> Relation {
 
 fn main() {
     let rel = flights(6000, 4);
-    println!(
-        "searching for minimal AFDs with |LHS| <= 2, epsilon = 0.9, measure = mu+ ...\n"
-    );
+    println!("searching for minimal AFDs with |LHS| <= 2, epsilon = 0.9, measure = mu+ ...\n");
     let measure = measure_by_name("mu+").expect("registered");
     let cfg = LatticeConfig {
         max_lhs: 2,
@@ -57,7 +55,11 @@ fn main() {
         println!("no AFDs found — try lowering epsilon");
     }
     for d in &found {
-        println!("  {:<44} score {:.4}", d.fd.display(rel.schema()).to_string(), d.score);
+        println!(
+            "  {:<44} score {:.4}",
+            d.fd.display(rel.schema()).to_string(),
+            d.score
+        );
     }
     println!(
         "\nThe composite dependency (airline,flight_no) -> destination is\n\

@@ -23,7 +23,11 @@ zip,city,customer
     let rel = read_csv(csv.as_bytes()).expect("well-formed CSV");
     let zip_city = Fd::linear(AttrId(0), AttrId(1));
 
-    println!("relation: {} rows, {} attributes", rel.n_rows(), rel.arity());
+    println!(
+        "relation: {} rows, {} attributes",
+        rel.n_rows(),
+        rel.arity()
+    );
     println!(
         "zip -> city holds exactly? {}  (row 6 has a typo)",
         zip_city.holds_in(&rel)

@@ -26,7 +26,10 @@ fn main() {
             seed: 99,
         };
         let sweep = sensitivity_sweep(&bench, &measures, 4);
-        println!("\nseparation on {} (higher = better discrimination):", axis.name());
+        println!(
+            "\nseparation on {} (higher = better discrimination):",
+            axis.name()
+        );
         print!("{:>10}", "param");
         for m in &measures {
             print!("{:>8}", m.name());

@@ -36,6 +36,44 @@
 //!
 //! The paper's practical recommendation is [`MuPlus`] (`µ⁺`): as robust
 //! as the best-ranking measure (`RFI′⁺`) but orders of magnitude faster.
+//!
+//! ## Architecture & performance
+//!
+//! Every measure consumes one of two grouping substrates — the
+//! contingency table (`X` vs `Y` joint frequencies) or the PLI (stripped
+//! partition) — and the paper shows their construction dominates every
+//! experiment. Both therefore run on the **columnar kernel substrate**
+//! in [`relation::kernels`]:
+//!
+//! * All hot loops use dense `u32` remap tables and counter vectors
+//!   with *generation stamps* (O(1) bulk clear), reused across calls via
+//!   a [`relation::Scratch`] — no `HashMap`s, no per-row key clones,
+//!   allocation-free in steady state. Single-threaded callers get a
+//!   thread-local scratch transparently; parallel callers hand each
+//!   worker its own via the `*_with` kernel variants.
+//! * Multi-attribute grouping folds columns through the **pair-code
+//!   kernel** ([`relation::combine_codes_with`]): each `(group, code)`
+//!   pair packs into one integer key remapped to dense ids — the same
+//!   primitive refines lattice nodes during non-linear discovery.
+//! * [`ContingencyTable`] and the PLI store their cells/clusters in
+//!   flat CSR vectors (one allocation each), built by counting sort
+//!   plus stamped tallies.
+//! * Non-linear discovery ([`discover_all`]) is **level-synchronous
+//!   parallel** (scoped threads, see `afd-parallel`): candidates are
+//!   generated sequentially for deterministic pruning, evaluated across
+//!   workers, and merged in order — output is byte-identical for every
+//!   thread count (`AFD_THREADS` overrides the worker count).
+//!   Minimality pruning uses a bitmask subset index instead of scanning
+//!   all emitted FDs.
+//!
+//! The original hash-based inner loops are retained in
+//! [`relation::naive`]; property tests pin `optimized ≡ naive`, and
+//! `cargo run --release -p afd-bench --example record_substrate`
+//! regenerates `BENCH_substrate.json` with optimized-vs-naive timings
+//! (≥ 3–6× on the 8 192-row bench fixture for contingency construction
+//! and PLI refinement). `cargo bench -p afd-bench` runs the wider
+//! criterion-style suites, including 65 536-row fixtures and end-to-end
+//! `discover_all`.
 
 pub use afd_core as measures;
 pub use afd_discovery as discovery;
@@ -47,8 +85,8 @@ pub use afd_synth as synth;
 
 // The most common names, flattened for convenience.
 pub use afd_core::{
-    all_measures, fast_measures, measure_by_name, Fi, G1Prime, G1S, Measure, MeasureClass,
-    MuPlus, Pdep, RfiPlus, RfiPrimePlus, Rho, Sfi, Tau, G1, G2, G3, G3Prime,
+    all_measures, fast_measures, measure_by_name, Fi, G1Prime, G3Prime, Measure, MeasureClass,
+    MuPlus, Pdep, RfiPlus, RfiPrimePlus, Rho, Sfi, Tau, G1, G1S, G2, G3,
 };
 pub use afd_discovery::{discover_all, discover_linear, rank_linear, LatticeConfig};
 pub use afd_eval::{auc_pr, rank_at_max_recall, violated_candidates, Labeled};

@@ -3,8 +3,8 @@
 
 use afd::eval::{auc_pr, violated_candidates, Labeled};
 use afd::{
-    all_measures, discover_linear, measure_by_name, read_csv, rank_linear, write_csv, AttrId,
-    Fd, MuPlus, RwdBenchmark,
+    all_measures, discover_linear, measure_by_name, rank_linear, read_csv, write_csv, AttrId, Fd,
+    MuPlus, RwdBenchmark,
 };
 
 const DIRTY_CSV: &str = "\
