@@ -140,6 +140,33 @@ fn main() {
         });
     }
 
+    // Encoding cache: score_matrix shares one group-encoding per distinct
+    // attribute set across candidates; the baseline re-encodes both sides
+    // of every candidate (the pre-cache `Fd::contingency` path). Single
+    // thread so only the amortisation is measured, not the fan-out.
+    for &n in &[8192usize, 65_536] {
+        let rel = wide_relation(n);
+        let cands = afd_eval::linear_candidates(&rel);
+        let measures = afd_core::fast_measures();
+        records.push(Record {
+            name: "score_matrix_encoding_cache".into(),
+            n,
+            optimized: time(3, 3, || {
+                black_box(afd_eval::score_matrix(&rel, &measures, &cands, 1));
+            }),
+            naive: time(3, 3, || {
+                let cols: Vec<Vec<f64>> = cands
+                    .iter()
+                    .map(|fd| {
+                        let t = fd.contingency(&rel);
+                        measures.iter().map(|m| m.score_contingency(&t)).collect()
+                    })
+                    .collect();
+                black_box(cols);
+            }),
+        });
+    }
+
     // End-to-end: parallel vs sequential lattice discovery (the "naive"
     // slot holds the sequential time; speedup = parallel scaling).
     for &n in &[8192usize, 65_536] {

@@ -21,6 +21,7 @@
 //!   export-rwd  write the benchmark as CSV + ground truth
 //!   nonlinear   extension: non-linear lattice discovery on RWD
 //!   mc-rfi      extension: Monte-Carlo RFI' vs exact RFI'+
+//!   stream      extension: incremental (delta-maintained) scoring under churn
 //!   profile <csv>  rank the AFDs of your own CSV file
 //!   all      everything above (paper artifacts + extensions)
 //!
@@ -39,6 +40,7 @@ mod exp_extensions;
 mod exp_profile;
 mod exp_rwd;
 mod exp_rwde;
+mod exp_stream;
 mod exp_synth;
 mod exp_table3;
 mod render;
@@ -50,7 +52,7 @@ use ctx::{Config, RwdEval};
 
 const USAGE: &str = "usage: afd <experiment> [--scale f] [--seed n] [--threads n] \
 [--budget-ms n] [--paper-scale] [--out dir]\n\
-experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]";
+experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi stream export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]";
 
 fn parse_flags(args: &[String]) -> Result<Config, String> {
     let mut cfg = Config::default();
@@ -132,6 +134,7 @@ fn main() -> ExitCode {
             "table8",
             "nonlinear",
             "mc-rfi",
+            "stream",
         ]
     } else {
         vec![cmd]
@@ -169,6 +172,7 @@ fn main() -> ExitCode {
             "export-rwd" => exp_export::export_rwd(&cfg),
             "nonlinear" => exp_extensions::nonlinear(&cfg),
             "mc-rfi" => exp_extensions::mc_rfi(&cfg),
+            "stream" => exp_stream::stream(&cfg),
             other => {
                 eprintln!("unknown experiment `{other}`\n{USAGE}");
                 return ExitCode::FAILURE;

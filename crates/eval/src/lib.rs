@@ -10,6 +10,8 @@
 //!   rank-at-max-recall;
 //! * [`separation`]: the δ(f, B) sensitivity sweeps behind Figures 1/3;
 //! * [`runtime`]: time-budgeted runs (Table V) and the RWD⁻ mechanism;
+//! * [`streaming`]: the incremental runtime path — delta-maintained
+//!   scoring over an `afd-stream` session with per-step traces;
 //! * [`metrics`]: winning numbers (Table IX) and mislabeled-candidate
 //!   statistics (Figure 2c).
 
@@ -19,10 +21,12 @@ pub mod pr;
 pub mod ranking;
 pub mod runtime;
 pub mod separation;
+pub mod streaming;
 
 pub use candidates::{linear_candidates, violated_candidates};
 pub use metrics::{average_stats, mislabeled_stats, winning_numbers, CandidateStats};
 pub use pr::{auc_pr, pr_curve, precision_at_max_recall, rank_at_max_recall, Labeled};
-pub use ranking::{build_tables, score_matrix};
+pub use ranking::{build_tables, score_matrix, warm_cache};
 pub use runtime::{common_completed, score_with_budget, MeasureRun};
 pub use separation::{average_scores, sensitivity_sweep, StepStats};
+pub use streaming::{stream_run, StreamRun, StreamStep};

@@ -1,0 +1,151 @@
+//! Streaming runtime path: drive an `afd-stream` session over a delta
+//! sequence and record per-step timings and score movements.
+//!
+//! This is the streaming counterpart of [`crate::runtime`]'s budgeted
+//! batch runs: instead of re-scoring snapshots, the tracked candidates'
+//! scores are delta-maintained, and each step reports how far every
+//! measure moved — the signal a serving system would alert or re-rank on.
+
+use std::time::{Duration, Instant};
+
+use afd_relation::{Fd, Relation};
+use afd_stream::{RowDelta, ScoreDiff, StreamError, StreamSession};
+
+/// Outcome of applying one delta.
+#[derive(Debug, Clone)]
+pub struct StreamStep {
+    /// Rows appended by the delta.
+    pub inserts: usize,
+    /// Rows tombstoned by the delta.
+    pub deletes: usize,
+    /// Wall-clock time of the incremental apply (all candidates).
+    pub elapsed: Duration,
+    /// Per-candidate score movement (subscription order).
+    pub diffs: Vec<ScoreDiff>,
+    /// Live rows after the delta.
+    pub n_live: usize,
+}
+
+impl StreamStep {
+    /// Largest absolute score movement across all candidates/measures.
+    pub fn max_movement(&self) -> f64 {
+        self.diffs
+            .iter()
+            .map(ScoreDiff::max_abs_delta)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A finished streaming run: the per-step trace plus the live session
+/// (for final-state inspection or further deltas).
+#[derive(Debug)]
+pub struct StreamRun {
+    /// One entry per applied delta, in order.
+    pub steps: Vec<StreamStep>,
+    /// The session after the last delta.
+    pub session: StreamSession,
+}
+
+impl StreamRun {
+    /// Total incremental apply time across all steps.
+    pub fn total_elapsed(&self) -> Duration {
+        self.steps.iter().map(|s| s.elapsed).sum()
+    }
+}
+
+/// Subscribes `candidates` on `base`, applies `deltas` in order, and
+/// records each step. `compact_every` enables periodic verified
+/// compaction (see `afd_stream::StreamSession::compact`).
+///
+/// # Errors
+/// Propagates [`StreamError`] from invalid deltas or (if compaction is
+/// enabled) incremental-vs-batch divergence.
+pub fn stream_run(
+    base: Relation,
+    candidates: &[Fd],
+    deltas: &[RowDelta],
+    compact_every: Option<u64>,
+) -> Result<StreamRun, StreamError> {
+    let mut session = StreamSession::from_relation(base);
+    if let Some(every) = compact_every {
+        session = session.with_compaction_every(every);
+    }
+    for fd in candidates {
+        session.subscribe(fd.clone())?;
+    }
+    let mut steps = Vec::with_capacity(deltas.len());
+    for delta in deltas {
+        let start = Instant::now();
+        let diffs = session.apply(delta)?;
+        let elapsed = start.elapsed();
+        steps.push(StreamStep {
+            inserts: delta.inserts.len(),
+            deletes: delta.deletes.len(),
+            elapsed,
+            diffs,
+            n_live: session.relation().n_live(),
+        });
+    }
+    Ok(StreamRun { steps, session })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_relation::{AttrId, Value};
+    use afd_stream::StreamScores;
+
+    fn base() -> Relation {
+        Relation::from_pairs((0..40).map(|i| (i % 8, (i % 8) * 10)))
+    }
+
+    fn insert(x: i64, y: i64) -> Vec<Value> {
+        vec![Value::Int(x), Value::Int(y)]
+    }
+
+    #[test]
+    fn run_traces_every_delta() {
+        let deltas = vec![
+            RowDelta::insert_only([insert(1, 99)]), // introduces a violation
+            RowDelta::delete_only([3]),
+            RowDelta::insert_only([insert(9, 90), insert(9, 90)]),
+        ];
+        let run = stream_run(
+            base(),
+            &[Fd::linear(AttrId(0), AttrId(1))],
+            &deltas,
+            Some(2),
+        )
+        .unwrap();
+        assert_eq!(run.steps.len(), 3);
+        assert_eq!(run.steps[0].inserts, 1);
+        assert_eq!(run.steps[1].deletes, 1);
+        assert!(run.steps[0].max_movement() > 0.0);
+        assert_eq!(run.steps[2].n_live, 42);
+        assert!(run.total_elapsed() >= run.steps[0].elapsed);
+        // Final scores agree with a batch rebuild of the live snapshot.
+        let snap = run.session.relation().snapshot();
+        let batch = Fd::linear(AttrId(0), AttrId(1)).contingency(&snap);
+        let g3 = run.session.scores(0).g3;
+        assert!(
+            (g3 - afd_core::measure_by_name("g3")
+                .unwrap()
+                .score_contingency(&batch))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn empty_delta_list_is_fine() {
+        let run = stream_run(base(), &[Fd::linear(AttrId(1), AttrId(0))], &[], None).unwrap();
+        assert!(run.steps.is_empty());
+        assert!(run.session.scores(0).bits_eq(&StreamScores::exact()));
+    }
+
+    #[test]
+    fn invalid_delta_surfaces_error() {
+        let deltas = vec![RowDelta::delete_only([1000])];
+        assert!(stream_run(base(), &[], &deltas, None).is_err());
+    }
+}

@@ -22,15 +22,36 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Default worker count: the `AFD_THREADS` env var when set (minimum 1),
-/// else the machine's available parallelism.
+/// Default worker count: the `AFD_THREADS` env var when set, else the
+/// machine's available parallelism.
+///
+/// # Panics
+/// Panics with a clear message when `AFD_THREADS` is set but is not a
+/// positive integer (`0`, garbage, empty). A misconfigured override used
+/// to fall through silently — either clamped to 1 or ignored — which on
+/// a single-core CI box is indistinguishable from working; failing loudly
+/// is the only observable behaviour there.
 pub fn max_threads() -> usize {
-    if let Ok(v) = std::env::var("AFD_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
+    match parse_thread_override(std::env::var("AFD_THREADS").ok().as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Err(e) => panic!("{e}"),
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parses an `AFD_THREADS` override: `None` when unset, `Some(n)` for a
+/// positive integer, and a descriptive error for `0` or garbage.
+fn parse_thread_override(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err("AFD_THREADS must be a positive worker count, got 0".to_string()),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "AFD_THREADS must be a positive worker count, got {raw:?}"
+        )),
+    }
 }
 
 /// Maps `f` over `items` on up to `threads` workers, returning results
@@ -140,5 +161,24 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_override_accepts_positive_integers() {
+        assert_eq!(parse_thread_override(None), Ok(None));
+        assert_eq!(parse_thread_override(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_thread_override(Some("16")), Ok(Some(16)));
+        assert_eq!(parse_thread_override(Some(" 4 ")), Ok(Some(4)));
+    }
+
+    #[test]
+    fn thread_override_rejects_zero_and_garbage() {
+        for bad in ["0", "", "  ", "-3", "two", "4.5", "1e3"] {
+            let err = parse_thread_override(Some(bad)).unwrap_err();
+            assert!(
+                err.contains("AFD_THREADS") && err.contains("positive"),
+                "unhelpful error for {bad:?}: {err}"
+            );
+        }
     }
 }

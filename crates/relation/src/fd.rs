@@ -63,6 +63,17 @@ impl Fd {
         ContingencyTable::from_relation_with(rel, &self.lhs, &self.rhs, nulls)
     }
 
+    /// As [`Fd::contingency`], sharing side encodings through `cache` so
+    /// repeated candidates over the same attribute sets stop re-encoding.
+    /// The cache must belong to `rel` (see [`crate::EncodingCache`]).
+    pub fn contingency_cached(
+        &self,
+        rel: &Relation,
+        cache: &mut crate::EncodingCache,
+    ) -> ContingencyTable {
+        cache.contingency(rel, self)
+    }
+
     /// FD satisfaction under explicit NULL semantics. With
     /// [`NullSemantics::NullAsValue`], NULL counts as one ordinary value,
     /// so two rows `(1, NULL)` and `(1, 5)` *violate* `X -> Y`.

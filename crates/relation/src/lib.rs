@@ -25,6 +25,7 @@
 //! assert_eq!(table.sum_row_max(), 3); // best FD-satisfying subrelation
 //! ```
 
+pub mod cache;
 pub mod contingency;
 pub mod csv;
 pub mod dictionary;
@@ -38,6 +39,7 @@ pub mod schema;
 pub mod stats;
 pub mod value;
 
+pub use cache::EncodingCache;
 pub use contingency::ContingencyTable;
 pub use csv::{read_csv, write_csv};
 pub use dictionary::{Dictionary, NULL_CODE};

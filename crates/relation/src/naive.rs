@@ -16,8 +16,9 @@ use std::collections::HashMap;
 
 use crate::dictionary::NULL_CODE;
 use crate::relation::{GroupEncoding, NullSemantics, Relation};
-use crate::schema::AttrId;
-use crate::{ContingencyTable, Pli};
+use crate::schema::{AttrId, AttrSet};
+use crate::value::Value;
+use crate::{ContingencyTable, Pli, Schema};
 
 /// Reference [`ContingencyTable::from_codes`]: per-row `HashMap` lookups
 /// with one map per X-group.
@@ -131,6 +132,35 @@ pub fn g3_violations(pli: &Pli, codes: &[u32]) -> u64 {
         violations += total - max;
     }
     violations
+}
+
+/// Reference [`Relation::project`]: materialises every cell as a
+/// [`Value`] and re-interns it row by row.
+pub fn project(rel: &Relation, attrs: &AttrSet) -> Relation {
+    let schema = Schema::new(
+        attrs
+            .ids()
+            .iter()
+            .map(|&a| rel.schema().name(a).to_string()),
+    )
+    .expect("attribute names unique in source schema");
+    let mut out = Relation::empty(schema);
+    for r in 0..rel.n_rows() {
+        let row: Vec<Value> = attrs.ids().iter().map(|&a| rel.value(r, a)).collect();
+        out.push_row(row).expect("arity matches");
+    }
+    out
+}
+
+/// Reference [`Relation::filter_rows`]: pushes kept rows value by value.
+pub fn filter_rows(rel: &Relation, mut keep: impl FnMut(usize) -> bool) -> Relation {
+    let mut out = Relation::empty(rel.schema().clone());
+    for r in 0..rel.n_rows() {
+        if keep(r) {
+            out.push_row(rel.row(r)).expect("same arity");
+        }
+    }
+    out
 }
 
 /// Reference multi-attribute [`Relation::group_encode_with`]: composite

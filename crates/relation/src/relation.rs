@@ -215,27 +215,54 @@ impl Relation {
     }
 
     /// Bag-based projection `π_attrs(R)` (keeps duplicates, keeps NULLs).
+    ///
+    /// Operates on dictionary codes directly: each kept column is one
+    /// `O(rows)` code copy plus a dictionary clone — no per-row `Value`
+    /// materialisation. The retained value-level reference is
+    /// [`crate::naive::project`]; the two are row-equivalent (identical
+    /// values and group structure) but may number dictionary codes
+    /// differently, which no grouping kernel observes (they all remap to
+    /// dense first-encounter ids).
     pub fn project(&self, attrs: &AttrSet) -> Relation {
         let schema = Schema::new(attrs.ids().iter().map(|&a| self.schema.name(a).to_string()))
             .expect("attribute names unique in source schema");
-        let mut out = Relation::empty(schema);
-        for r in 0..self.n_rows {
-            let row: Vec<Value> = attrs.ids().iter().map(|&a| self.value(r, a)).collect();
-            out.push_row(row).expect("arity matches");
+        let columns = attrs
+            .ids()
+            .iter()
+            .map(|&a| self.columns[a.index()].clone())
+            .collect();
+        Relation {
+            schema,
+            columns,
+            n_rows: self.n_rows,
         }
-        out.n_rows = self.n_rows;
-        out
     }
 
     /// Keeps only the rows for which `keep` returns `true`.
+    ///
+    /// Code-level like [`Relation::project`]: copies the kept rows' codes
+    /// per column and clones the dictionaries (which may then carry
+    /// values no surviving row references — invisible to grouping, which
+    /// remaps to present-only dense ids). Value-level reference:
+    /// [`crate::naive::filter_rows`].
     pub fn filter_rows(&self, mut keep: impl FnMut(usize) -> bool) -> Relation {
-        let mut out = Relation::empty(self.schema.clone());
-        for r in 0..self.n_rows {
-            if keep(r) {
-                out.push_row(self.row(r)).expect("same arity");
-            }
+        let kept: Vec<u32> = (0..self.n_rows)
+            .filter(|&r| keep(r))
+            .map(|r| r as u32)
+            .collect();
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| Column {
+                codes: kept.iter().map(|&r| col.codes[r as usize]).collect(),
+                dict: col.dict.clone(),
+            })
+            .collect();
+        Relation {
+            schema: self.schema.clone(),
+            columns,
+            n_rows: kept.len(),
         }
-        out
     }
 
     /// Dense group ids of each row over the attribute set `attrs`, with rows

@@ -235,4 +235,73 @@ proptest! {
             afd_relation::naive::g3_violations(&pli, &codes)
         );
     }
+
+    #[test]
+    fn code_level_project_matches_value_level(rows in rows3()) {
+        let rel = rel3(&rows);
+        for attrs in [
+            AttrSet::single(AttrId(1)),
+            AttrSet::new([AttrId(0), AttrId(2)]),
+            AttrSet::new([AttrId(0), AttrId(1), AttrId(2)]),
+        ] {
+            let fast = rel.project(&attrs);
+            let slow = afd_relation::naive::project(&rel, &attrs);
+            prop_assert_eq!(fast.n_rows(), slow.n_rows());
+            prop_assert_eq!(fast.schema(), slow.schema());
+            for r in 0..fast.n_rows() {
+                prop_assert_eq!(fast.row(r), slow.row(r), "row {} attrs {:?}", r, &attrs);
+            }
+            // Group structure (the only thing the kernels see) is
+            // byte-identical even though dictionary numbering may differ.
+            let all = AttrSet::new(fast.schema().attrs());
+            let fe = fast.group_encode(&all);
+            let se = slow.group_encode(&all);
+            prop_assert_eq!(&fe.codes, &se.codes);
+            prop_assert_eq!(fe.n_groups, se.n_groups);
+        }
+    }
+
+    #[test]
+    fn code_level_filter_rows_matches_value_level(rows in rows3()) {
+        let rel = rel3(&rows);
+        let keep = |r: usize| r % 3 != 1;
+        let fast = rel.filter_rows(keep);
+        let slow = afd_relation::naive::filter_rows(&rel, keep);
+        prop_assert_eq!(fast.n_rows(), slow.n_rows());
+        for r in 0..fast.n_rows() {
+            prop_assert_eq!(fast.row(r), slow.row(r), "row {}", r);
+        }
+        for a in 0..3u32 {
+            let attrs = AttrSet::single(AttrId(a));
+            let fe = fast.group_encode(&attrs);
+            let se = slow.group_encode(&attrs);
+            prop_assert_eq!(&fe.codes, &se.codes, "attr {}", a);
+            prop_assert_eq!(fe.n_groups, se.n_groups);
+            prop_assert_eq!(
+                fast.column(AttrId(a)).null_count(),
+                slow.column(AttrId(a)).null_count()
+            );
+        }
+    }
+
+    #[test]
+    fn cached_contingency_matches_uncached(rows in rows3()) {
+        let rel = rel3(&rows);
+        let mut cache = afd_relation::EncodingCache::new();
+        for (x, y) in [(0u32, 1u32), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)] {
+            let fd = afd_relation::Fd::linear(AttrId(x), AttrId(y));
+            let cached = fd.contingency_cached(&rel, &mut cache);
+            let direct = fd.contingency(&rel);
+            prop_assert_eq!(cached.n(), direct.n());
+            prop_assert_eq!(cached.row_totals(), direct.row_totals());
+            prop_assert_eq!(cached.col_totals(), direct.col_totals());
+            for i in 0..cached.n_x() {
+                prop_assert_eq!(cached.row(i), direct.row(i), "row {}", i);
+            }
+        }
+        // Three attributes, six candidates: every side re-encoding after
+        // the first three is a cache hit.
+        prop_assert_eq!(cache.misses(), 3);
+        prop_assert_eq!(cache.hits(), 9);
+    }
 }

@@ -1,0 +1,225 @@
+//! Row deltas, a deterministic churn generator, and the stream engine's
+//! error type.
+
+use afd_relation::{Relation, RelationError, Value};
+
+/// Global id of an inserted row: its position in the insertion log.
+///
+/// Row ids are assigned densely in arrival order and never reused while a
+/// [`crate::StreamSession`] is live; compaction renumbers them (dropping
+/// tombstones) and reports the mapping via
+/// [`crate::CompactionReport::rows_dropped`].
+pub type RowId = u32;
+
+/// A batch of changes to an incrementally maintained relation: tombstone
+/// deletes of previously inserted rows plus newly arriving rows.
+///
+/// Deletes refer to rows that existed *before* the delta (a row cannot be
+/// inserted and deleted by the same delta), and are applied first.
+#[derive(Debug, Clone, Default)]
+pub struct RowDelta {
+    /// Rows to append, each matching the schema's arity.
+    pub inserts: Vec<Vec<Value>>,
+    /// Ids of live rows to tombstone.
+    pub deletes: Vec<RowId>,
+}
+
+impl RowDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        RowDelta::default()
+    }
+
+    /// A pure-insert delta.
+    pub fn insert_only(rows: impl IntoIterator<Item = Vec<Value>>) -> Self {
+        RowDelta {
+            inserts: rows.into_iter().collect(),
+            deletes: Vec::new(),
+        }
+    }
+
+    /// A pure-delete delta.
+    pub fn delete_only(rows: impl IntoIterator<Item = RowId>) -> Self {
+        RowDelta {
+            inserts: Vec::new(),
+            deletes: rows.into_iter().collect(),
+        }
+    }
+
+    /// Number of individual change events in the delta.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// `true` iff the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// Deterministic churn generator for benches and experiments.
+///
+/// Each planned delta holds `k/2` deletes of currently live rows plus
+/// `k − k/2` re-inserts of `fixture` rows, so the live size stays
+/// constant while the engine is exercised. The planner mirrors the id
+/// assignment of a [`crate::StreamSession`] built over `fixture` with
+/// **all rows live** (e.g. via `StreamSession::from_relation`); the
+/// deltas it emits are valid against exactly that session, applied in
+/// order with no compaction in between (compaction renumbers ids —
+/// build a fresh planner from the compacted snapshot afterwards).
+#[derive(Debug, Clone)]
+pub struct ChurnPlanner<'a> {
+    fixture: &'a Relation,
+    live: Vec<RowId>,
+    next_id: RowId,
+    cursor: usize,
+}
+
+impl<'a> ChurnPlanner<'a> {
+    /// A planner over `fixture` (which must be non-empty).
+    ///
+    /// # Panics
+    /// Panics if `fixture` has no rows (nothing to churn).
+    pub fn new(fixture: &'a Relation) -> Self {
+        assert!(!fixture.is_empty(), "cannot churn an empty fixture");
+        ChurnPlanner {
+            fixture,
+            live: (0..fixture.n_rows() as RowId).collect(),
+            next_id: fixture.n_rows() as RowId,
+            cursor: 0,
+        }
+    }
+
+    /// The next delta of `k` events (`k/2` deletes, `k − k/2` inserts).
+    ///
+    /// # Panics
+    /// Panics if the delta would delete more rows than are live.
+    pub fn next_delta(&mut self, k: usize) -> RowDelta {
+        assert!(
+            k / 2 <= self.live.len(),
+            "delta wants {} deletes but only {} rows are live",
+            k / 2,
+            self.live.len()
+        );
+        let mut delta = RowDelta::new();
+        for i in 0..k / 2 {
+            let pick = (self.cursor * 7 + i * 13) % self.live.len();
+            delta.deletes.push(self.live.swap_remove(pick));
+        }
+        for _ in 0..k - k / 2 {
+            let src = self.cursor % self.fixture.n_rows();
+            delta.inserts.push(self.fixture.row(src));
+            self.live.push(self.next_id);
+            self.next_id += 1;
+            self.cursor += 1;
+        }
+        delta
+    }
+
+    /// Plans `steps` deltas of `k` events each.
+    pub fn plan(fixture: &'a Relation, steps: usize, k: usize) -> Vec<RowDelta> {
+        let mut planner = ChurnPlanner::new(fixture);
+        (0..steps).map(|_| planner.next_delta(k)).collect()
+    }
+}
+
+/// Errors of the incremental engine.
+///
+/// `apply` validates a whole delta before mutating anything, so a returned
+/// error leaves the session exactly as it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// An insert row's arity differs from the schema's.
+    Arity {
+        /// Schema arity.
+        expected: usize,
+        /// The offending row's arity.
+        got: usize,
+    },
+    /// A delete names a row id that was never inserted.
+    UnknownRow(RowId),
+    /// A delete names a row that is already tombstoned (possibly by an
+    /// earlier entry of the same delta).
+    AlreadyDeleted(RowId),
+    /// An FD references an attribute outside the schema.
+    UnknownAttr(u32),
+    /// Compaction found a divergence between the incremental state and a
+    /// batch rebuild — an engine bug surfaced loudly rather than served.
+    Diverged(String),
+    /// An underlying relation error.
+    Relation(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Arity { expected, got } => {
+                write!(f, "insert arity mismatch: expected {expected}, got {got}")
+            }
+            StreamError::UnknownRow(r) => write!(f, "delete of unknown row id {r}"),
+            StreamError::AlreadyDeleted(r) => write!(f, "row id {r} is already deleted"),
+            StreamError::UnknownAttr(a) => write!(f, "attribute #{a} outside the schema"),
+            StreamError::Diverged(what) => {
+                write!(f, "incremental state diverged from batch rebuild: {what}")
+            }
+            StreamError::Relation(e) => write!(f, "relation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<RelationError> for StreamError {
+    fn from(e: RelationError) -> Self {
+        StreamError::Relation(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_builders() {
+        let d = RowDelta::insert_only([vec![Value::Int(1)]]);
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+        let d = RowDelta::delete_only([3, 4]);
+        assert_eq!(d.len(), 2);
+        assert!(RowDelta::new().is_empty());
+    }
+
+    #[test]
+    fn churn_plan_is_valid_and_size_preserving() {
+        let fixture = Relation::from_pairs((0..32).map(|i| (i % 4, i % 3)));
+        let deltas = ChurnPlanner::plan(&fixture, 5, 8);
+        assert_eq!(deltas.len(), 5);
+        let mut session = crate::StreamSession::from_relation(fixture);
+        for delta in &deltas {
+            assert_eq!(delta.deletes.len(), 4);
+            assert_eq!(delta.inserts.len(), 4);
+            session.apply(delta).expect("planned deltas are valid");
+            assert_eq!(session.relation().n_live(), 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fixture")]
+    fn churn_planner_rejects_empty_fixture() {
+        let empty = Relation::from_pairs(std::iter::empty());
+        ChurnPlanner::new(&empty);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = StreamError::Arity {
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("expected 2"));
+        assert!(StreamError::UnknownRow(7).to_string().contains('7'));
+        assert!(StreamError::Diverged("pli".into())
+            .to_string()
+            .contains("pli"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # afd-stream
+//!
+//! Incremental AFD engine: delta-maintained PLIs, contingency tables and
+//! measure scores for streaming relations.
+//!
+//! The batch pipeline (`afd-relation` kernels + `afd-core` measures)
+//! answers "how strong is `X -> Y` on this snapshot?" in time linear in
+//! the relation. Under continuously-changing traffic that is the wrong
+//! cost model: a delta of `k` rows should cost `O(k)`, not `O(N)`. This
+//! crate provides exactly that:
+//!
+//! * [`IncrementalRelation`] — an append-only row log with tombstone
+//!   deletes; dictionary codes are stable for the life of the log, which
+//!   is what makes per-row group membership patchable.
+//! * [`StreamSession`] — subscribe candidate FDs, then
+//!   [`StreamSession::apply`] a [`RowDelta`] and get back a
+//!   [`ScoreDiff`] per candidate. Each tracked candidate delta-maintains
+//!   its dense side encodings (the incremental PLI membership), an
+//!   [`IncTable`] of joint counts, and the eleven efficiently computable
+//!   measure scores ([`StreamScores`]). Only touched groups are
+//!   re-aggregated; the Shannon entropy terms are patched group-by-group
+//!   through count-value histograms rather than recomputed.
+//! * [`StreamSession::compact`] — periodically rebuilds everything
+//!   through the batch kernels and **asserts equivalence** (exact for
+//!   PLIs and contingency tables, bit-exact for scores), so drift would
+//!   surface as [`StreamError::Diverged`] instead of silently serving
+//!   stale or wrong scores.
+//!
+//! Score reads are bitwise deterministic: every floating-point reduction
+//! iterates ordered count histograms, so a session that ingested a
+//! million deltas and a fresh session built from the final snapshot
+//! return bit-identical `f64`s — the property the crate's proptests pin.
+//!
+//! ```
+//! use afd_relation::{AttrId, Fd, Schema, Value};
+//! use afd_stream::{RowDelta, StreamSession};
+//!
+//! let mut session = StreamSession::new(Schema::new(["zip", "city"]).unwrap());
+//! let zip_city = session.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+//! let rows = [(94110, 1), (94110, 1), (10001, 2)];
+//! session.apply(&RowDelta::insert_only(rows.iter().map(|&(z, c)| {
+//!     vec![Value::Int(z), Value::Int(c)]
+//! }))).unwrap();
+//! assert_eq!(session.scores(zip_city).g3, 1.0); // exact so far
+//! let diffs = session.apply(&RowDelta::insert_only([
+//!     vec![Value::Int(94110), Value::Int(9)], // a typo arrives
+//! ])).unwrap();
+//! assert!(diffs[zip_city].after.g3 < 1.0);
+//! ```
+
+pub mod delta;
+pub mod session;
+pub mod table;
+
+pub use delta::{ChurnPlanner, RowDelta, RowId, StreamError};
+pub use session::{
+    plis_equal, tables_equal, CompactionReport, IncrementalRelation, ScoreDiff, StreamSession,
+};
+pub use table::{IncTable, StreamScores};

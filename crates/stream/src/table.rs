@@ -1,0 +1,557 @@
+//! Delta-maintained joint-count state and deterministic score reads.
+//!
+//! [`IncTable`] is the streaming counterpart of
+//! [`afd_relation::ContingencyTable`]: the same joint counts `n_ij`, row
+//! sums `a_i`, column sums `b_j` and `N`, but mutable one tuple at a time
+//! ([`IncTable::insert`] / [`IncTable::delete`], O(1) amortised each, plus
+//! an O(distinct-Y-of-group) max recomputation when a delete lowers a
+//! group's majority count).
+//!
+//! # Why score reads are bitwise deterministic
+//!
+//! Every maintained aggregate is an **integer** (exact under insert and
+//! delete), and every floating-point reduction in [`IncTable::scores`]
+//! iterates a `BTreeMap` *histogram* keyed by count value — never a group
+//! id, never a hash order. Two `IncTable`s holding the same multiset of
+//! counts therefore produce bit-identical `f64` scores, regardless of the
+//! insert/delete interleaving that built them. This is what lets the
+//! proptests pin `incremental == from-scratch rebuild` at the bit level,
+//! and lets compaction assert equivalence instead of "approximately
+//! equal".
+//!
+//! The per-group Shannon terms are thereby patched group-by-group: a
+//! touched group moves its old count out of the histogram and its new
+//! count in; untouched groups' contributions are never recomputed.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-X-group state: total, sum of squared cell counts, majority count,
+/// and the nonzero cells themselves.
+#[derive(Debug, Clone, Default)]
+struct XGroup {
+    /// `a_i = Σ_j n_ij`.
+    total: u64,
+    /// `Σ_j n_ij²`.
+    sq: u64,
+    /// `max_j n_ij` (the g3 majority).
+    max: u64,
+    /// Nonzero cells `y -> n_ij`.
+    ys: HashMap<u32, u64>,
+}
+
+/// Count-value histogram: `count -> how many groups/cells hold it`.
+///
+/// Distinct positive integers summing to `N` number at most `O(√N)`, so
+/// these stay tiny even for large relations — score reads cost
+/// `O(distinct count values)`, not `O(K)`.
+type CountHist = BTreeMap<u64, u64>;
+
+fn hist_inc(h: &mut CountHist, v: u64) {
+    if v > 0 {
+        *h.entry(v).or_insert(0) += 1;
+    }
+}
+
+fn hist_dec(h: &mut CountHist, v: u64) {
+    if v == 0 {
+        return;
+    }
+    let m = h.get_mut(&v).expect("histogram holds every live count");
+    *m -= 1;
+    if *m == 0 {
+        h.remove(&v);
+    }
+}
+
+/// `Σ v·log2(v) · mult` over a histogram, in ascending-key order.
+fn hist_entropy_sum(h: &CountHist) -> f64 {
+    let mut s = 0.0;
+    for (&v, &mult) in h {
+        if v > 1 {
+            s += mult as f64 * (v as f64) * (v as f64).log2();
+        }
+    }
+    s
+}
+
+/// Incrementally maintained joint counts of one FD candidate `X -> Y`.
+#[derive(Debug, Clone, Default)]
+pub struct IncTable {
+    /// Tuples currently counted (`N`).
+    n: u64,
+    /// X-groups by dense side id.
+    groups: HashMap<u32, XGroup>,
+    /// Column sums `b_j` by dense side id.
+    col_totals: HashMap<u32, u64>,
+    /// `|dom(XY)|`: number of nonzero cells.
+    nonzero_cells: u64,
+    /// `Σ_i max_j n_ij` (the g3 numerator).
+    sum_row_max: u64,
+    /// `Σ_i a_i` over groups with ≥ 2 distinct Y values (the g2 mass).
+    violating_mass: u64,
+    /// `Σ_i a_i²`, `Σ_j b_j²`, `Σ_ij n_ij²` — exact integers.
+    sum_sq_rows: u64,
+    sum_sq_cols: u64,
+    sum_sq_cells: u64,
+    /// Histograms of `a_i` / `b_j` / `n_ij` values (Shannon terms).
+    hist_rows: CountHist,
+    hist_cols: CountHist,
+    hist_cells: CountHist,
+    /// Histogram of `(a_i, Σ_j n_ij²)` group shapes (the pdep term).
+    hist_row_shape: BTreeMap<(u64, u64), u64>,
+}
+
+impl IncTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        IncTable::default()
+    }
+
+    /// Total tuple count `N`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// `K_X = |dom(X)|`.
+    pub fn n_x(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `K_Y = |dom(Y)|`.
+    pub fn n_y(&self) -> usize {
+        self.col_totals.len()
+    }
+
+    /// `|dom(XY)|`: nonzero cells.
+    pub fn nonzero_cells(&self) -> u64 {
+        self.nonzero_cells
+    }
+
+    /// `Σ_i max_j n_ij`.
+    pub fn sum_row_max(&self) -> u64 {
+        self.sum_row_max
+    }
+
+    /// `true` iff the (NULL-filtered) FD holds exactly: every X-group
+    /// carries a single Y value. Vacuously true when empty.
+    pub fn is_exact_fd(&self) -> bool {
+        self.nonzero_cells == self.groups.len() as u64
+    }
+
+    /// Counts one tuple `(x, y)` in.
+    pub fn insert(&mut self, x: u32, y: u32) {
+        self.n += 1;
+        // Column side.
+        let b = self.col_totals.entry(y).or_insert(0);
+        let old_b = *b;
+        *b += 1;
+        hist_dec(&mut self.hist_cols, old_b);
+        hist_inc(&mut self.hist_cols, old_b + 1);
+        self.sum_sq_cols += 2 * old_b + 1;
+        // Group side.
+        let g = self.groups.entry(x).or_default();
+        let old_a = g.total;
+        let old_sq = g.sq;
+        let old_distinct = g.ys.len();
+        let c = g.ys.entry(y).or_insert(0);
+        let old_c = *c;
+        *c += 1;
+        g.total += 1;
+        g.sq += 2 * old_c + 1;
+        if old_c + 1 > g.max {
+            self.sum_row_max += old_c + 1 - g.max;
+            g.max = old_c + 1;
+        }
+        let (new_total, new_sq, new_distinct) = (g.total, g.sq, g.ys.len());
+        if old_c == 0 {
+            self.nonzero_cells += 1;
+        }
+        self.sum_sq_cells += 2 * old_c + 1;
+        self.sum_sq_rows += 2 * old_a + 1;
+        hist_dec(&mut self.hist_cells, old_c);
+        hist_inc(&mut self.hist_cells, old_c + 1);
+        hist_dec(&mut self.hist_rows, old_a);
+        hist_inc(&mut self.hist_rows, old_a + 1);
+        self.shape_move((old_a, old_sq), (new_total, new_sq));
+        if old_distinct >= 2 {
+            self.violating_mass -= old_a;
+        }
+        if new_distinct >= 2 {
+            self.violating_mass += new_total;
+        }
+    }
+
+    /// Counts one tuple `(x, y)` out.
+    ///
+    /// # Panics
+    /// Panics if `(x, y)` is not currently counted (engine bug — callers
+    /// translate row ids to side ids, so a miss means corrupted state).
+    pub fn delete(&mut self, x: u32, y: u32) {
+        self.n -= 1;
+        // Column side.
+        let b = self
+            .col_totals
+            .get_mut(&y)
+            .expect("delete of uncounted y id");
+        let old_b = *b;
+        *b -= 1;
+        if *b == 0 {
+            self.col_totals.remove(&y);
+        }
+        hist_dec(&mut self.hist_cols, old_b);
+        hist_inc(&mut self.hist_cols, old_b - 1);
+        self.sum_sq_cols -= 2 * old_b - 1;
+        // Group side.
+        let g = self.groups.get_mut(&x).expect("delete of uncounted x id");
+        let old_a = g.total;
+        let old_sq = g.sq;
+        let old_distinct = g.ys.len();
+        let c = g.ys.get_mut(&y).expect("delete of uncounted cell");
+        let old_c = *c;
+        *c -= 1;
+        if *c == 0 {
+            g.ys.remove(&y);
+            self.nonzero_cells -= 1;
+        }
+        g.total -= 1;
+        g.sq -= 2 * old_c - 1;
+        if old_c == g.max {
+            // The decremented cell was (one of) the majority: re-derive
+            // the max over this group's remaining cells only.
+            let new_max = g.ys.values().copied().max().unwrap_or(0);
+            self.sum_row_max -= g.max - new_max;
+            g.max = new_max;
+        }
+        let (new_total, new_sq, new_distinct) = (g.total, g.sq, g.ys.len());
+        if new_total == 0 {
+            self.groups.remove(&x);
+        }
+        self.sum_sq_cells -= 2 * old_c - 1;
+        self.sum_sq_rows -= 2 * old_a - 1;
+        hist_dec(&mut self.hist_cells, old_c);
+        hist_inc(&mut self.hist_cells, old_c - 1);
+        hist_dec(&mut self.hist_rows, old_a);
+        hist_inc(&mut self.hist_rows, old_a - 1);
+        self.shape_move((old_a, old_sq), (new_total, new_sq));
+        if old_distinct >= 2 {
+            self.violating_mass -= old_a;
+        }
+        if new_distinct >= 2 {
+            self.violating_mass += new_total;
+        }
+    }
+
+    fn shape_move(&mut self, from: (u64, u64), to: (u64, u64)) {
+        if from.0 > 0 {
+            let m = self
+                .hist_row_shape
+                .get_mut(&from)
+                .expect("shape histogram holds every live group");
+            *m -= 1;
+            if *m == 0 {
+                self.hist_row_shape.remove(&from);
+            }
+        }
+        if to.0 > 0 {
+            *self.hist_row_shape.entry(to).or_insert(0) += 1;
+        }
+    }
+
+    /// The current scores of the incremental measure family.
+    ///
+    /// Applies the paper's conventions exactly like
+    /// [`afd_core::Measure::score_contingency`]: empty or exactly
+    /// satisfied tables score 1 across the board, everything else is
+    /// clamped into `[0, 1]`.
+    ///
+    /// [`afd_core::Measure::score_contingency`]:
+    /// https://docs.rs/afd-core (Measure trait)
+    pub fn scores(&self) -> StreamScores {
+        if self.n == 0 || self.is_exact_fd() {
+            return StreamScores::exact();
+        }
+        let nf = self.n as f64;
+        let kx = self.groups.len() as f64;
+        let n2 = nf * nf;
+        // VIOLATION family (pure integer ratios).
+        let rho = kx / self.nonzero_cells as f64;
+        let g2 = 1.0 - self.violating_mass as f64 / nf;
+        let g3 = self.sum_row_max as f64 / nf;
+        let k = self.groups.len() as u64;
+        let g3_prime = (self.sum_row_max - k) as f64 / (self.n - k) as f64;
+        // LOGICAL family. The integer sums are exact, and every partial
+        // f64 sum below 2^53 of integer terms is too, so these match the
+        // batch measures bit-for-bit.
+        let violating_pairs = (self.sum_sq_rows - self.sum_sq_cells) as f64;
+        let g1 = 1.0 - violating_pairs / n2;
+        let g1_prime = 1.0 - violating_pairs / (n2 - self.sum_sq_cells as f64);
+        // pdep via the group-shape histogram: Σ_i (a_i/N − sq_i/(a_i·N)),
+        // identical shapes merged, ascending shape order.
+        let mut ecl = 0.0;
+        for (&(a, sq), &mult) in &self.hist_row_shape {
+            let (af, sqf) = (a as f64, sq as f64);
+            ecl += mult as f64 * (af / nf - sqf / (af * nf));
+        }
+        let pdep = 1.0 - ecl.max(0.0);
+        let py = self.sum_sq_cols as f64 / n2;
+        let tau = (pdep - py) / (1.0 - py);
+        let e_pdep = py + (kx - 1.0) / (nf - 1.0) * (1.0 - py);
+        let mu_plus = ((pdep - e_pdep) / (1.0 - e_pdep)).max(0.0);
+        // SHANNON family via the count histograms:
+        // H(Y|X) = (Σ_i a·lg a − Σ_ij c·lg c)/N,
+        // H(Y)   = lg N − (Σ_j b·lg b)/N.
+        let s_rows = hist_entropy_sum(&self.hist_rows);
+        let s_cells = hist_entropy_sum(&self.hist_cells);
+        let s_cols = hist_entropy_sum(&self.hist_cols);
+        let hyx = ((s_rows - s_cells) / nf).max(0.0);
+        let hy = (nf.log2() - s_cols / nf).max(0.0);
+        let g1s = (1.0 - hyx).max(0.0);
+        // FD violated => |dom(Y)| ≥ 2 => H(Y) > 0.
+        let fi = 1.0 - hyx / hy;
+        StreamScores {
+            rho,
+            g2,
+            g3,
+            g3_prime,
+            g1s,
+            fi,
+            g1,
+            g1_prime,
+            pdep,
+            tau,
+            mu_plus,
+        }
+        .clamped()
+    }
+}
+
+/// Scores of the incrementally maintained measures: the paper's eleven
+/// *efficiently computable* measures (everything except the RFI family
+/// and SFI, whose permutation/smoothing sums are not decomposable into
+/// per-group patches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamScores {
+    /// ρ (CORDS co-occurrence ratio).
+    pub rho: f64,
+    /// g2 (non-violating tuple probability).
+    pub g2: f64,
+    /// g3 (largest satisfying subrelation).
+    pub g3: f64,
+    /// g3′ (rescaled g3).
+    pub g3_prime: f64,
+    /// g1ˢ (Shannon counterpart of g1).
+    pub g1s: f64,
+    /// FI (fraction of information).
+    pub fi: f64,
+    /// g1 (one minus violating-pair probability).
+    pub g1: f64,
+    /// g1′ (normalised g1).
+    pub g1_prime: f64,
+    /// pdep (Piatetsky-Shapiro & Matheus).
+    pub pdep: f64,
+    /// τ (Goodman & Kruskal).
+    pub tau: f64,
+    /// µ⁺ (the paper's recommended measure).
+    pub mu_plus: f64,
+}
+
+impl StreamScores {
+    /// Measure names in [`StreamScores::values`] order — the same paper
+    /// order as `afd_core::fast_measures()`.
+    pub const NAMES: [&'static str; 11] = [
+        "rho", "g2", "g3", "g3'", "g1S", "FI", "g1", "g1'", "pdep", "tau", "mu+",
+    ];
+
+    /// All scores 1.0 — the exactly-satisfied / empty convention.
+    pub fn exact() -> Self {
+        StreamScores {
+            rho: 1.0,
+            g2: 1.0,
+            g3: 1.0,
+            g3_prime: 1.0,
+            g1s: 1.0,
+            fi: 1.0,
+            g1: 1.0,
+            g1_prime: 1.0,
+            pdep: 1.0,
+            tau: 1.0,
+            mu_plus: 1.0,
+        }
+    }
+
+    /// The scores in [`StreamScores::NAMES`] order.
+    pub fn values(&self) -> [f64; 11] {
+        [
+            self.rho,
+            self.g2,
+            self.g3,
+            self.g3_prime,
+            self.g1s,
+            self.fi,
+            self.g1,
+            self.g1_prime,
+            self.pdep,
+            self.tau,
+            self.mu_plus,
+        ]
+    }
+
+    /// Looks a score up by its paper name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<f64> {
+        Self::NAMES
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(name))
+            .map(|i| self.values()[i])
+    }
+
+    /// Largest absolute per-measure difference to `other`.
+    pub fn max_abs_diff(&self, other: &StreamScores) -> f64 {
+        self.values()
+            .iter()
+            .zip(other.values())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// `true` iff every score is bit-identical to `other`'s.
+    pub fn bits_eq(&self, other: &StreamScores) -> bool {
+        self.values()
+            .iter()
+            .zip(other.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    fn clamped(mut self) -> Self {
+        for v in [
+            &mut self.rho,
+            &mut self.g2,
+            &mut self.g3,
+            &mut self.g3_prime,
+            &mut self.g1s,
+            &mut self.fi,
+            &mut self.g1,
+            &mut self.g1_prime,
+            &mut self.pdep,
+            &mut self.tau,
+            &mut self.mu_plus,
+        ] {
+            *v = v.clamp(0.0, 1.0);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Inserts the hand-computed fixture from the measure tests:
+    /// X=a: y1 ×3, y2 ×1 ; X=b: y1 ×4. N = 8.
+    fn fixture() -> IncTable {
+        let mut t = IncTable::new();
+        for _ in 0..3 {
+            t.insert(0, 0);
+        }
+        t.insert(0, 1);
+        for _ in 0..4 {
+            t.insert(1, 0);
+        }
+        t
+    }
+
+    #[test]
+    fn aggregates_match_hand_computation() {
+        let t = fixture();
+        assert_eq!(t.n(), 8);
+        assert_eq!(t.n_x(), 2);
+        assert_eq!(t.n_y(), 2);
+        assert_eq!(t.nonzero_cells(), 3);
+        assert_eq!(t.sum_row_max(), 3 + 4);
+        assert_eq!(t.sum_sq_rows, 16 + 16);
+        assert_eq!(t.sum_sq_cols, 49 + 1);
+        assert_eq!(t.sum_sq_cells, 9 + 1 + 16);
+        assert_eq!(t.violating_mass, 4);
+        assert!(!t.is_exact_fd());
+    }
+
+    #[test]
+    fn scores_match_paper_hand_values() {
+        let s = fixture().scores();
+        assert!((s.rho - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.g2 - 0.5).abs() < 1e-12);
+        assert!((s.g3 - 7.0 / 8.0).abs() < 1e-12);
+        assert!((s.g1 - (1.0 - 6.0 / 64.0)).abs() < 1e-12);
+        assert!((s.g1_prime - (1.0 - 6.0 / 38.0)).abs() < 1e-12);
+        assert!((s.pdep - 6.5 / 8.0).abs() < 1e-12);
+        assert!((s.tau - 2.0 / 14.0).abs() < 1e-12);
+        let h = 0.5 * -(0.75f64 * 0.75f64.log2() + 0.25 * 0.25f64.log2());
+        assert!((s.g1s - (1.0 - h)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delete_undoes_insert_exactly() {
+        let base = fixture();
+        let mut t = base.clone();
+        t.insert(0, 1);
+        t.insert(2, 5);
+        t.delete(2, 5);
+        t.delete(0, 1);
+        assert!(t.scores().bits_eq(&base.scores()));
+        assert_eq!(t.n(), base.n());
+        assert_eq!(t.hist_rows, base.hist_rows);
+        assert_eq!(t.hist_row_shape, base.hist_row_shape);
+    }
+
+    #[test]
+    fn delete_majority_cell_recomputes_max() {
+        let mut t = fixture();
+        // X=1 has only y1 ×4; delete two -> max drops to 2.
+        t.delete(1, 0);
+        t.delete(1, 0);
+        assert_eq!(t.sum_row_max(), 3 + 2);
+        // Delete X=0's majority down below the minority.
+        t.delete(0, 0);
+        t.delete(0, 0);
+        t.delete(0, 0);
+        // X=0 now has only y2 ×1 -> exact-FD shape for that group.
+        assert_eq!(t.sum_row_max(), 1 + 2);
+    }
+
+    #[test]
+    fn empty_and_exact_score_one() {
+        let t = IncTable::new();
+        assert!(t.scores().bits_eq(&StreamScores::exact()));
+        let mut t = IncTable::new();
+        t.insert(0, 0);
+        t.insert(1, 1);
+        t.insert(1, 1);
+        assert!(t.is_exact_fd());
+        assert_eq!(t.scores().g3, 1.0);
+        // One violation flips it.
+        t.insert(1, 0);
+        assert!(!t.is_exact_fd());
+        assert!(t.scores().g3 < 1.0);
+    }
+
+    #[test]
+    fn group_vanishes_when_emptied() {
+        let mut t = IncTable::new();
+        t.insert(5, 5);
+        t.delete(5, 5);
+        assert_eq!(t.n(), 0);
+        assert_eq!(t.n_x(), 0);
+        assert_eq!(t.n_y(), 0);
+        assert_eq!(t.nonzero_cells(), 0);
+        assert!(t.hist_rows.is_empty());
+        assert!(t.hist_row_shape.is_empty());
+    }
+
+    #[test]
+    fn names_align_with_values() {
+        let s = fixture().scores();
+        assert_eq!(s.get("mu+"), Some(s.mu_plus));
+        assert_eq!(s.get("G3'"), Some(s.g3_prime));
+        assert_eq!(s.get("nope"), None);
+        assert_eq!(StreamScores::NAMES.len(), s.values().len());
+    }
+}

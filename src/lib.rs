@@ -15,8 +15,9 @@
 //! | [`measures`] | `afd-core` | the 14 measures behind the [`Measure`] trait |
 //! | [`synth`] | `afd-synth` | Beta-distributed generators, error channels, ERR/UNIQ/SKEW |
 //! | [`rwd`] | `afd-rwd` | the simulated real-world benchmark (RWD / RWDe) |
-//! | [`eval`] | `afd-eval` | PR/AUC, rank-at-max-recall, separation, budgets |
+//! | [`eval`] | `afd-eval` | PR/AUC, rank-at-max-recall, separation, budgets, streaming runs |
 //! | [`discovery`] | `afd-discovery` | threshold + lattice (non-linear) AFD discovery |
+//! | [`stream`] | `afd-stream` | incremental engine: delta-maintained PLIs, tables, scores |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,38 @@
 //!   Minimality pruning uses a bitmask subset index instead of scanning
 //!   all emitted FDs.
 //!
+//! * Candidate scoring shares work one level higher too: `afd-eval`'s
+//!   `score_matrix` group-encodes each **distinct attribute set once**
+//!   into a [`relation::EncodingCache`] (warmed in parallel) and
+//!   assembles every candidate's contingency table from the cached side
+//!   codes, instead of re-encoding both sides per candidate.
+//!   [`Relation::project`] and `filter_rows` are code-level as well:
+//!   `O(rows)` code copies, no `Value` round-trips.
+//!
+//! ### Streaming: the incremental engine (`afd-stream`)
+//!
+//! The batch pipeline answers "how strong is `X -> Y` *on this
+//! snapshot*"; the [`stream`] subsystem keeps the answer fresh while the
+//! relation changes. Data flow:
+//!
+//! 1. [`RowDelta`]s (row inserts + tombstone deletes) enter a
+//!    [`StreamSession`] over an append-only, dictionary-stable row log.
+//! 2. Per subscribed candidate, the session delta-maintains the dense
+//!    side encodings (`row -> group id`, the incremental PLI
+//!    membership), the joint counts of an `IncTable` (cells, margins,
+//!    `Σ max`, `Σ n²`), and **count-value histograms** from which the
+//!    eleven fast measures ([`StreamScores`]) are read back.
+//! 3. Only touched groups are re-aggregated — Shannon entropy terms are
+//!    patched group-by-group through the histograms, never recomputed —
+//!    so an apply costs `O(|delta|)`, not `O(N)`: `BENCH_stream.json`
+//!    (from `cargo run --release -p afd-bench --example record_stream`)
+//!    records ~16× vs full recompute at a 1/256 delta on 65 536 rows.
+//! 4. Because every floating-point reduction iterates ordered
+//!    histograms, scores are *bit-identical* to a from-scratch rebuild;
+//!    periodic compaction exploits that to verify the incremental state
+//!    against the batch kernels (exact PLI/table equality, bit-exact
+//!    scores) before dropping tombstones.
+//!
 //! The original hash-based inner loops are retained in
 //! [`relation::naive`]; property tests pin `optimized ≡ naive`, and
 //! `cargo run --release -p afd-bench --example record_substrate`
@@ -81,6 +114,7 @@ pub use afd_entropy as entropy;
 pub use afd_eval as eval;
 pub use afd_relation as relation;
 pub use afd_rwd as rwd;
+pub use afd_stream as stream;
 pub use afd_synth as synth;
 
 // The most common names, flattened for convenience.
@@ -94,4 +128,5 @@ pub use afd_relation::{
     read_csv, write_csv, AttrId, AttrSet, ContingencyTable, Fd, Relation, Schema, Value,
 };
 pub use afd_rwd::RwdBenchmark;
+pub use afd_stream::{RowDelta, ScoreDiff, StreamScores, StreamSession};
 pub use afd_synth::{Axis, Beta, ErrorType, SynthBenchmark};
