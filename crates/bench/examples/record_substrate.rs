@@ -140,19 +140,34 @@ fn main() {
         });
     }
 
-    // Encoding cache: score_matrix shares one group-encoding per distinct
-    // attribute set across candidates; the baseline re-encodes both sides
-    // of every candidate (the pre-cache `Fd::contingency` path). Single
-    // thread so only the amortisation is measured, not the fan-out.
+    // Encoding cache: the engine's matrix request shares one
+    // group-encoding per distinct attribute set across candidates; the
+    // baseline re-encodes both sides of every candidate (the pre-cache
+    // `Fd::contingency` path). Single thread so only the amortisation is
+    // measured, not the fan-out.
     for &n in &[8192usize, 65_536] {
         let rel = wide_relation(n);
-        let cands = afd_eval::linear_candidates(&rel);
+        let cands = afd_engine::linear_candidates(&rel);
+        let measure_names: Vec<String> = afd_core::fast_measures()
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
         let measures = afd_core::fast_measures();
+        let mut engine = afd_engine::AfdEngine::from_relation(rel.clone())
+            .with_config(afd_engine::EngineConfig {
+                threads: Some(1),
+                ..afd_engine::EngineConfig::default()
+            })
+            .expect("valid config");
+        let req = afd_engine::MatrixRequest {
+            measures: measure_names,
+            candidates: afd_engine::CandidateSet::Fds(cands.clone()),
+        };
         records.push(Record {
             name: "score_matrix_encoding_cache".into(),
             n,
             optimized: time(3, 3, || {
-                black_box(afd_eval::score_matrix(&rel, &measures, &cands, 1));
+                black_box(engine.matrix(&req).expect("valid matrix request"));
             }),
             naive: time(3, 3, || {
                 let cols: Vec<Vec<f64>> = cands

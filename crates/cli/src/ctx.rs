@@ -28,6 +28,8 @@ pub struct Config {
     pub out_dir: PathBuf,
     /// Run synthetic benchmarks at full paper scale (50×50, 10k rows).
     pub paper_scale: bool,
+    /// Streaming shard count for the `stream` experiment.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -41,6 +43,7 @@ impl Default for Config {
             budget: Duration::from_millis(2000),
             out_dir: PathBuf::from("results"),
             paper_scale: false,
+            shards: 1,
         }
     }
 }

@@ -11,7 +11,7 @@
 //!   on the sensitivity sweeps.
 
 use afd_core::{measure_by_name, Measure, RfiMcPlus};
-use afd_discovery::{discover_all, LatticeConfig};
+use afd_engine::{AfdEngine, DiscoverRequest, EngineConfig};
 use afd_eval::sensitivity_sweep;
 use afd_rwd::RwdBenchmark;
 use afd_synth::{Axis, SynthBenchmark};
@@ -24,14 +24,7 @@ use crate::render::{f3, TextTable};
 /// design FDs, and how many are spurious.
 pub fn nonlinear(cfg: &Config) {
     let bench = RwdBenchmark::generate_scaled(cfg.scale.min(0.01), cfg.seed);
-    let measures: Vec<Box<dyn Measure>> = ["mu+", "g3'", "g3", "pdep"]
-        .into_iter()
-        .map(|n| measure_by_name(n).expect("registered"))
-        .collect();
-    let lattice = LatticeConfig {
-        max_lhs: 2,
-        epsilon: 0.9,
-    };
+    let measures = ["mu+", "g3'", "g3", "pdep"];
     let mut table = TextTable::new(["relation", "measure", "emitted", "design", "spurious"]);
     // Relations with ground-truth AFDs and manageable arity.
     for rel in bench
@@ -39,8 +32,21 @@ pub fn nonlinear(cfg: &Config) {
         .iter()
         .filter(|r| !r.afds.is_empty() && r.relation.arity() <= 18)
     {
+        let mut engine = AfdEngine::from_relation(rel.relation.clone())
+            .with_config(EngineConfig {
+                threads: Some(cfg.threads),
+                ..EngineConfig::default()
+            })
+            .expect("thread count from --threads is positive");
         for m in &measures {
-            let found = discover_all(&rel.relation, m.as_ref(), lattice);
+            let found = engine
+                .discover(&DiscoverRequest {
+                    measure: m.to_string(),
+                    epsilon: 0.9,
+                    max_lhs: 2,
+                })
+                .expect("registered measure, valid lattice config")
+                .found;
             // A result is "design" when some design AFD's LHS is a subset
             // of its LHS with the same RHS (a design FD or a weakening).
             let design = found
@@ -53,7 +59,7 @@ pub fn nonlinear(cfg: &Config) {
                 .count();
             table.row([
                 rel.name.to_string(),
-                m.name().to_string(),
+                m.to_string(),
                 found.len().to_string(),
                 design.to_string(),
                 (found.len() - design).to_string(),

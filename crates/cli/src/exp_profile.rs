@@ -8,10 +8,8 @@
 use std::fs::File;
 use std::io::BufReader;
 
-use afd_core::measure_by_name;
-use afd_discovery::{discover_all, rank_linear, LatticeConfig};
-use afd_eval::linear_candidates;
-use afd_relation::{lhs_uniqueness, read_csv, rhs_skew};
+use afd_engine::{linear_candidates, AfdEngine, DiscoverRequest};
+use afd_relation::{lhs_uniqueness, rhs_skew};
 
 use crate::render::{f3, TextTable};
 
@@ -95,24 +93,49 @@ pub fn parse_profile_args(args: &[String]) -> Result<ProfileOptions, String> {
     Ok(opts)
 }
 
-/// Runs the profiler.
+/// Runs the profiler — every question goes through the engine front door.
 pub fn profile(opts: &ProfileOptions) -> Result<(), String> {
     let file = File::open(&opts.path).map_err(|e| format!("{}: {e}", opts.path))?;
-    let rel = read_csv(BufReader::new(file)).map_err(|e| e.to_string())?;
-    let measure = measure_by_name(&opts.measure)
-        .ok_or_else(|| format!("unknown measure {}", opts.measure))?;
-    let schema = rel.schema().clone();
+    let mut engine = AfdEngine::from_csv(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let schema = engine.schema().clone();
     println!(
         "{}: {} rows x {} attributes",
         opts.path,
-        rel.n_rows(),
-        rel.arity()
+        engine.n_live(),
+        schema.arity()
     );
 
+    // Ranked AFDs via threshold discovery (also validates the measure
+    // name as a typed error instead of a lookup-and-format here).
+    let ranked = engine
+        .discover(&DiscoverRequest {
+            measure: opts.measure.clone(),
+            epsilon: opts.epsilon,
+            max_lhs: 1,
+        })
+        .map_err(|e| e.to_string())?
+        .found;
+    // Optional non-linear search.
+    let nonlinear = if opts.max_lhs > 1 {
+        Some(
+            engine
+                .discover(&DiscoverRequest {
+                    measure: opts.measure.clone(),
+                    epsilon: opts.epsilon,
+                    max_lhs: opts.max_lhs,
+                })
+                .map_err(|e| e.to_string())?
+                .found,
+        )
+    } else {
+        None
+    };
+    let rel = engine.snapshot();
+
     // Exact FDs (found by definition, not by ranking).
-    let exact: Vec<_> = linear_candidates(&rel)
+    let exact: Vec<_> = linear_candidates(rel)
         .into_iter()
-        .filter(|fd| fd.holds_in(&rel))
+        .filter(|fd| fd.holds_in(rel))
         .collect();
     println!("\nexact linear FDs ({}):", exact.len());
     for fd in exact.iter().take(opts.top) {
@@ -122,21 +145,14 @@ pub fn profile(opts: &ProfileOptions) -> Result<(), String> {
         println!("  ... and {} more", exact.len() - opts.top);
     }
 
-    // Ranked AFDs.
-    let ranked = rank_linear(&rel, measure.as_ref());
     let mut table = TextTable::new(["#", "AFD", &opts.measure, "lhs_uniq", "rhs_skew"]);
-    for (i, d) in ranked
-        .iter()
-        .take_while(|d| d.score >= opts.epsilon)
-        .take(opts.top)
-        .enumerate()
-    {
+    for (i, d) in ranked.iter().take(opts.top).enumerate() {
         table.row([
             (i + 1).to_string(),
             d.fd.display(&schema).to_string(),
             f3(d.score),
-            f3(lhs_uniqueness(&rel, d.fd.lhs())),
-            f3(rhs_skew(&rel, d.fd.rhs().ids()[0])),
+            f3(lhs_uniqueness(rel, d.fd.lhs())),
+            f3(rhs_skew(rel, d.fd.rhs().ids()[0])),
         ]);
     }
     println!(
@@ -145,13 +161,7 @@ pub fn profile(opts: &ProfileOptions) -> Result<(), String> {
     );
     table.print();
 
-    // Optional non-linear search.
-    if opts.max_lhs > 1 {
-        let cfg = LatticeConfig {
-            max_lhs: opts.max_lhs,
-            epsilon: opts.epsilon,
-        };
-        let found = discover_all(&rel, measure.as_ref(), cfg);
+    if let Some(found) = nonlinear {
         let nonlinear: Vec<_> = found.iter().filter(|d| !d.fd.is_linear()).collect();
         println!(
             "\nminimal non-linear AFDs (|LHS| <= {}, {} >= {}):",

@@ -1,19 +1,21 @@
 //! `stream`: the incremental engine (extension beyond the paper).
 //!
 //! Churns a Table-V-shaped noisy-FD relation with half-insert/half-delete
-//! deltas (1/256 of the rows per step) and reports, per step, the
-//! incremental apply time of `afd-stream` against the cost of a full
-//! batch recompute (`Fd::contingency` + the eleven fast measures), plus
-//! the resulting score movement of the tracked candidate. Periodic
-//! compaction runs with batch-kernel verification enabled, so any
-//! divergence aborts the experiment loudly.
+//! deltas (1/256 of the rows per step) through the `AfdEngine` front door
+//! and reports, per step, the incremental apply time against the cost of
+//! a full batch recompute (`Fd::contingency` plus the eleven fast
+//! measures), plus the resulting score movement of the tracked candidate.
+//! `--shards N` runs the session hash-partitioned across N shards
+//! (routing on the candidate's LHS) — score reads stay bit-identical to
+//! the unsharded run. The experiment closes with a verified compaction
+//! (per shard, against the batch kernels), so any divergence aborts
+//! loudly.
 
 use std::time::Instant;
 
 use afd_core::fast_measures;
-use afd_eval::stream_run;
-use afd_relation::{AttrId, Fd, Relation};
-use afd_stream::ChurnPlanner;
+use afd_engine::{stream_run, AfdEngine, ChurnPlanner, EngineConfig};
+use afd_relation::{AttrId, AttrSet, Fd, Relation};
 use afd_synth::{generate_positive, GenParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,16 +34,17 @@ fn fixture(n: usize, seed: u64) -> Relation {
     generate_positive(&p, &mut rng).0
 }
 
-/// `stream`: incremental vs batch scoring under churn.
+/// `stream`: incremental (optionally sharded) vs batch scoring under
+/// churn.
 pub fn stream(cfg: &Config) {
     let n = if cfg.paper_scale { 65_536 } else { 8_192 };
     let steps = 12;
     let k = (n / 256).max(2);
     let rel = fixture(n, cfg.seed);
     let fd = Fd::linear(AttrId(0), AttrId(1));
-    // Planned deltas mirror the session's id assignment, which only holds
-    // while no compaction renumbers rows — so the churn runs uncompacted
-    // and one verified compaction closes the experiment.
+    // Planned deltas mirror the engine's global id assignment, which only
+    // holds while no compaction renumbers rows — so the churn runs
+    // uncompacted and one verified compaction closes the experiment.
     let deltas = ChurnPlanner::plan(&rel, steps, k);
 
     // Batch reference: one full recompute of the tracked candidate on an
@@ -60,7 +63,15 @@ pub fn stream(cfg: &Config) {
     batch_times.sort_unstable();
     let batch = batch_times[batch_times.len() / 2];
 
-    let mut run = stream_run(rel, &[fd], &deltas, None).expect("planned deltas are valid");
+    let mut engine = AfdEngine::from_relation(rel)
+        .with_config(EngineConfig {
+            threads: Some(cfg.threads),
+            shards: cfg.shards,
+            shard_key: Some(AttrSet::single(AttrId(0))),
+            compact_every: None,
+        })
+        .expect("valid stream experiment config");
+    let run = stream_run(&mut engine, &[fd], &deltas).expect("planned deltas are valid");
 
     let mut table = TextTable::new([
         "step",
@@ -90,9 +101,13 @@ pub fn stream(cfg: &Config) {
     }
     println!(
         "\n== Extension — streaming engine: {n}-row fixture, {steps} deltas of {k} events\n\
-         (1/256 ratio, half inserts / half deletes) =="
+         (1/256 ratio, half inserts / half deletes, {} shard(s)) ==",
+        engine.n_shards()
     );
     table.print();
+    if engine.n_shards() > 1 {
+        println!("[shard sizes: {:?}]", engine.shard_sizes());
+    }
     let total_us = run.total_elapsed().as_secs_f64() * 1e6;
     let batch_us = batch.as_secs_f64() * 1e6;
     println!(
@@ -101,10 +116,9 @@ pub fn stream(cfg: &Config) {
         batch_us * steps as f64
     );
     // Close with a verified compaction: asserts the incremental PLIs,
-    // tables and scores against a batch rebuild before dropping
-    // tombstones (divergence would abort the experiment here).
-    let report = run
-        .session
+    // tables and scores against a batch rebuild, per shard, before
+    // dropping tombstones (divergence would abort the experiment here).
+    let report = engine
         .compact()
         .expect("incremental state must match batch kernels");
     println!(

@@ -31,7 +31,12 @@
 //!   --threads <n>      scoring threads (default: available cores)
 //!   --budget-ms <n>    per-measure per-relation budget (default 2000)
 //!   --paper-scale      run synthetic sweeps at full 50x50 paper scale
+//!   --shards <n>       stream experiment: sharded session fan-out (default 1)
 //!   --out <dir>        CSV output directory (default results/)
+//!
+//! Every experiment asks its questions through the `afd-engine` front
+//! door (`AfdEngine` requests); no experiment touches `StreamSession`,
+//! `score_matrix` or the discovery entry points directly.
 //! ```
 
 mod ctx;
@@ -51,7 +56,7 @@ use std::time::Duration;
 use ctx::{Config, RwdEval};
 
 const USAGE: &str = "usage: afd <experiment> [--scale f] [--seed n] [--threads n] \
-[--budget-ms n] [--paper-scale] [--out dir]\n\
+[--budget-ms n] [--paper-scale] [--shards n] [--out dir]\n\
 experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi stream export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]";
 
 fn parse_flags(args: &[String]) -> Result<Config, String> {
@@ -71,7 +76,10 @@ fn parse_flags(args: &[String]) -> Result<Config, String> {
             "--threads" => {
                 cfg.threads = take(&mut i)?
                     .parse()
-                    .map_err(|e| format!("--threads: {e}"))?
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if cfg.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
             }
             "--budget-ms" => {
                 cfg.budget = Duration::from_millis(
@@ -81,6 +89,14 @@ fn parse_flags(args: &[String]) -> Result<Config, String> {
                 )
             }
             "--paper-scale" => cfg.paper_scale = true,
+            "--shards" => {
+                cfg.shards = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if cfg.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
             "--out" => cfg.out_dir = take(&mut i)?.into(),
             other => return Err(format!("unknown flag {other}")),
         }

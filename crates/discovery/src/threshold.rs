@@ -6,8 +6,7 @@
 //! module extends it to multi-attribute LHS.
 
 use afd_core::Measure;
-use afd_eval::violated_candidates;
-use afd_relation::{Fd, Relation};
+use afd_relation::{violated_candidates, Fd, Relation};
 
 /// One discovered AFD with its score.
 #[derive(Debug, Clone)]

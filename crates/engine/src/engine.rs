@@ -1,0 +1,613 @@
+//! [`AfdEngine`]: one stateful front door over the batch, discovery and
+//! streaming back ends.
+
+use std::io::BufRead;
+
+use afd_core::{all_measures, measure_by_name, Measure};
+use afd_discovery::{discover_all_threaded, discover_linear, LatticeConfig};
+use afd_relation::{
+    linear_candidates, read_csv_typed, violated_candidates, AttrSet, CsvKind, Fd, Relation, Schema,
+};
+use afd_stream::{CompactionReport, ShardedSession, StreamScores};
+
+use crate::error::AfdError;
+use crate::ranking::score_matrix;
+use crate::request::{
+    CandidateSet, DeltaRequest, DeltaResponse, DiscoverRequest, DiscoverResponse, MatrixRequest,
+    MatrixResponse, ScoreRequest, ScoreResponse, SubscribeRequest, SubscribeResponse,
+};
+
+/// Engine-wide knobs, all optional.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Worker threads for batch scoring, discovery and shard fan-out.
+    /// `None` resolves `AFD_THREADS` / available parallelism at request
+    /// time (a bad override surfaces as [`AfdError::Config`], never a
+    /// panic).
+    pub threads: Option<usize>,
+    /// Streaming shard count; `0`/unset means 1 (a single unsharded
+    /// session).
+    pub shards: usize,
+    /// Hash-partitioning key for sharded streaming. Every subscribed
+    /// FD's LHS must contain it. `None` defaults to the first subscribed
+    /// candidate's LHS.
+    pub shard_key: Option<AttrSet>,
+    /// Auto-compact (with per-shard batch-kernel verification) every this
+    /// many applied deltas.
+    pub compact_every: Option<u64>,
+}
+
+/// The single typed entry point to everything this workspace can say
+/// about approximate functional dependencies.
+///
+/// An engine owns one evolving relation. Batch requests
+/// ([`AfdEngine::score`], [`AfdEngine::matrix`], [`AfdEngine::discover`])
+/// run on the current snapshot; streaming requests
+/// ([`AfdEngine::subscribe`], [`AfdEngine::delta`]) evolve the rows and
+/// keep subscribed candidates' scores fresh in O(delta) through a
+/// [`ShardedSession`] (N hash-partitioned `StreamSession` shards whose
+/// merged score reads are bit-identical to an unsharded session — and to
+/// the batch kernels). Every request returns `Result<_, AfdError>`.
+///
+/// ```
+/// use afd_engine::{AfdEngine, ScoreRequest};
+/// use afd_relation::{AttrId, Fd, Relation};
+///
+/// let rel = Relation::from_pairs([(1, 10), (1, 10), (2, 20), (2, 99)]);
+/// let mut engine = AfdEngine::from_relation(rel);
+/// let resp = engine
+///     .score(&ScoreRequest::new(Fd::linear(AttrId(0), AttrId(1)), "mu+"))
+///     .unwrap();
+/// assert!(resp.score > 0.0 && resp.score < 1.0);
+/// ```
+#[derive(Debug)]
+pub struct AfdEngine {
+    /// The current snapshot; authoritative until streaming starts, then a
+    /// lazily refreshed materialisation of the session's live rows.
+    base: Relation,
+    base_fresh: bool,
+    session: Option<ShardedSession>,
+    cfg: EngineConfig,
+}
+
+impl AfdEngine {
+    /// An engine over an empty relation with this schema.
+    pub fn new(schema: Schema) -> Self {
+        Self::from_relation(Relation::empty(schema))
+    }
+
+    /// An engine whose rows start as `rel`.
+    pub fn from_relation(rel: Relation) -> Self {
+        AfdEngine {
+            base: rel,
+            base_fresh: true,
+            session: None,
+            cfg: EngineConfig::default(),
+        }
+    }
+
+    /// An engine ingesting CSV (header + rows, inferred column types).
+    ///
+    /// # Errors
+    /// [`AfdError::Relation`] on malformed CSV or I/O failure.
+    pub fn from_csv(reader: impl BufRead) -> Result<Self, AfdError> {
+        Ok(Self::from_relation(read_csv_typed(reader, None)?))
+    }
+
+    /// As [`AfdEngine::from_csv`] with declared column types — a cell
+    /// that fails its declared type comes back as a typed
+    /// [`AfdError::Relation`] with line and column context (this path
+    /// used to abort the process via `expect`).
+    ///
+    /// # Errors
+    /// As [`AfdEngine::from_csv`], plus per-cell type failures.
+    pub fn from_csv_typed(reader: impl BufRead, kinds: &[CsvKind]) -> Result<Self, AfdError> {
+        Ok(Self::from_relation(read_csv_typed(reader, Some(kinds))?))
+    }
+
+    /// Applies a configuration. Must happen before the first streaming
+    /// request (the session is built from it).
+    ///
+    /// # Errors
+    /// [`AfdError::Config`] for zero threads, an out-of-schema shard key,
+    /// or reconfiguration after streaming started.
+    pub fn with_config(mut self, cfg: EngineConfig) -> Result<Self, AfdError> {
+        if self.session.is_some() {
+            return Err(AfdError::Config(
+                "engine already streaming; configure before the first subscribe/delta".into(),
+            ));
+        }
+        if cfg.threads == Some(0) {
+            return Err(AfdError::Config(
+                "threads must be at least 1 (or None for auto)".into(),
+            ));
+        }
+        if let Some(key) = &cfg.shard_key {
+            if let Some(&a) = key.ids().iter().find(|a| a.index() >= self.base.arity()) {
+                return Err(AfdError::Config(format!(
+                    "shard key attribute {a} outside the schema"
+                )));
+            }
+        }
+        self.cfg = cfg;
+        Ok(self)
+    }
+
+    /// The schema of the engine's relation.
+    pub fn schema(&self) -> &Schema {
+        self.base.schema()
+    }
+
+    /// Live rows (the streaming session's count once streaming started).
+    pub fn n_live(&self) -> usize {
+        match &self.session {
+            Some(s) => s.n_live(),
+            None => self.base.n_rows(),
+        }
+    }
+
+    /// Streaming shard count (1 until configured otherwise).
+    pub fn n_shards(&self) -> usize {
+        self.cfg.shards.max(1)
+    }
+
+    /// Live rows per streaming shard — how even the hash partitioning
+    /// came out (a single entry before streaming starts).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        match &self.session {
+            Some(s) => s.shard_sizes(),
+            None => vec![self.base.n_rows()],
+        }
+    }
+
+    /// The worker-thread count every request uses.
+    ///
+    /// # Errors
+    /// [`AfdError::Config`] when `AFD_THREADS` is set but invalid.
+    pub fn threads(&self) -> Result<usize, AfdError> {
+        match self.cfg.threads {
+            Some(n) => Ok(n),
+            None => afd_parallel::try_max_threads().map_err(AfdError::Config),
+        }
+    }
+
+    /// The current snapshot: the engine's rows as one compact relation,
+    /// refreshed from the streaming session when deltas have been applied
+    /// since the last batch request.
+    pub fn snapshot(&mut self) -> &Relation {
+        if !self.base_fresh {
+            if let Some(session) = &self.session {
+                self.base = session.snapshot();
+            }
+            self.base_fresh = true;
+        }
+        &self.base
+    }
+
+    fn check_fd(&self, fd: &Fd) -> Result<(), AfdError> {
+        let arity = self.base.arity();
+        for &a in fd.lhs().ids().iter().chain(fd.rhs().ids()) {
+            if a.index() >= arity {
+                return Err(AfdError::UnknownAttr(a.0));
+            }
+        }
+        Ok(())
+    }
+
+    fn measure(&self, name: &str) -> Result<Box<dyn Measure>, AfdError> {
+        measure_by_name(name).ok_or_else(|| AfdError::UnknownMeasure(name.to_string()))
+    }
+
+    /// Scores one FD under one measure on the current snapshot.
+    ///
+    /// # Errors
+    /// [`AfdError::UnknownMeasure`] / [`AfdError::UnknownAttr`].
+    pub fn score(&mut self, req: &ScoreRequest) -> Result<ScoreResponse, AfdError> {
+        let measure = self.measure(&req.measure)?;
+        self.check_fd(&req.fd)?;
+        let score = measure.score(self.snapshot(), &req.fd);
+        Ok(ScoreResponse {
+            fd: req.fd.clone(),
+            measure: measure.name(),
+            score,
+        })
+    }
+
+    /// Scores a candidate set under a measure set on the current
+    /// snapshot, sharing encodings through the cache-backed batch path
+    /// and fanning candidates across worker threads.
+    ///
+    /// # Errors
+    /// [`AfdError::UnknownMeasure`] / [`AfdError::UnknownAttr`] /
+    /// [`AfdError::Config`] (bad `AFD_THREADS`).
+    pub fn matrix(&mut self, req: &MatrixRequest) -> Result<MatrixResponse, AfdError> {
+        let measures: Vec<Box<dyn Measure>> = if req.measures.is_empty() {
+            all_measures()
+        } else {
+            req.measures
+                .iter()
+                .map(|name| self.measure(name))
+                .collect::<Result<_, _>>()?
+        };
+        if let CandidateSet::Fds(fds) = &req.candidates {
+            for fd in fds {
+                self.check_fd(fd)?;
+            }
+        }
+        let threads = self.threads()?;
+        let rel = self.snapshot();
+        let candidates = match &req.candidates {
+            CandidateSet::Violated => violated_candidates(rel),
+            CandidateSet::AllLinear => linear_candidates(rel),
+            CandidateSet::Fds(fds) => fds.clone(),
+        };
+        let scores = score_matrix(rel, &measures, &candidates, threads);
+        Ok(MatrixResponse {
+            measures: measures.iter().map(|m| m.name()).collect(),
+            candidates,
+            scores,
+        })
+    }
+
+    /// Runs discovery on the current snapshot: threshold over linear
+    /// candidates for `max_lhs == 1`, the level-synchronous parallel
+    /// lattice search otherwise.
+    ///
+    /// # Errors
+    /// [`AfdError::UnknownMeasure`] / [`AfdError::Config`] (epsilon
+    /// outside `[0, 1)`, zero `max_lhs`, bad `AFD_THREADS`).
+    pub fn discover(&mut self, req: &DiscoverRequest) -> Result<DiscoverResponse, AfdError> {
+        let measure = self.measure(&req.measure)?;
+        if !(0.0..1.0).contains(&req.epsilon) {
+            return Err(AfdError::Config(format!(
+                "epsilon must be in [0, 1), got {}",
+                req.epsilon
+            )));
+        }
+        if req.max_lhs == 0 {
+            return Err(AfdError::Config("max_lhs must be at least 1".into()));
+        }
+        let threads = self.threads()?;
+        let rel = self.snapshot();
+        let found = if req.max_lhs == 1 {
+            discover_linear(rel, measure.as_ref(), req.epsilon)
+        } else {
+            discover_all_threaded(
+                rel,
+                measure.as_ref(),
+                LatticeConfig {
+                    max_lhs: req.max_lhs,
+                    epsilon: req.epsilon,
+                },
+                threads,
+            )
+        };
+        Ok(DiscoverResponse { found })
+    }
+
+    fn ensure_session(&mut self, default_key: Option<&AttrSet>) -> Result<(), AfdError> {
+        if self.session.is_some() {
+            return Ok(());
+        }
+        let shards = self.n_shards();
+        let key = match (&self.cfg.shard_key, default_key) {
+            (Some(key), _) => key.clone(),
+            (None, _) if shards == 1 => AttrSet::empty(),
+            (None, Some(lhs)) => lhs.clone(),
+            (None, None) => {
+                return Err(AfdError::Config(
+                    "sharded streaming needs a shard key: set EngineConfig::shard_key or \
+                     subscribe a candidate first"
+                        .into(),
+                ))
+            }
+        };
+        let threads = self.threads()?;
+        let mut session =
+            ShardedSession::from_relation(self.base.clone(), key, shards)?.with_threads(threads);
+        if let Some(every) = self.cfg.compact_every {
+            session = session.with_compaction_every(every);
+        }
+        self.session = Some(session);
+        Ok(())
+    }
+
+    /// Subscribes a candidate FD for streaming score maintenance,
+    /// creating the (sharded) session on first use. With sharding and no
+    /// configured shard key, the first subscription's LHS becomes the
+    /// key.
+    ///
+    /// # Errors
+    /// [`AfdError::UnknownAttr`]; [`AfdError::Stream`] when the FD's LHS
+    /// does not contain the shard key.
+    pub fn subscribe(&mut self, req: &SubscribeRequest) -> Result<SubscribeResponse, AfdError> {
+        self.check_fd(&req.fd)?;
+        self.ensure_session(Some(req.fd.lhs()))?;
+        let session = self.session.as_mut().expect("ensured above");
+        let candidate = session.subscribe(req.fd.clone())?;
+        Ok(SubscribeResponse {
+            candidate,
+            scores: session.scores(candidate),
+        })
+    }
+
+    /// Applies one row delta, fanning it across the session shards, and
+    /// reports every subscribed candidate's score movement.
+    ///
+    /// # Errors
+    /// [`AfdError::Stream`] on invalid deltas (atomic: the engine is
+    /// unchanged) or compaction divergence; [`AfdError::Config`] when
+    /// sharding is configured without a shard key and nothing was
+    /// subscribed yet.
+    pub fn delta(&mut self, req: &DeltaRequest) -> Result<DeltaResponse, AfdError> {
+        self.ensure_session(None)?;
+        let session = self.session.as_mut().expect("ensured above");
+        let diffs = session.apply(&req.delta)?;
+        self.base_fresh = false;
+        Ok(DeltaResponse {
+            diffs,
+            n_live: session.n_live(),
+        })
+    }
+
+    /// The current delta-maintained scores of a subscribed candidate.
+    ///
+    /// # Errors
+    /// [`AfdError::NoSuchCandidate`].
+    pub fn scores(&self, candidate: usize) -> Result<StreamScores, AfdError> {
+        match &self.session {
+            Some(s) if candidate < s.n_candidates() => Ok(s.scores(candidate)),
+            _ => Err(AfdError::NoSuchCandidate(candidate)),
+        }
+    }
+
+    /// The FD of a subscribed candidate.
+    ///
+    /// # Errors
+    /// [`AfdError::NoSuchCandidate`].
+    pub fn candidate_fd(&self, candidate: usize) -> Result<&Fd, AfdError> {
+        match &self.session {
+            Some(s) if candidate < s.n_candidates() => Ok(s.fd(candidate)),
+            _ => Err(AfdError::NoSuchCandidate(candidate)),
+        }
+    }
+
+    /// Compacts the streaming session: every shard verifies its
+    /// incremental PLIs, tables and scores against a batch rebuild of its
+    /// slice of the snapshot, then tombstones are dropped. A no-op
+    /// (trivial report) before streaming starts.
+    ///
+    /// # Errors
+    /// [`AfdError::Stream`] ([`afd_stream::StreamError::Diverged`]) when
+    /// a shard's incremental state disagrees with the batch kernels.
+    pub fn compact(&mut self) -> Result<CompactionReport, AfdError> {
+        match &mut self.session {
+            Some(session) => {
+                // Compaction preserves the live rows and their global
+                // order, so a cached snapshot stays valid.
+                Ok(session.compact()?)
+            }
+            None => Ok(CompactionReport {
+                rows_dropped: 0,
+                candidates_checked: 0,
+                n_live: self.base.n_rows(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::CandidateSet;
+    use afd_relation::{AttrId, RelationError, Value};
+    use afd_stream::{RowDelta, StreamError};
+
+    fn noisy() -> Relation {
+        Relation::from_pairs((0..64).map(|i| (i % 8, if i == 5 { 99 } else { (i % 8) * 3 })))
+    }
+
+    #[test]
+    fn score_request_matches_measure_trait() {
+        let rel = noisy();
+        let fd = Fd::linear(AttrId(0), AttrId(1));
+        let want = afd_core::MuPlus.score(&rel, &fd);
+        let mut engine = AfdEngine::from_relation(rel);
+        let resp = engine.score(&ScoreRequest::new(fd, "MU+")).unwrap();
+        assert_eq!(resp.score, want);
+        assert_eq!(resp.measure, "mu+");
+    }
+
+    #[test]
+    fn unknown_measure_and_attr_are_typed_errors() {
+        let mut engine = AfdEngine::from_relation(noisy());
+        assert!(matches!(
+            engine.score(&ScoreRequest::new(Fd::linear(AttrId(0), AttrId(1)), "nope")),
+            Err(AfdError::UnknownMeasure(_))
+        ));
+        assert!(matches!(
+            engine.score(&ScoreRequest::new(Fd::linear(AttrId(0), AttrId(9)), "mu+")),
+            Err(AfdError::UnknownAttr(9))
+        ));
+    }
+
+    #[test]
+    fn matrix_covers_all_measures_and_violated_candidates() {
+        let mut engine = AfdEngine::from_relation(noisy());
+        let resp = engine.matrix(&MatrixRequest::default()).unwrap();
+        assert_eq!(resp.measures.len(), 14);
+        assert_eq!(resp.candidates.len(), 1); // only X->Y is violated (Y determines X here)
+        assert_eq!(resp.scores.len(), 14);
+        let mu = resp.score("mu+", 0).unwrap();
+        assert!((0.0..=1.0).contains(&mu));
+        assert!(resp.score("mu+", 99).is_none());
+        assert!(resp.score("bogus", 0).is_none());
+    }
+
+    #[test]
+    fn matrix_with_explicit_measures_and_candidates() {
+        let mut engine = AfdEngine::from_relation(noisy());
+        let fd = Fd::linear(AttrId(1), AttrId(0));
+        let resp = engine
+            .matrix(&MatrixRequest {
+                measures: vec!["g3".into(), "tau".into()],
+                candidates: CandidateSet::Fds(vec![fd.clone()]),
+            })
+            .unwrap();
+        assert_eq!(resp.measures, vec!["g3", "tau"]);
+        assert_eq!(resp.candidates, vec![fd]);
+        assert_eq!(resp.scores.len(), 2);
+        assert_eq!(resp.scores[0].len(), 1);
+    }
+
+    #[test]
+    fn discover_linear_and_lattice() {
+        let mut engine = AfdEngine::from_relation(noisy());
+        let linear = engine
+            .discover(&DiscoverRequest {
+                measure: "mu+".into(),
+                epsilon: 0.5,
+                max_lhs: 1,
+            })
+            .unwrap();
+        assert!(!linear.found.is_empty());
+        assert!(linear.found.iter().all(|d| d.score >= 0.5));
+        let lattice = engine
+            .discover(&DiscoverRequest {
+                measure: "g3'".into(),
+                epsilon: 0.5,
+                max_lhs: 2,
+            })
+            .unwrap();
+        assert!(lattice.found.len() >= linear.found.len().min(1));
+        // Bad epsilon is an error, not a panic.
+        assert!(matches!(
+            engine.discover(&DiscoverRequest {
+                measure: "mu+".into(),
+                epsilon: 1.5,
+                max_lhs: 1,
+            }),
+            Err(AfdError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn streaming_round_trip_matches_batch() {
+        let mut engine = AfdEngine::from_relation(noisy());
+        let fd = Fd::linear(AttrId(0), AttrId(1));
+        let sub = engine
+            .subscribe(&SubscribeRequest::new(fd.clone()))
+            .unwrap();
+        let resp = engine
+            .delta(&DeltaRequest::new(RowDelta::insert_only([vec![
+                Value::Int(0),
+                Value::Int(77),
+            ]])))
+            .unwrap();
+        assert_eq!(resp.n_live, 65);
+        assert!(resp.diffs[0].changed(1e-12));
+        // Batch request after the delta sees the streamed rows.
+        let score = engine
+            .score(&ScoreRequest::new(fd.clone(), "g3"))
+            .unwrap()
+            .score;
+        let stream_g3 = engine.scores(sub.candidate).unwrap().g3;
+        assert_eq!(score.to_bits(), stream_g3.to_bits());
+        // Verified compaction passes.
+        let report = engine.compact().unwrap();
+        assert_eq!(report.candidates_checked, 1);
+        assert_eq!(report.n_live, 65);
+    }
+
+    #[test]
+    fn sharded_streaming_via_config() {
+        let base = noisy();
+        let fd = Fd::linear(AttrId(0), AttrId(1));
+        let mut sharded = AfdEngine::from_relation(base.clone())
+            .with_config(EngineConfig {
+                shards: 3,
+                threads: Some(2),
+                ..EngineConfig::default()
+            })
+            .unwrap();
+        let mut single = AfdEngine::from_relation(base);
+        let cs = sharded
+            .subscribe(&SubscribeRequest::new(fd.clone()))
+            .unwrap();
+        let c1 = single
+            .subscribe(&SubscribeRequest::new(fd.clone()))
+            .unwrap();
+        let delta = RowDelta {
+            inserts: vec![vec![Value::Int(3), Value::Int(1)]],
+            deletes: vec![5, 17],
+        };
+        sharded.delta(&DeltaRequest::new(delta.clone())).unwrap();
+        single.delta(&DeltaRequest::new(delta)).unwrap();
+        let (a, b) = (
+            sharded.scores(cs.candidate).unwrap(),
+            single.scores(c1.candidate).unwrap(),
+        );
+        assert!(a.bits_eq(&b));
+        // LHS without the shard key is rejected through the unified error.
+        assert!(matches!(
+            sharded.subscribe(&SubscribeRequest::new(Fd::linear(AttrId(1), AttrId(0)))),
+            Err(AfdError::Stream(StreamError::ShardConfig(_)))
+        ));
+    }
+
+    #[test]
+    fn csv_ingest_errors_are_typed() {
+        let err = AfdEngine::from_csv("a,b\n1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, AfdError::Relation(RelationError::Csv { .. })));
+        let kinds = [CsvKind::Int, CsvKind::Int];
+        let err = AfdEngine::from_csv_typed("a,b\n1,x\n".as_bytes(), &kinds).unwrap_err();
+        match err {
+            AfdError::Relation(RelationError::Csv { line, msg }) => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("column `b`"), "{msg}");
+            }
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+        let ok = AfdEngine::from_csv("a,b\n1,10\n1,10\n2,20\n".as_bytes()).unwrap();
+        assert_eq!(ok.n_live(), 3);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(matches!(
+            AfdEngine::from_relation(noisy()).with_config(EngineConfig {
+                threads: Some(0),
+                ..EngineConfig::default()
+            }),
+            Err(AfdError::Config(_))
+        ));
+        assert!(matches!(
+            AfdEngine::from_relation(noisy()).with_config(EngineConfig {
+                shard_key: Some(AttrSet::single(AttrId(9))),
+                ..EngineConfig::default()
+            }),
+            Err(AfdError::Config(_))
+        ));
+        // Sharding without a key and without a subscription: deltas are
+        // rejected with guidance instead of misrouted.
+        let mut engine = AfdEngine::from_relation(noisy())
+            .with_config(EngineConfig {
+                shards: 2,
+                ..EngineConfig::default()
+            })
+            .unwrap();
+        assert!(matches!(
+            engine.delta(&DeltaRequest::new(RowDelta::delete_only([0]))),
+            Err(AfdError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn scores_without_session_is_typed_error() {
+        let engine = AfdEngine::from_relation(noisy());
+        assert!(matches!(
+            engine.scores(0),
+            Err(AfdError::NoSuchCandidate(0))
+        ));
+    }
+}

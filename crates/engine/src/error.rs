@@ -1,0 +1,104 @@
+//! The unified error of the engine front door.
+
+use afd_relation::RelationError;
+use afd_stream::StreamError;
+
+/// Everything an [`crate::AfdEngine`] request can fail with.
+///
+/// This enum absorbs the relation-layer errors (CSV ingest, schema,
+/// arity), the stream-layer errors (invalid deltas, shard configuration,
+/// compaction divergence) and the paths that used to `panic!`/`expect`
+/// (a misconfigured `AFD_THREADS`, a non-numeric cell in a typed CSV
+/// column) — the engine's contract is that *every* request returns
+/// `Result<_, AfdError>` and the process never aborts on bad input.
+#[derive(Debug)]
+pub enum AfdError {
+    /// A relation-substrate failure (CSV ingest, schema construction,
+    /// row arity, I/O).
+    Relation(RelationError),
+    /// A streaming failure (invalid delta, shard configuration,
+    /// incremental-vs-batch divergence).
+    Stream(StreamError),
+    /// No measure of this name exists (`afd_core::measure_by_name`).
+    UnknownMeasure(String),
+    /// An FD references an attribute id outside the engine's schema.
+    UnknownAttr(u32),
+    /// A streaming request referenced a candidate index that was never
+    /// subscribed.
+    NoSuchCandidate(usize),
+    /// Invalid engine configuration: zero threads, a bad `AFD_THREADS`
+    /// override, an out-of-range epsilon, sharding without a shard key.
+    Config(String),
+}
+
+impl std::fmt::Display for AfdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AfdError::Relation(e) => write!(f, "relation error: {e}"),
+            AfdError::Stream(e) => write!(f, "stream error: {e}"),
+            AfdError::UnknownMeasure(name) => write!(f, "unknown measure `{name}`"),
+            AfdError::UnknownAttr(a) => write!(f, "attribute #{a} outside the schema"),
+            AfdError::NoSuchCandidate(c) => write!(f, "no subscribed candidate #{c}"),
+            AfdError::Config(msg) => write!(f, "engine configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AfdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AfdError::Relation(e) => Some(e),
+            AfdError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for AfdError {
+    fn from(e: RelationError) -> Self {
+        AfdError::Relation(e)
+    }
+}
+
+impl From<StreamError> for AfdError {
+    fn from(e: StreamError) -> Self {
+        match e {
+            // Same meaning whether the batch or the stream path spots it.
+            StreamError::UnknownAttr(a) => AfdError::UnknownAttr(a),
+            other => AfdError::Stream(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = AfdError::from(RelationError::Csv {
+            line: 3,
+            msg: "bad cell".into(),
+        });
+        assert!(e.to_string().contains("line 3"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(AfdError::UnknownMeasure("nope".into())
+            .to_string()
+            .contains("nope"));
+        assert!(AfdError::Config("zero threads".into())
+            .to_string()
+            .contains("zero threads"));
+    }
+
+    #[test]
+    fn unknown_attr_unifies_across_layers() {
+        assert!(matches!(
+            AfdError::from(StreamError::UnknownAttr(7)),
+            AfdError::UnknownAttr(7)
+        ));
+        assert!(matches!(
+            AfdError::from(StreamError::UnknownRow(1)),
+            AfdError::Stream(StreamError::UnknownRow(1))
+        ));
+    }
+}

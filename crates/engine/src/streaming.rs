@@ -1,15 +1,20 @@
-//! Streaming runtime path: drive an `afd-stream` session over a delta
-//! sequence and record per-step timings and score movements.
+//! Streaming runs: drive an [`AfdEngine`] over a delta sequence and
+//! record per-step timings and score movements.
 //!
-//! This is the streaming counterpart of [`crate::runtime`]'s budgeted
-//! batch runs: instead of re-scoring snapshots, the tracked candidates'
-//! scores are delta-maintained, and each step reports how far every
-//! measure moved — the signal a serving system would alert or re-rank on.
+//! The streaming counterpart of `afd-eval`'s budgeted batch runs: instead
+//! of re-scoring snapshots, the subscribed candidates' scores are
+//! delta-maintained (sharded when the engine is configured so), and each
+//! step reports how far every measure moved — the signal a serving system
+//! would alert or re-rank on.
 
 use std::time::{Duration, Instant};
 
-use afd_relation::{Fd, Relation};
-use afd_stream::{RowDelta, ScoreDiff, StreamError, StreamSession};
+use afd_relation::Fd;
+use afd_stream::{RowDelta, ScoreDiff};
+
+use crate::engine::AfdEngine;
+use crate::error::AfdError;
+use crate::request::{DeltaRequest, SubscribeRequest};
 
 /// Outcome of applying one delta.
 #[derive(Debug, Clone)]
@@ -18,7 +23,8 @@ pub struct StreamStep {
     pub inserts: usize,
     /// Rows tombstoned by the delta.
     pub deletes: usize,
-    /// Wall-clock time of the incremental apply (all candidates).
+    /// Wall-clock time of the incremental apply (all candidates, all
+    /// shards).
     pub elapsed: Duration,
     /// Per-candidate score movement (subscription order).
     pub diffs: Vec<ScoreDiff>,
@@ -36,14 +42,13 @@ impl StreamStep {
     }
 }
 
-/// A finished streaming run: the per-step trace plus the live session
-/// (for final-state inspection or further deltas).
-#[derive(Debug)]
+/// A finished streaming run: the per-step trace. The engine stays with
+/// the caller for final-state inspection, further deltas or a verified
+/// [`AfdEngine::compact`].
+#[derive(Debug, Clone)]
 pub struct StreamRun {
     /// One entry per applied delta, in order.
     pub steps: Vec<StreamStep>,
-    /// The session after the last delta.
-    pub session: StreamSession,
 }
 
 impl StreamRun {
@@ -53,46 +58,40 @@ impl StreamRun {
     }
 }
 
-/// Subscribes `candidates` on `base`, applies `deltas` in order, and
-/// records each step. `compact_every` enables periodic verified
-/// compaction (see `afd_stream::StreamSession::compact`).
+/// Subscribes `candidates` on `engine`, applies `deltas` in order, and
+/// records each step.
 ///
 /// # Errors
-/// Propagates [`StreamError`] from invalid deltas or (if compaction is
-/// enabled) incremental-vs-batch divergence.
+/// Propagates [`AfdError`] from invalid subscriptions or deltas, and
+/// divergence if the engine auto-compacts.
 pub fn stream_run(
-    base: Relation,
+    engine: &mut AfdEngine,
     candidates: &[Fd],
     deltas: &[RowDelta],
-    compact_every: Option<u64>,
-) -> Result<StreamRun, StreamError> {
-    let mut session = StreamSession::from_relation(base);
-    if let Some(every) = compact_every {
-        session = session.with_compaction_every(every);
-    }
+) -> Result<StreamRun, AfdError> {
     for fd in candidates {
-        session.subscribe(fd.clone())?;
+        engine.subscribe(&SubscribeRequest::new(fd.clone()))?;
     }
     let mut steps = Vec::with_capacity(deltas.len());
     for delta in deltas {
         let start = Instant::now();
-        let diffs = session.apply(delta)?;
+        let resp = engine.delta(&DeltaRequest::new(delta.clone()))?;
         let elapsed = start.elapsed();
         steps.push(StreamStep {
             inserts: delta.inserts.len(),
             deletes: delta.deletes.len(),
             elapsed,
-            diffs,
-            n_live: session.relation().n_live(),
+            diffs: resp.diffs,
+            n_live: resp.n_live,
         });
     }
-    Ok(StreamRun { steps, session })
+    Ok(StreamRun { steps })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use afd_relation::{AttrId, Value};
+    use afd_relation::{AttrId, Relation, Value};
     use afd_stream::StreamScores;
 
     fn base() -> Relation {
@@ -110,42 +109,37 @@ mod tests {
             RowDelta::delete_only([3]),
             RowDelta::insert_only([insert(9, 90), insert(9, 90)]),
         ];
-        let run = stream_run(
-            base(),
-            &[Fd::linear(AttrId(0), AttrId(1))],
-            &deltas,
-            Some(2),
-        )
-        .unwrap();
+        let mut engine = AfdEngine::from_relation(base());
+        let run = stream_run(&mut engine, &[Fd::linear(AttrId(0), AttrId(1))], &deltas).unwrap();
         assert_eq!(run.steps.len(), 3);
         assert_eq!(run.steps[0].inserts, 1);
         assert_eq!(run.steps[1].deletes, 1);
         assert!(run.steps[0].max_movement() > 0.0);
         assert_eq!(run.steps[2].n_live, 42);
         assert!(run.total_elapsed() >= run.steps[0].elapsed);
-        // Final scores agree with a batch rebuild of the live snapshot.
-        let snap = run.session.relation().snapshot();
-        let batch = Fd::linear(AttrId(0), AttrId(1)).contingency(&snap);
-        let g3 = run.session.scores(0).g3;
-        assert!(
-            (g3 - afd_core::measure_by_name("g3")
-                .unwrap()
-                .score_contingency(&batch))
-            .abs()
-                < 1e-12
-        );
+        // Final streamed scores agree with a batch request on the same
+        // engine.
+        let fd = Fd::linear(AttrId(0), AttrId(1));
+        let batch = engine
+            .score(&crate::request::ScoreRequest::new(fd, "g3"))
+            .unwrap()
+            .score;
+        let streamed = engine.scores(0).unwrap().g3;
+        assert_eq!(batch.to_bits(), streamed.to_bits());
     }
 
     #[test]
     fn empty_delta_list_is_fine() {
-        let run = stream_run(base(), &[Fd::linear(AttrId(1), AttrId(0))], &[], None).unwrap();
+        let mut engine = AfdEngine::from_relation(base());
+        let run = stream_run(&mut engine, &[Fd::linear(AttrId(1), AttrId(0))], &[]).unwrap();
         assert!(run.steps.is_empty());
-        assert!(run.session.scores(0).bits_eq(&StreamScores::exact()));
+        assert!(engine.scores(0).unwrap().bits_eq(&StreamScores::exact()));
     }
 
     #[test]
     fn invalid_delta_surfaces_error() {
+        let mut engine = AfdEngine::from_relation(base());
         let deltas = vec![RowDelta::delete_only([1000])];
-        assert!(stream_run(base(), &[], &deltas, None).is_err());
+        assert!(stream_run(&mut engine, &[], &deltas).is_err());
     }
 }

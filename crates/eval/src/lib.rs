@@ -2,31 +2,29 @@
 //!
 //! The evaluation harness of the comparative study:
 //!
-//! * [`candidates`]: linear candidate enumeration with the paper's
-//!   co-occurrence and violation filters;
-//! * [`ranking`]: (parallel) scoring of candidate sets under all measures,
-//!   sharing contingency construction;
+//! * [`ranking`]: shared contingency-table construction for candidate
+//!   sets (the budgeted runs' input);
 //! * [`pr`]: PR curves, AUC-PR (average precision with tie grouping),
 //!   rank-at-max-recall;
 //! * [`separation`]: the δ(f, B) sensitivity sweeps behind Figures 1/3;
 //! * [`runtime`]: time-budgeted runs (Table V) and the RWD⁻ mechanism;
-//! * [`streaming`]: the incremental runtime path — delta-maintained
-//!   scoring over an `afd-stream` session with per-step traces;
 //! * [`metrics`]: winning numbers (Table IX) and mislabeled-candidate
 //!   statistics (Figure 2c).
+//!
+//! Candidate *scoring* — one-off, matrix, streaming or discovery — goes
+//! through the engine front door (`afd_engine::AfdEngine`); candidate
+//! enumeration lives in `afd_relation::candidates` (re-exported here for
+//! convenience).
 
-pub mod candidates;
 pub mod metrics;
 pub mod pr;
 pub mod ranking;
 pub mod runtime;
 pub mod separation;
-pub mod streaming;
 
-pub use candidates::{linear_candidates, violated_candidates};
+pub use afd_relation::{linear_candidates, violated_candidates};
 pub use metrics::{average_stats, mislabeled_stats, winning_numbers, CandidateStats};
 pub use pr::{auc_pr, pr_curve, precision_at_max_recall, rank_at_max_recall, Labeled};
-pub use ranking::{build_tables, score_matrix, warm_cache};
+pub use ranking::build_tables;
 pub use runtime::{common_completed, score_with_budget, MeasureRun};
 pub use separation::{average_scores, sensitivity_sweep, StepStats};
-pub use streaming::{stream_run, StreamRun, StreamStep};

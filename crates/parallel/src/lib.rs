@@ -30,13 +30,29 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// positive integer (`0`, garbage, empty). A misconfigured override used
 /// to fall through silently — either clamped to 1 or ignored — which on
 /// a single-core CI box is indistinguishable from working; failing loudly
-/// is the only observable behaviour there.
+/// is the only observable behaviour there. Callers that would rather get
+/// a `Result` (the engine front door) use [`try_max_threads`].
 pub fn max_threads() -> usize {
-    match parse_thread_override(std::env::var("AFD_THREADS").ok().as_deref()) {
-        Ok(Some(n)) => n,
-        Ok(None) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    match try_max_threads() {
+        Ok(n) => n,
         Err(e) => panic!("{e}"),
     }
+}
+
+/// As [`max_threads`], but a misconfigured `AFD_THREADS` comes back as
+/// `Err` (same message the panic would carry) instead of aborting — the
+/// form `AfdEngine` callers consume.
+///
+/// # Errors
+/// A descriptive message when `AFD_THREADS` is set but is not a positive
+/// integer (`0`, garbage, empty).
+pub fn try_max_threads() -> Result<usize, String> {
+    Ok(
+        match parse_thread_override(std::env::var("AFD_THREADS").ok().as_deref())? {
+            Some(n) => n,
+            None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        },
+    )
 }
 
 /// Parses an `AFD_THREADS` override: `None` when unset, `Some(n)` for a
@@ -120,6 +136,50 @@ where
         .collect()
 }
 
+/// Maps `f` over mutable items on up to `threads` workers, returning
+/// results in input order. Unlike [`par_map`] the items are handed out as
+/// contiguous per-worker chunks (not stolen one by one), which is the
+/// right shape for its use case — fanning deltas across session shards,
+/// where item counts are small and per-item cost is balanced by routing.
+pub fn par_map_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n < 2 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    let mut buckets: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(w, slice)| {
+                let f = &f;
+                scope.spawn(move || {
+                    slice
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(j, item)| f(w * chunk + j, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            buckets.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    buckets.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +221,37 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn try_max_threads_agrees_with_max_threads() {
+        // Neither form consults the env here beyond what the other does;
+        // with a clean/valid environment both return the same count.
+        assert_eq!(try_max_threads().unwrap(), max_threads());
+    }
+
+    #[test]
+    fn par_map_mut_mutates_in_place_and_preserves_order() {
+        let mut items: Vec<u64> = (0..97).collect();
+        for threads in [1, 2, 4, 8] {
+            let mut clone = items.clone();
+            let out = par_map_mut(&mut clone, threads, |i, x| {
+                *x += 1;
+                *x + i as u64
+            });
+            let seq: Vec<u64> = items.iter().map(|&x| x + x + 1).collect();
+            assert_eq!(out, seq, "threads={threads}");
+            assert!(clone.iter().zip(&items).all(|(a, b)| *a == b + 1));
+        }
+        let _ = &mut items;
+    }
+
+    #[test]
+    fn par_map_mut_empty_and_single() {
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(par_map_mut(&mut empty, 4, |_, x| *x).is_empty());
+        let mut one = vec![7u32];
+        assert_eq!(par_map_mut(&mut one, 4, |_, x| *x + 1), vec![8]);
     }
 
     #[test]

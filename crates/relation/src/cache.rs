@@ -5,8 +5,8 @@
 //! relation re-encodes each attribute up to `2(m−1)` times. An
 //! [`EncodingCache`] amortises that: each distinct [`AttrSet`] is encoded
 //! once and the resulting [`GroupEncoding`] is shared by every candidate
-//! that mentions it — both by the batch `score_matrix` path in `afd-eval`
-//! and by the stream engine's compaction checks.
+//! that mentions it — both by the engine front door's batch matrix path
+//! (`afd-engine`) and by the stream engine's compaction checks.
 //!
 //! A cache is tied to the relation whose encodings it holds; it never
 //! stores the relation itself, so reusing one cache across different (or

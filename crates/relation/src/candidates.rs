@@ -4,8 +4,16 @@
 //! that at least one tuple has non-NULL values in both attributes. The
 //! evaluation then restricts attention to candidates **violated** in the
 //! relation (discovery only ever returns FDs with `f < 1`).
+//!
+//! This lives in the relation substrate (rather than the evaluation
+//! harness) because everything above it — threshold discovery, the
+//! engine's matrix requests, the eval pipeline — enumerates candidates
+//! the same way.
 
-use afd_relation::{AttrId, Fd, Relation, NULL_CODE};
+use crate::dictionary::NULL_CODE;
+use crate::fd::Fd;
+use crate::relation::Relation;
+use crate::schema::AttrId;
 
 /// All linear candidates `X -> Y` (`X ≠ Y`) with a non-NULL co-occurrence.
 pub fn linear_candidates(rel: &Relation) -> Vec<Fd> {
@@ -44,7 +52,8 @@ fn co_occur(rel: &Relation, x: AttrId, y: AttrId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use afd_relation::{Schema, Value};
+    use crate::schema::{AttrSet, Schema};
+    use crate::value::Value;
 
     #[test]
     fn all_ordered_pairs_when_no_nulls() {
@@ -78,7 +87,7 @@ mod tests {
         let rel = Relation::from_pairs([(1, 10), (2, 10), (1, 10)]);
         let v = violated_candidates(&rel);
         assert_eq!(v.len(), 1);
-        assert_eq!(v[0].lhs().ids(), [AttrId(1)]);
+        assert_eq!(v[0].lhs(), &AttrSet::single(AttrId(1)));
     }
 
     #[test]

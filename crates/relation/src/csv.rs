@@ -8,7 +8,7 @@ use std::io::{BufRead, Write};
 
 use crate::error::RelationError;
 use crate::relation::Relation;
-use crate::schema::Schema;
+use crate::schema::{AttrId, Schema};
 use crate::value::Value;
 
 /// Parses one CSV record from `line`, appending fields to `out`.
@@ -60,12 +60,34 @@ fn parse_record(line: &str, out: &mut Vec<String>, carry: &mut Option<String>) -
 }
 
 /// Reads a relation from CSV. The first record is the header (attribute
-/// names); empty fields become NULL; column types are inferred.
+/// names); empty fields become NULL; column types are inferred from a
+/// full pass over the data.
 ///
 /// # Errors
 /// Returns [`RelationError::Csv`] on ragged rows or an unterminated quote,
 /// and propagates I/O errors.
 pub fn read_csv(reader: impl BufRead) -> Result<Relation, RelationError> {
+    read_csv_typed(reader, None)
+}
+
+/// As [`read_csv`], but with declared column types instead of inference
+/// when `kinds` is `Some` (one [`CsvKind`] per header column).
+///
+/// Declared types are how an ingest pipeline keeps a stable schema across
+/// files/batches (inference would happily re-type a column per file). The
+/// price is that a cell can now *fail* its column type — e.g. a column
+/// declared (or, with `None`, inferred from other rows as) `Int` meeting
+/// `"n/a"` — which used to abort the process via `expect("inferred Int")`
+/// and is now a typed [`RelationError::Csv`] carrying the line, column
+/// name and offending field.
+///
+/// # Errors
+/// Everything [`read_csv`] returns, plus a kinds/header arity mismatch and
+/// per-cell type failures (line + column context).
+pub fn read_csv_typed(
+    reader: impl BufRead,
+    kinds: Option<&[CsvKind]>,
+) -> Result<Relation, RelationError> {
     let mut records: Vec<Vec<String>> = Vec::new();
     let mut fields: Vec<String> = Vec::new();
     let mut carry: Option<String> = None;
@@ -99,66 +121,104 @@ pub fn read_csv(reader: impl BufRead) -> Result<Relation, RelationError> {
             });
         }
     }
-    // Infer per-column types from non-empty fields.
-    let mut kinds = vec![Kind::Int; arity];
-    for rec in records.iter().skip(1) {
-        for (c, field) in rec.iter().enumerate() {
-            if field.is_empty() {
-                continue;
+    let kinds: Vec<CsvKind> = match kinds {
+        Some(kinds) => {
+            if kinds.len() != arity {
+                return Err(RelationError::Csv {
+                    line: 1,
+                    msg: format!("{} declared column types for {arity} columns", kinds.len()),
+                });
             }
-            kinds[c] = kinds[c].narrow(field);
+            kinds.to_vec()
         }
-    }
+        None => {
+            // Infer per-column types from non-empty fields.
+            let mut kinds = vec![CsvKind::Int; arity];
+            for rec in records.iter().skip(1) {
+                for (c, field) in rec.iter().enumerate() {
+                    if field.is_empty() {
+                        continue;
+                    }
+                    kinds[c] = kinds[c].narrow(field);
+                }
+            }
+            kinds
+        }
+    };
     let mut rel = Relation::empty(schema);
-    for rec in records.iter().skip(1) {
+    for (i, rec) in records.iter().enumerate().skip(1) {
         let row: Vec<Value> = rec
             .iter()
             .zip(&kinds)
-            .map(|(field, kind)| kind.parse(field))
-            .collect();
+            .enumerate()
+            .map(|(c, (field, kind))| {
+                kind.parse(field).map_err(|msg| RelationError::Csv {
+                    line: i + 1,
+                    msg: format!("column `{}`: {msg}", rel.schema().name(AttrId(c as u32))),
+                })
+            })
+            .collect::<Result<_, _>>()?;
         rel.push_row(row).expect("arity checked above");
     }
     Ok(rel)
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum Kind {
+/// A CSV column's cell type: either declared by the caller
+/// ([`read_csv_typed`]) or inferred per column (all-Int → `Int`,
+/// all-numeric → `Float`, else `Str`). Empty fields are NULL under every
+/// kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsvKind {
+    /// 64-bit signed integers.
     Int,
+    /// 64-bit floats (accepts anything `f64::from_str` does).
     Float,
+    /// Verbatim strings.
     Str,
 }
 
-impl Kind {
-    fn narrow(self, field: &str) -> Kind {
+impl CsvKind {
+    fn narrow(self, field: &str) -> CsvKind {
         match self {
-            Kind::Str => Kind::Str,
-            Kind::Int => {
+            CsvKind::Str => CsvKind::Str,
+            CsvKind::Int => {
                 if field.parse::<i64>().is_ok() {
-                    Kind::Int
+                    CsvKind::Int
                 } else if field.parse::<f64>().is_ok() {
-                    Kind::Float
+                    CsvKind::Float
                 } else {
-                    Kind::Str
+                    CsvKind::Str
                 }
             }
-            Kind::Float => {
+            CsvKind::Float => {
                 if field.parse::<f64>().is_ok() {
-                    Kind::Float
+                    CsvKind::Float
                 } else {
-                    Kind::Str
+                    CsvKind::Str
                 }
             }
         }
     }
 
-    fn parse(self, field: &str) -> Value {
+    /// Parses one field under this kind (empty → NULL).
+    ///
+    /// # Errors
+    /// A human-readable description when the field does not parse as the
+    /// kind — callers wrap it with line/column context.
+    pub fn parse(self, field: &str) -> Result<Value, String> {
         if field.is_empty() {
-            return Value::Null;
+            return Ok(Value::Null);
         }
         match self {
-            Kind::Int => Value::Int(field.parse().expect("inferred Int")),
-            Kind::Float => Value::float(field.parse().expect("inferred Float")),
-            Kind::Str => Value::str(field),
+            CsvKind::Int => field
+                .parse()
+                .map(Value::Int)
+                .map_err(|_| format!("`{field}` is not a valid Int")),
+            CsvKind::Float => field
+                .parse()
+                .map(Value::float)
+                .map_err(|_| format!("`{field}` is not a valid Float")),
+            CsvKind::Str => Ok(Value::str(field)),
         }
     }
 }
@@ -265,6 +325,53 @@ mod tests {
     #[test]
     fn missing_header_is_error() {
         assert!(read_csv("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn declared_int_column_rejects_bad_cell_with_context() {
+        // Regression: this used to be `field.parse().expect("inferred
+        // Int")` — an Int-typed column meeting a non-numeric cell aborted
+        // the process instead of returning an error.
+        let kinds = [CsvKind::Int, CsvKind::Str];
+        let err = read_csv_typed("id,name\n1,a\nn/a,b\n".as_bytes(), Some(&kinds)).unwrap_err();
+        match err {
+            RelationError::Csv { line, msg } => {
+                assert_eq!(line, 3);
+                assert!(msg.contains("column `id`"), "{msg}");
+                assert!(msg.contains("n/a"), "{msg}");
+            }
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declared_kinds_parse_and_allow_nulls() {
+        let kinds = [CsvKind::Int, CsvKind::Float, CsvKind::Str];
+        let r = read_csv_typed("a,b,c\n1,2.5,7\n,,\n".as_bytes(), Some(&kinds)).unwrap();
+        assert_eq!(r.value(0, AttrId(0)), Value::Int(1));
+        assert_eq!(r.value(0, AttrId(1)), Value::float(2.5));
+        // Declared Str keeps numerics verbatim (inference would have
+        // typed this column Int).
+        assert_eq!(r.value(0, AttrId(2)), Value::str("7"));
+        assert!(r.row(1).iter().all(Value::is_null));
+    }
+
+    #[test]
+    fn declared_kinds_arity_mismatch_is_error() {
+        let kinds = [CsvKind::Int];
+        assert!(matches!(
+            read_csv_typed("a,b\n1,2\n".as_bytes(), Some(&kinds)),
+            Err(RelationError::Csv { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn inference_never_hits_the_cell_type_error() {
+        // With full-pass inference a later non-numeric cell re-types the
+        // whole column instead of failing it.
+        let r = parse("a\n1\n2\nx\n");
+        assert_eq!(r.value(0, AttrId(0)), Value::str("1"));
+        assert_eq!(r.value(2, AttrId(0)), Value::str("x"));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! ```
 
 pub mod cache;
+pub mod candidates;
 pub mod contingency;
 pub mod csv;
 pub mod dictionary;
@@ -40,8 +41,9 @@ pub mod stats;
 pub mod value;
 
 pub use cache::EncodingCache;
+pub use candidates::{linear_candidates, violated_candidates};
 pub use contingency::ContingencyTable;
-pub use csv::{read_csv, write_csv};
+pub use csv::{read_csv, read_csv_typed, write_csv, CsvKind};
 pub use dictionary::{Dictionary, NULL_CODE};
 pub use error::RelationError;
 pub use fd::Fd;

@@ -143,6 +143,11 @@ pub enum StreamError {
     AlreadyDeleted(RowId),
     /// An FD references an attribute outside the schema.
     UnknownAttr(u32),
+    /// Invalid sharding configuration: zero shards, a shard key outside
+    /// the schema, or a subscription whose LHS does not contain the shard
+    /// key (its X-groups would straddle shards and the merged aggregates
+    /// would be wrong).
+    ShardConfig(String),
     /// Compaction found a divergence between the incremental state and a
     /// batch rebuild — an engine bug surfaced loudly rather than served.
     Diverged(String),
@@ -159,6 +164,7 @@ impl std::fmt::Display for StreamError {
             StreamError::UnknownRow(r) => write!(f, "delete of unknown row id {r}"),
             StreamError::AlreadyDeleted(r) => write!(f, "row id {r} is already deleted"),
             StreamError::UnknownAttr(a) => write!(f, "attribute #{a} outside the schema"),
+            StreamError::ShardConfig(msg) => write!(f, "shard configuration: {msg}"),
             StreamError::Diverged(what) => {
                 write!(f, "incremental state diverged from batch rebuild: {what}")
             }
@@ -221,5 +227,8 @@ mod tests {
         assert!(StreamError::Diverged("pli".into())
             .to_string()
             .contains("pli"));
+        assert!(StreamError::ShardConfig("no key".into())
+            .to_string()
+            .contains("no key"));
     }
 }

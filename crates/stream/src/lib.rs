@@ -25,6 +25,12 @@
 //!   PLIs and contingency tables, bit-exact for scores), so drift would
 //!   surface as [`StreamError::Diverged`] instead of silently serving
 //!   stale or wrong scores.
+//! * [`ShardedSession`] — the same API over N hash-partitioned shards: a
+//!   [`DeltaRouter`] splits each delta by shard-key value (the key must
+//!   be contained in every tracked LHS, so X-groups stay shard-local),
+//!   applies fan out across `afd-parallel` scoped threads, and score
+//!   reads merge the per-shard [`IncTable`]s via [`IncTable::merge`] —
+//!   bit-identical to an unsharded session over the same history.
 //!
 //! Score reads are bitwise deterministic: every floating-point reduction
 //! iterates ordered count histograms, so a session that ingested a
@@ -50,10 +56,12 @@
 
 pub mod delta;
 pub mod session;
+pub mod shard;
 pub mod table;
 
 pub use delta::{ChurnPlanner, RowDelta, RowId, StreamError};
 pub use session::{
     plis_equal, tables_equal, CompactionReport, IncrementalRelation, ScoreDiff, StreamSession,
 };
+pub use shard::{DeltaRouter, ShardedSession};
 pub use table::{IncTable, StreamScores};

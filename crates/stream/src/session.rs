@@ -123,13 +123,42 @@ impl IncrementalRelation {
     }
 }
 
+/// One side's dense id dictionary: code tuple -> stable id, plus the
+/// reverse `keys` list (id -> code tuple) that sharded coordinators use to
+/// identify the same side value across shards.
+#[derive(Debug, Clone, Default)]
+struct SideIndex {
+    index: HashMap<Vec<u32>, u32>,
+    keys: Vec<Vec<u32>>,
+}
+
+impl SideIndex {
+    fn encode(&mut self, rel: &Relation, attrs: &[AttrId], slot: usize, buf: &mut Vec<u32>) -> u32 {
+        buf.clear();
+        for &a in attrs {
+            let c = rel.column(a).codes()[slot];
+            if c == NULL_CODE {
+                return NULL_CODE;
+            }
+            buf.push(c);
+        }
+        if let Some(&id) = self.index.get(buf.as_slice()) {
+            return id;
+        }
+        let id = self.index.len() as u32;
+        self.index.insert(buf.clone(), id);
+        self.keys.push(buf.clone());
+        id
+    }
+}
+
 /// One tracked candidate's delta-maintained state.
 #[derive(Debug, Clone)]
 struct TrackedCandidate {
     fd: Fd,
     /// Dense side-id dictionaries: lhs/rhs code tuple -> stable id.
-    x_index: HashMap<Vec<u32>, u32>,
-    y_index: HashMap<Vec<u32>, u32>,
+    x_index: SideIndex,
+    y_index: SideIndex,
     /// Per-slot side ids ([`NULL_CODE`] marks a NULL in the side's attrs);
     /// `row_x` *is* the incremental PLI membership of the LHS partition.
     row_x: Vec<u32>,
@@ -139,29 +168,6 @@ struct TrackedCandidate {
 }
 
 impl TrackedCandidate {
-    fn encode_side(
-        rel: &Relation,
-        attrs: &[AttrId],
-        index: &mut HashMap<Vec<u32>, u32>,
-        slot: usize,
-        buf: &mut Vec<u32>,
-    ) -> u32 {
-        buf.clear();
-        for &a in attrs {
-            let c = rel.column(a).codes()[slot];
-            if c == NULL_CODE {
-                return NULL_CODE;
-            }
-            buf.push(c);
-        }
-        if let Some(&id) = index.get(buf.as_slice()) {
-            return id;
-        }
-        let id = index.len() as u32;
-        index.insert(buf.clone(), id);
-        id
-    }
-
     /// Encodes slot `slot` of the log and counts it into the table when
     /// live and NULL-free. Called once per slot, in slot order.
     fn ingest_slot(&mut self, rel: &Relation, slot: usize, live: bool, buf: &mut Vec<u32>) {
@@ -173,8 +179,8 @@ impl TrackedCandidate {
             self.row_y.push(NULL_CODE);
             return;
         }
-        let xi = Self::encode_side(rel, self.fd.lhs().ids(), &mut self.x_index, slot, buf);
-        let yj = Self::encode_side(rel, self.fd.rhs().ids(), &mut self.y_index, slot, buf);
+        let xi = self.x_index.encode(rel, self.fd.lhs().ids(), slot, buf);
+        let yj = self.y_index.encode(rel, self.fd.rhs().ids(), slot, buf);
         self.row_x.push(xi);
         self.row_y.push(yj);
         if xi != NULL_CODE && yj != NULL_CODE {
@@ -284,8 +290,8 @@ impl StreamSession {
         }
         let mut t = TrackedCandidate {
             fd,
-            x_index: HashMap::new(),
-            y_index: HashMap::new(),
+            x_index: SideIndex::default(),
+            y_index: SideIndex::default(),
             row_x: Vec::with_capacity(self.inc.n_slots()),
             row_y: Vec::with_capacity(self.inc.n_slots()),
             table: IncTable::new(),
@@ -313,6 +319,42 @@ impl StreamSession {
     /// The current scores of candidate `cid`.
     pub fn scores(&self, cid: usize) -> StreamScores {
         self.tracked[cid].last
+    }
+
+    /// The delta-maintained joint-count table of candidate `cid` — the
+    /// input to cross-shard [`IncTable::merge`]s.
+    pub fn table(&self, cid: usize) -> &IncTable {
+        &self.tracked[cid].table
+    }
+
+    /// Number of Y side ids ever assigned for candidate `cid` (dense,
+    /// `0..n`; ids are stable until the next compaction).
+    pub fn n_y_side_ids(&self, cid: usize) -> usize {
+        self.tracked[cid].y_index.keys.len()
+    }
+
+    /// The *value-level* Y key of side id `id` for candidate `cid`
+    /// (RHS-attribute values, decoded through this session's
+    /// dictionaries) — how a sharded coordinator recognises the same Y
+    /// value across shards whose dictionary codes differ.
+    ///
+    /// # Panics
+    /// Panics if `cid`/`id` are out of range (engine bug).
+    pub fn y_side_values(&self, cid: usize, id: u32) -> Vec<Value> {
+        let t = &self.tracked[cid];
+        t.y_index.keys[id as usize]
+            .iter()
+            .zip(t.fd.rhs().ids())
+            .map(|(&code, &a)| {
+                self.inc
+                    .rel
+                    .column(a)
+                    .dict()
+                    .value(code)
+                    .expect("side keys hold live dictionary codes")
+                    .clone()
+            })
+            .collect()
     }
 
     /// Applies one delta: tombstones `delta.deletes`, appends

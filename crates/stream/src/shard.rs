@@ -1,0 +1,752 @@
+//! Sharded streaming: hash-partitioned [`StreamSession`] shards behind a
+//! single-session facade.
+//!
+//! The ROADMAP scale-out item: the histogram score reads of [`IncTable`]
+//! are order-independent, so per-shard tables can be merged by summing
+//! counts and histograms. The partitioning invariant that makes the merge
+//! *correct* is that every X-group of every tracked candidate lives
+//! wholly inside one shard — guaranteed by routing each row on the hash
+//! of its **shard key** values, where the shard key is a subset of every
+//! subscribed FD's LHS (equal X values ⇒ equal key values ⇒ same shard).
+//! The Y margins are the one aggregate that spans shards; the coordinator
+//! owns a per-candidate global Y-id space and the merge re-derives the
+//! column totals through it.
+//!
+//! * [`DeltaRouter`] — splits a global [`RowDelta`] into per-shard deltas,
+//!   owning the global-row-id ⇄ (shard, local-row-id) placement map.
+//! * [`ShardedSession`] — the [`StreamSession`] API over N shards:
+//!   `apply` fans the routed deltas across shards on `afd-parallel`
+//!   scoped threads, and score reads merge the per-shard [`IncTable`]s
+//!   **bit-exactly** — a `ShardedSession` and a single `StreamSession`
+//!   over the same deltas return bit-identical `f64`s (pinned by
+//!   proptests for N ∈ {1, 2, 3, 7}).
+//!
+//! Compaction verification runs per shard against that shard's slice of
+//! the snapshot, exactly as the ROADMAP prescribed.
+
+use std::collections::HashMap;
+
+use afd_parallel::par_map_mut;
+use afd_relation::{AttrSet, Fd, Relation, Schema, Value};
+
+use crate::delta::{RowDelta, RowId, StreamError};
+use crate::session::{CompactionReport, ScoreDiff, StreamSession};
+use crate::table::{IncTable, StreamScores};
+
+/// Stable 64-bit FNV-1a over a row's shard-key values. Deterministic
+/// across processes (unlike `DefaultHasher` guarantees), so a persisted
+/// shard layout can be re-derived.
+fn key_hash(values: impl Iterator<Item = Value>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(PRIME);
+    };
+    for v in values {
+        match v {
+            Value::Null => eat(0),
+            Value::Int(i) => {
+                eat(1);
+                i.to_le_bytes().into_iter().for_each(&mut eat);
+            }
+            Value::Float(f) => {
+                eat(2);
+                f.get()
+                    .to_bits()
+                    .to_le_bytes()
+                    .into_iter()
+                    .for_each(&mut eat);
+            }
+            Value::Str(s) => {
+                eat(3);
+                s.bytes().for_each(&mut eat);
+                eat(0xff);
+            }
+        }
+    }
+    h
+}
+
+/// Hash-partitions row deltas across `n_shards` by shard-key value and
+/// owns the global ⇄ per-shard row-id translation.
+///
+/// Global row ids follow [`StreamSession`] semantics exactly: assigned
+/// densely in arrival order, tombstoned by delete, renumbered by
+/// [`DeltaRouter::compact`].
+#[derive(Debug, Clone)]
+pub struct DeltaRouter {
+    key: AttrSet,
+    arity: usize,
+    n_shards: usize,
+    /// Global slot -> (shard, shard-local slot).
+    placement: Vec<(u32, RowId)>,
+    /// Global slot liveness (mirrors the shards' tombstones).
+    live: Vec<bool>,
+    n_live: usize,
+    /// Next local slot per shard.
+    shard_slots: Vec<RowId>,
+}
+
+impl DeltaRouter {
+    /// A router over `n_shards` shards keyed by `key` (attribute ids must
+    /// lie inside a schema of `arity` attributes).
+    ///
+    /// # Errors
+    /// [`StreamError::ShardConfig`] for zero shards or an out-of-schema
+    /// key attribute.
+    pub fn new(key: AttrSet, arity: usize, n_shards: usize) -> Result<Self, StreamError> {
+        if n_shards == 0 {
+            return Err(StreamError::ShardConfig(
+                "shard count must be at least 1".into(),
+            ));
+        }
+        if let Some(&a) = key.ids().iter().find(|a| a.index() >= arity) {
+            return Err(StreamError::ShardConfig(format!(
+                "shard key attribute {a} outside the {arity}-attribute schema"
+            )));
+        }
+        Ok(DeltaRouter {
+            key,
+            arity,
+            n_shards,
+            placement: Vec::new(),
+            live: Vec::new(),
+            n_live: 0,
+            shard_slots: vec![0; n_shards],
+        })
+    }
+
+    /// The routing key.
+    pub fn shard_key(&self) -> &AttrSet {
+        &self.key
+    }
+
+    /// Number of shards routed across.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Global slots assigned so far (tombstones included).
+    pub fn n_slots(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Live global rows.
+    pub fn n_live(&self) -> usize {
+        self.n_live
+    }
+
+    /// The (shard, local slot) placement of live global row `id`.
+    pub fn placement_of(&self, id: RowId) -> Option<(u32, RowId)> {
+        (self.live.get(id as usize) == Some(&true)).then(|| self.placement[id as usize])
+    }
+
+    /// The shard a row with these values routes to.
+    pub fn shard_of_row(&self, row: &[Value]) -> usize {
+        if self.n_shards == 1 {
+            return 0;
+        }
+        let h = key_hash(self.key.ids().iter().map(|a| row[a.index()].clone()));
+        (h % self.n_shards as u64) as usize
+    }
+
+    /// Splits one global delta into per-shard deltas, assigning global
+    /// ids to the inserts and translating delete ids to shard-local ones.
+    /// Validation happens up front — on `Err` the router is unchanged
+    /// (the same atomicity contract as [`StreamSession::apply`]).
+    ///
+    /// # Errors
+    /// [`StreamError::Arity`] / [`StreamError::UnknownRow`] /
+    /// [`StreamError::AlreadyDeleted`], exactly as the unsharded session
+    /// would report them.
+    pub fn route(&mut self, delta: &RowDelta) -> Result<Vec<RowDelta>, StreamError> {
+        let mut seen: std::collections::HashSet<RowId> =
+            std::collections::HashSet::with_capacity(delta.deletes.len());
+        for &id in &delta.deletes {
+            if (id as usize) >= self.placement.len() {
+                return Err(StreamError::UnknownRow(id));
+            }
+            if !self.live[id as usize] || !seen.insert(id) {
+                return Err(StreamError::AlreadyDeleted(id));
+            }
+        }
+        for row in &delta.inserts {
+            if row.len() != self.arity {
+                return Err(StreamError::Arity {
+                    expected: self.arity,
+                    got: row.len(),
+                });
+            }
+        }
+        let mut locals = vec![RowDelta::new(); self.n_shards];
+        for &id in &delta.deletes {
+            let (shard, local) = self.placement[id as usize];
+            self.live[id as usize] = false;
+            self.n_live -= 1;
+            locals[shard as usize].deletes.push(local);
+        }
+        for row in &delta.inserts {
+            let shard = self.shard_of_row(row);
+            let local = self.shard_slots[shard];
+            self.shard_slots[shard] += 1;
+            self.placement.push((shard as u32, local));
+            self.live.push(true);
+            self.n_live += 1;
+            locals[shard].inserts.push(row.clone());
+        }
+        Ok(locals)
+    }
+
+    /// Renumbers after the shards compacted: tombstoned slots vanish and
+    /// both global and shard-local ids become dense again (in arrival
+    /// order, matching [`StreamSession::compact`]'s renumbering).
+    pub fn compact(&mut self) {
+        let mut next_local = vec![0 as RowId; self.n_shards];
+        let mut placement = Vec::with_capacity(self.n_live);
+        for (slot, &(shard, _)) in self.placement.iter().enumerate() {
+            if self.live[slot] {
+                placement.push((shard, next_local[shard as usize]));
+                next_local[shard as usize] += 1;
+            }
+        }
+        self.placement = placement;
+        self.live = vec![true; self.n_live];
+        self.shard_slots = next_local;
+    }
+}
+
+/// Per-candidate coordinator state: the global Y-id space shared by all
+/// shards (column totals are the one aggregate that spans shards).
+#[derive(Debug, Clone)]
+struct ShardedCandidate {
+    fd: Fd,
+    /// Y value tuple -> global Y id.
+    y_global: HashMap<Vec<Value>, u32>,
+    /// Per shard: local Y side id -> global Y id.
+    y_remap: Vec<Vec<u32>>,
+    last: StreamScores,
+}
+
+/// N hash-partitioned [`StreamSession`] shards behind the single-session
+/// API: same `subscribe`/`apply`/`scores` surface, same row-id semantics,
+/// bit-identical score reads.
+///
+/// `apply` routes the delta ([`DeltaRouter`]), fans the per-shard deltas
+/// across `afd-parallel` scoped threads, then refreshes each candidate's
+/// merged scores via [`IncTable::merge`]. Because each shard's apply only
+/// touches its own O(delta-slice) state, the *work per shard* shrinks
+/// roughly 1/N — the quantity `record_shard` benchmarks.
+#[derive(Debug, Clone)]
+pub struct ShardedSession {
+    shards: Vec<StreamSession>,
+    router: DeltaRouter,
+    candidates: Vec<ShardedCandidate>,
+    threads: usize,
+    deltas_applied: u64,
+    compact_every: Option<u64>,
+    /// Set when a compaction failed after at least one shard had already
+    /// compacted: shard-local row ids renumbered but the router did not,
+    /// so further `apply`s would tombstone the wrong rows. Score reads
+    /// stay valid; mutation is refused.
+    poisoned: bool,
+}
+
+impl ShardedSession {
+    /// An empty sharded session over `schema`, routing on `shard_key`.
+    ///
+    /// With `n_shards == 1` the key is irrelevant (everything lands in
+    /// shard 0) and any FD may subscribe; with more shards every
+    /// subscribed FD's LHS must contain the key.
+    ///
+    /// # Errors
+    /// [`StreamError::ShardConfig`] for zero shards or an out-of-schema
+    /// key attribute.
+    pub fn new(schema: Schema, shard_key: AttrSet, n_shards: usize) -> Result<Self, StreamError> {
+        let router = DeltaRouter::new(shard_key, schema.arity(), n_shards)?;
+        Ok(ShardedSession {
+            shards: (0..n_shards)
+                .map(|_| StreamSession::new(schema.clone()))
+                .collect(),
+            router,
+            candidates: Vec::new(),
+            threads: 1,
+            deltas_applied: 0,
+            compact_every: None,
+            poisoned: false,
+        })
+    }
+
+    /// A sharded session whose rows start as `rel` (all live), routed to
+    /// their shards in row order.
+    ///
+    /// # Errors
+    /// As [`ShardedSession::new`].
+    pub fn from_relation(
+        rel: Relation,
+        shard_key: AttrSet,
+        n_shards: usize,
+    ) -> Result<Self, StreamError> {
+        let mut s = Self::new(rel.schema().clone(), shard_key, n_shards)?;
+        let seed = RowDelta::insert_only((0..rel.n_rows()).map(|r| rel.row(r)));
+        s.apply(&seed).expect("seed rows match their own schema");
+        s.deltas_applied = 0;
+        Ok(s)
+    }
+
+    /// Fans per-shard applies over up to `threads` scoped workers
+    /// (default 1: inline, deterministic either way).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables automatic (per-shard verified) compaction after every
+    /// `every` applied deltas.
+    pub fn with_compaction_every(mut self, every: u64) -> Self {
+        self.compact_every = Some(every.max(1));
+        self
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing layer (shard key, placements, live counts).
+    pub fn router(&self) -> &DeltaRouter {
+        &self.router
+    }
+
+    /// Live rows across all shards.
+    pub fn n_live(&self) -> usize {
+        self.router.n_live()
+    }
+
+    /// Live rows per shard — how even the hash partitioning came out.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.relation().n_live()).collect()
+    }
+
+    /// Number of tracked candidates.
+    pub fn n_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// The FD of candidate `cid`.
+    pub fn fd(&self, cid: usize) -> &Fd {
+        &self.candidates[cid].fd
+    }
+
+    /// Subscribes a candidate FD on every shard and returns its candidate
+    /// index (re-subscribing returns the existing index).
+    ///
+    /// # Errors
+    /// [`StreamError::UnknownAttr`] for out-of-schema attributes;
+    /// [`StreamError::ShardConfig`] when `n_shards > 1` and the FD's LHS
+    /// does not contain the shard key (its X-groups would straddle
+    /// shards).
+    pub fn subscribe(&mut self, fd: Fd) -> Result<usize, StreamError> {
+        if let Some(i) = self.candidates.iter().position(|c| c.fd == fd) {
+            return Ok(i);
+        }
+        if self.shards.len() > 1 && !self.router.shard_key().is_subset(fd.lhs()) {
+            return Err(StreamError::ShardConfig(format!(
+                "candidate LHS {:?} does not contain the shard key {:?}",
+                fd.lhs().ids(),
+                self.router.shard_key().ids()
+            )));
+        }
+        for shard in &mut self.shards {
+            let cid = shard.subscribe(fd.clone())?;
+            debug_assert_eq!(cid, self.candidates.len(), "shards subscribe in lockstep");
+        }
+        self.candidates.push(ShardedCandidate {
+            fd,
+            y_global: HashMap::new(),
+            y_remap: vec![Vec::new(); self.shards.len()],
+            last: StreamScores::exact(),
+        });
+        let cid = self.candidates.len() - 1;
+        self.sync_candidate(cid);
+        self.candidates[cid].last = self.merged_scores(cid);
+        Ok(cid)
+    }
+
+    /// The merged score read: a single shard reads its own histograms
+    /// directly (O(distinct counts), same as an unsharded session —
+    /// merging one part is a score-level identity); N > 1 sums the
+    /// per-shard score aggregates via [`IncTable::merged_scores`]
+    /// (O(histograms + column totals) — the merged group/cell maps are
+    /// never materialised on this path).
+    fn merged_scores(&self, cid: usize) -> StreamScores {
+        if self.shards.len() == 1 {
+            self.shards[0].scores(cid)
+        } else {
+            let cand = &self.candidates[cid];
+            IncTable::merged_scores(
+                self.shards
+                    .iter()
+                    .enumerate()
+                    .map(|(s, shard)| (shard.table(cid), cand.y_remap[s].as_slice())),
+            )
+        }
+    }
+
+    /// Extends candidate `cid`'s per-shard Y remaps with any side ids the
+    /// shards assigned since the last sync. Global ids are handed out in
+    /// (shard, local-id) scan order — deterministic, and irrelevant to
+    /// scores (histogram reductions never see Y identity).
+    fn sync_candidate(&mut self, cid: usize) {
+        let cand = &mut self.candidates[cid];
+        for (s, shard) in self.shards.iter().enumerate() {
+            let known = cand.y_remap[s].len();
+            for id in known..shard.n_y_side_ids(cid) {
+                let key = shard.y_side_values(cid, id as u32);
+                let next = cand.y_global.len() as u32;
+                let g = *cand.y_global.entry(key).or_insert(next);
+                cand.y_remap[s].push(g);
+            }
+        }
+    }
+
+    /// Merges candidate `cid`'s per-shard tables into one [`IncTable`]
+    /// over the whole relation (O(aggregate state), not O(rows)).
+    pub fn merged_table(&self, cid: usize) -> IncTable {
+        let cand = &self.candidates[cid];
+        IncTable::merge(
+            self.shards
+                .iter()
+                .enumerate()
+                .map(|(s, shard)| (shard.table(cid), cand.y_remap[s].as_slice())),
+        )
+    }
+
+    /// The current merged scores of candidate `cid` — bit-identical to a
+    /// single [`StreamSession`] over the same delta history.
+    pub fn scores(&self, cid: usize) -> StreamScores {
+        self.candidates[cid].last
+    }
+
+    /// Applies one global delta: routes it, fans the per-shard slices
+    /// across the shards in parallel, and reports one merged
+    /// [`ScoreDiff`] per candidate.
+    ///
+    /// Validation happens in the router before anything mutates, so an
+    /// `Err` leaves the session unchanged (same contract and same error
+    /// values as the unsharded session).
+    ///
+    /// # Errors
+    /// [`StreamError::Arity`] / [`StreamError::UnknownRow`] /
+    /// [`StreamError::AlreadyDeleted`] on invalid deltas, and
+    /// [`StreamError::Diverged`] if due auto-compaction finds a
+    /// shard diverging from its batch rebuild.
+    pub fn apply(&mut self, delta: &RowDelta) -> Result<Vec<ScoreDiff>, StreamError> {
+        if self.poisoned {
+            return Err(StreamError::Diverged(
+                "session poisoned: a partial compaction failure left shard-local and \
+                 router row ids inconsistent; rebuild the session from a snapshot"
+                    .into(),
+            ));
+        }
+        let locals = self.router.route(delta)?;
+        par_map_mut(&mut self.shards, self.threads, |s, shard| {
+            shard
+                .apply(&locals[s])
+                .expect("router-validated delta slices apply cleanly")
+        });
+        let diffs = (0..self.candidates.len())
+            .map(|cid| {
+                self.sync_candidate(cid);
+                let after = self.merged_scores(cid);
+                let diff = ScoreDiff {
+                    candidate: cid,
+                    before: self.candidates[cid].last,
+                    after,
+                };
+                self.candidates[cid].last = after;
+                diff
+            })
+            .collect();
+        self.deltas_applied += 1;
+        if let Some(every) = self.compact_every {
+            if self.deltas_applied.is_multiple_of(every) {
+                self.compact()?;
+            }
+        }
+        Ok(diffs)
+    }
+
+    /// Materialises the live rows in global row order as one compact
+    /// [`Relation`] — equals the snapshot of an unsharded session over
+    /// the same history.
+    pub fn snapshot(&self) -> Relation {
+        let schema = self.shards[0].relation().schema().clone();
+        let mut rel = Relation::empty(schema);
+        for slot in 0..self.router.n_slots() {
+            if let Some((shard, local)) = self.router.placement_of(slot as RowId) {
+                rel.push_row(
+                    self.shards[shard as usize]
+                        .relation()
+                        .log()
+                        .row(local as usize),
+                )
+                .expect("shard rows match the shared schema");
+            }
+        }
+        rel
+    }
+
+    /// Compacts every shard — each shard verifies its incremental PLIs,
+    /// contingency tables and scores against a batch rebuild of **its
+    /// slice of the snapshot** — then renumbers the global ids and
+    /// rebuilds the Y-id coordination state.
+    ///
+    /// # Errors
+    /// [`StreamError::Diverged`] if any shard's incremental state
+    /// disagrees with its batch rebuild (that shard is left unswapped for
+    /// post-mortem). If the failure strikes after at least one shard had
+    /// already compacted, shard-local ids and the router's placements no
+    /// longer agree — the session is **poisoned**: score reads keep
+    /// working, but every further `apply`/`compact` is refused with a
+    /// `Diverged` error rather than silently tombstoning wrong rows.
+    pub fn compact(&mut self) -> Result<CompactionReport, StreamError> {
+        if self.poisoned {
+            return Err(StreamError::Diverged(
+                "session poisoned by an earlier partial compaction failure".into(),
+            ));
+        }
+        let before: Vec<StreamScores> = (0..self.candidates.len())
+            .map(|cid| self.candidates[cid].last)
+            .collect();
+        let mut rows_dropped = 0;
+        let mut n_live = 0;
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            match shard.compact() {
+                Ok(report) => {
+                    rows_dropped += report.rows_dropped;
+                    n_live += report.n_live;
+                }
+                Err(e) => {
+                    // Shards 0..i already renumbered their local ids but
+                    // the router still holds the old placements.
+                    self.poisoned = i > 0;
+                    return Err(e);
+                }
+            }
+        }
+        self.router.compact();
+        // Shard compaction reset the side-id dictionaries: rebuild the
+        // global Y space from scratch.
+        for (cid, before) in before.iter().enumerate() {
+            let cand = &mut self.candidates[cid];
+            cand.y_global.clear();
+            cand.y_remap = vec![Vec::new(); self.shards.len()];
+            self.sync_candidate(cid);
+            debug_assert!(
+                self.merged_scores(cid).bits_eq(before),
+                "compaction must not move merged scores"
+            );
+        }
+        Ok(CompactionReport {
+            rows_dropped,
+            candidates_checked: self.candidates.len(),
+            n_live,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_relation::AttrId;
+
+    fn schema3() -> Schema {
+        Schema::new(["A", "B", "C"]).unwrap()
+    }
+
+    fn row(a: i64, b: i64, c: i64) -> Vec<Value> {
+        vec![Value::Int(a), Value::Int(b), Value::Int(c)]
+    }
+
+    fn fixture_rows() -> Vec<Vec<Value>> {
+        (0..40)
+            .map(|i| row(i % 7, (i % 7) * 2 + i64::from(i == 13), i % 3))
+            .collect()
+    }
+
+    fn sharded(n: usize) -> ShardedSession {
+        ShardedSession::new(schema3(), AttrSet::single(AttrId(0)), n).unwrap()
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(matches!(
+            ShardedSession::new(schema3(), AttrSet::single(AttrId(0)), 0),
+            Err(StreamError::ShardConfig(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_schema_shard_key_rejected() {
+        assert!(matches!(
+            ShardedSession::new(schema3(), AttrSet::single(AttrId(9)), 2),
+            Err(StreamError::ShardConfig(_))
+        ));
+    }
+
+    #[test]
+    fn lhs_must_contain_shard_key_when_sharded() {
+        let mut s = sharded(3);
+        assert!(matches!(
+            s.subscribe(Fd::linear(AttrId(1), AttrId(2))),
+            Err(StreamError::ShardConfig(_))
+        ));
+        // Single-shard sessions accept any candidate.
+        let mut s1 = sharded(1);
+        assert!(s1.subscribe(Fd::linear(AttrId(1), AttrId(2))).is_ok());
+    }
+
+    #[test]
+    fn sharded_matches_single_session_bit_exactly() {
+        for n in [1, 2, 3] {
+            let mut sharded = sharded(n);
+            let mut single = StreamSession::new(schema3());
+            let cid_s = sharded.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+            let cid_1 = single.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+            sharded
+                .apply(&RowDelta::insert_only(fixture_rows()))
+                .unwrap();
+            single
+                .apply(&RowDelta::insert_only(fixture_rows()))
+                .unwrap();
+            assert!(
+                sharded.scores(cid_s).bits_eq(&single.scores(cid_1)),
+                "n={n}"
+            );
+            // Deletes by the same global ids move both identically.
+            let d = RowDelta::delete_only([13, 0, 7]);
+            let diff_s = sharded.apply(&d).unwrap();
+            let diff_1 = single.apply(&d).unwrap();
+            assert!(diff_s[0].after.bits_eq(&diff_1[0].after), "n={n}");
+            assert_eq!(sharded.n_live(), single.relation().n_live());
+        }
+    }
+
+    #[test]
+    fn routing_is_total_and_size_preserving() {
+        let mut s = sharded(4);
+        s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
+        assert_eq!(s.shard_sizes().iter().sum::<usize>(), 40);
+        assert_eq!(s.n_live(), 40);
+        // 7 distinct keys over 4 shards: no shard can hold all rows.
+        assert!(s.shard_sizes().iter().all(|&sz| sz < 40));
+    }
+
+    #[test]
+    fn invalid_deltas_leave_sharded_session_untouched() {
+        let mut s = sharded(2);
+        let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
+        let before = s.scores(cid);
+        assert_eq!(
+            s.apply(&RowDelta::delete_only([999])),
+            Err(StreamError::UnknownRow(999))
+        );
+        assert_eq!(
+            s.apply(&RowDelta::delete_only([3, 3])),
+            Err(StreamError::AlreadyDeleted(3))
+        );
+        let bad = RowDelta {
+            inserts: vec![vec![Value::Int(1)]],
+            deletes: vec![1],
+        };
+        assert!(matches!(s.apply(&bad), Err(StreamError::Arity { .. })));
+        assert_eq!(s.n_live(), 40);
+        assert!(s.scores(cid).bits_eq(&before));
+    }
+
+    #[test]
+    fn snapshot_preserves_global_row_order() {
+        let mut s = sharded(3);
+        s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
+        s.apply(&RowDelta::delete_only([5, 20])).unwrap();
+        let snap = s.snapshot();
+        let want: Vec<Vec<Value>> = fixture_rows()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 5 && *i != 20)
+            .map(|(_, r)| r)
+            .collect();
+        assert_eq!(snap.n_rows(), want.len());
+        for (i, row) in want.iter().enumerate() {
+            assert_eq!(&snap.row(i), row);
+        }
+    }
+
+    #[test]
+    fn compaction_verifies_per_shard_and_keeps_scores() {
+        let mut s = sharded(3);
+        let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
+        s.apply(&RowDelta::delete_only([2, 3, 13])).unwrap();
+        let before = s.scores(cid);
+        let report = s.compact().unwrap();
+        assert_eq!(report.rows_dropped, 3);
+        assert_eq!(report.n_live, 37);
+        assert_eq!(report.candidates_checked, 1);
+        assert!(s.scores(cid).bits_eq(&before));
+        // Global ids renumbered densely: 0..37 deletable again.
+        s.apply(&RowDelta::delete_only([36])).unwrap();
+        assert_eq!(s.n_live(), 36);
+        assert_eq!(
+            s.apply(&RowDelta::delete_only([37])),
+            Err(StreamError::UnknownRow(37))
+        );
+    }
+
+    #[test]
+    fn auto_compaction_runs_on_schedule() {
+        let mut s = ShardedSession::new(schema3(), AttrSet::single(AttrId(0)), 2)
+            .unwrap()
+            .with_compaction_every(2);
+        s.subscribe(Fd::linear(AttrId(0), AttrId(2))).unwrap();
+        s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
+        s.apply(&RowDelta::delete_only([0, 1])).unwrap(); // 2nd delta -> compacts
+        assert_eq!(s.router().n_slots(), 38);
+        assert_eq!(s.n_live(), 38);
+    }
+
+    #[test]
+    fn from_relation_routes_existing_rows() {
+        let rel = Relation::from_rows(schema3(), fixture_rows()).unwrap();
+        let mut s = ShardedSession::from_relation(rel, AttrSet::single(AttrId(0)), 3).unwrap();
+        let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        let mut single = StreamSession::new(schema3());
+        let c1 = single.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        single
+            .apply(&RowDelta::insert_only(fixture_rows()))
+            .unwrap();
+        assert!(s.scores(cid).bits_eq(&single.scores(c1)));
+        assert_eq!(s.n_live(), 40);
+    }
+
+    #[test]
+    fn multi_attribute_lhs_with_threads() {
+        let fd = Fd::new(
+            AttrSet::new([AttrId(0), AttrId(2)]),
+            AttrSet::single(AttrId(1)),
+        )
+        .unwrap();
+        let mut s = sharded(3).with_threads(3);
+        let cid = s.subscribe(fd.clone()).unwrap();
+        let mut single = StreamSession::new(schema3());
+        let c1 = single.subscribe(fd).unwrap();
+        s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
+        single
+            .apply(&RowDelta::insert_only(fixture_rows()))
+            .unwrap();
+        assert!(s.scores(cid).bits_eq(&single.scores(c1)));
+    }
+}

@@ -257,6 +257,72 @@ impl IncTable {
         }
     }
 
+    /// Merges shard tables into one table covering their union.
+    ///
+    /// Each part comes with a *Y-side remap* `local id -> global id`
+    /// (length ≥ the part's largest live Y id + 1) identifying which local
+    /// Y ids across shards denote the same Y value. The caller guarantees
+    /// the parts' **X-group key spaces are value-disjoint** (rows were
+    /// hash-partitioned by a key the X side determines — see
+    /// `DeltaRouter`); under that contract every X-side aggregate is a
+    /// plain sum, while the Y margins (`b_j`, their squares and histogram)
+    /// are re-derived from the remapped, summed column totals.
+    ///
+    /// The merge is **order-independent by design**: all maintained
+    /// aggregates are integers or count-value histograms, so any part
+    /// order yields bit-identical [`IncTable::scores`] — and those scores
+    /// are bit-identical to a single unsharded table over the same rows.
+    pub fn merge<'a>(parts: impl IntoIterator<Item = (&'a IncTable, &'a [u32])>) -> IncTable {
+        let mut out = IncTable::new();
+        let mut next_x: u32 = 0;
+        // Global column totals, summed across shards by global Y id.
+        let mut cols: BTreeMap<u32, u64> = BTreeMap::new();
+        for (t, y_map) in parts {
+            out.n += t.n;
+            out.nonzero_cells += t.nonzero_cells;
+            out.sum_row_max += t.sum_row_max;
+            out.violating_mass += t.violating_mass;
+            out.sum_sq_rows += t.sum_sq_rows;
+            out.sum_sq_cells += t.sum_sq_cells;
+            for (&v, &mult) in &t.hist_rows {
+                *out.hist_rows.entry(v).or_insert(0) += mult;
+            }
+            for (&v, &mult) in &t.hist_cells {
+                *out.hist_cells.entry(v).or_insert(0) += mult;
+            }
+            for (&shape, &mult) in &t.hist_row_shape {
+                *out.hist_row_shape.entry(shape).or_insert(0) += mult;
+            }
+            // X groups are disjoint by contract; renumber them densely
+            // (in sorted local-id order so the merged map is
+            // deterministic) and remap their cell keys to global Y ids.
+            let mut xs: Vec<u32> = t.groups.keys().copied().collect();
+            xs.sort_unstable();
+            for x in xs {
+                let g = &t.groups[&x];
+                out.groups.insert(
+                    next_x,
+                    XGroup {
+                        total: g.total,
+                        sq: g.sq,
+                        max: g.max,
+                        ys: g.ys.iter().map(|(&y, &c)| (y_map[y as usize], c)).collect(),
+                    },
+                );
+                next_x += 1;
+            }
+            for (&y, &b) in &t.col_totals {
+                *cols.entry(y_map[y as usize]).or_insert(0) += b;
+            }
+        }
+        for (&y, &b) in &cols {
+            out.col_totals.insert(y, b);
+            out.sum_sq_cols += b * b;
+            hist_inc(&mut out.hist_cols, b);
+        }
+        out
+    }
+
     /// The current scores of the incremental measure family.
     ///
     /// Applies the paper's conventions exactly like
@@ -267,17 +333,120 @@ impl IncTable {
     /// [`afd_core::Measure::score_contingency`]:
     /// https://docs.rs/afd-core (Measure trait)
     pub fn scores(&self) -> StreamScores {
-        if self.n == 0 || self.is_exact_fd() {
+        ScoreAggregates {
+            n: self.n,
+            kx: self.groups.len() as u64,
+            nonzero_cells: self.nonzero_cells,
+            sum_row_max: self.sum_row_max,
+            violating_mass: self.violating_mass,
+            sum_sq_rows: self.sum_sq_rows,
+            sum_sq_cols: self.sum_sq_cols,
+            sum_sq_cells: self.sum_sq_cells,
+            hist_rows: &self.hist_rows,
+            hist_cols: &self.hist_cols,
+            hist_cells: &self.hist_cells,
+            hist_row_shape: &self.hist_row_shape,
+        }
+        .scores()
+    }
+
+    /// The scores of the *union* of shard tables — bit-identical to
+    /// `IncTable::merge(parts).scores()` (same contract: X-group key
+    /// spaces value-disjoint, remaps to a shared Y-id space) but without
+    /// materialising the merged group/cell maps, which scores never
+    /// read. Cost is O(histograms + column totals), not
+    /// O(groups + cells) — the coordinator's per-apply read path.
+    pub fn merged_scores<'a>(
+        parts: impl IntoIterator<Item = (&'a IncTable, &'a [u32])>,
+    ) -> StreamScores {
+        let mut n = 0u64;
+        let mut kx = 0u64;
+        let mut nonzero_cells = 0u64;
+        let mut sum_row_max = 0u64;
+        let mut violating_mass = 0u64;
+        let mut sum_sq_rows = 0u64;
+        let mut sum_sq_cells = 0u64;
+        let mut hist_rows = CountHist::new();
+        let mut hist_cells = CountHist::new();
+        let mut hist_row_shape: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut cols: BTreeMap<u32, u64> = BTreeMap::new();
+        for (t, y_map) in parts {
+            n += t.n;
+            kx += t.groups.len() as u64;
+            nonzero_cells += t.nonzero_cells;
+            sum_row_max += t.sum_row_max;
+            violating_mass += t.violating_mass;
+            sum_sq_rows += t.sum_sq_rows;
+            sum_sq_cells += t.sum_sq_cells;
+            for (&v, &mult) in &t.hist_rows {
+                *hist_rows.entry(v).or_insert(0) += mult;
+            }
+            for (&v, &mult) in &t.hist_cells {
+                *hist_cells.entry(v).or_insert(0) += mult;
+            }
+            for (&shape, &mult) in &t.hist_row_shape {
+                *hist_row_shape.entry(shape).or_insert(0) += mult;
+            }
+            for (&y, &b) in &t.col_totals {
+                *cols.entry(y_map[y as usize]).or_insert(0) += b;
+            }
+        }
+        let mut sum_sq_cols = 0u64;
+        let mut hist_cols = CountHist::new();
+        for &b in cols.values() {
+            sum_sq_cols += b * b;
+            hist_inc(&mut hist_cols, b);
+        }
+        ScoreAggregates {
+            n,
+            kx,
+            nonzero_cells,
+            sum_row_max,
+            violating_mass,
+            sum_sq_rows,
+            sum_sq_cols,
+            sum_sq_cells,
+            hist_rows: &hist_rows,
+            hist_cols: &hist_cols,
+            hist_cells: &hist_cells,
+            hist_row_shape: &hist_row_shape,
+        }
+        .scores()
+    }
+}
+
+/// The exact inputs a score read consumes — borrowed from one table's
+/// fields ([`IncTable::scores`]) or summed across shards
+/// ([`IncTable::merged_scores`]). Keeping both paths on this one struct
+/// is what guarantees their bit-identical results.
+struct ScoreAggregates<'a> {
+    n: u64,
+    kx: u64,
+    nonzero_cells: u64,
+    sum_row_max: u64,
+    violating_mass: u64,
+    sum_sq_rows: u64,
+    sum_sq_cols: u64,
+    sum_sq_cells: u64,
+    hist_rows: &'a CountHist,
+    hist_cols: &'a CountHist,
+    hist_cells: &'a CountHist,
+    hist_row_shape: &'a BTreeMap<(u64, u64), u64>,
+}
+
+impl ScoreAggregates<'_> {
+    fn scores(&self) -> StreamScores {
+        if self.n == 0 || self.nonzero_cells == self.kx {
             return StreamScores::exact();
         }
         let nf = self.n as f64;
-        let kx = self.groups.len() as f64;
+        let kx = self.kx as f64;
         let n2 = nf * nf;
         // VIOLATION family (pure integer ratios).
         let rho = kx / self.nonzero_cells as f64;
         let g2 = 1.0 - self.violating_mass as f64 / nf;
         let g3 = self.sum_row_max as f64 / nf;
-        let k = self.groups.len() as u64;
+        let k = self.kx;
         let g3_prime = (self.sum_row_max - k) as f64 / (self.n - k) as f64;
         // LOGICAL family. The integer sums are exact, and every partial
         // f64 sum below 2^53 of integer terms is too, so these match the
@@ -288,7 +457,7 @@ impl IncTable {
         // pdep via the group-shape histogram: Σ_i (a_i/N − sq_i/(a_i·N)),
         // identical shapes merged, ascending shape order.
         let mut ecl = 0.0;
-        for (&(a, sq), &mult) in &self.hist_row_shape {
+        for (&(a, sq), &mult) in self.hist_row_shape {
             let (af, sqf) = (a as f64, sq as f64);
             ecl += mult as f64 * (af / nf - sqf / (af * nf));
         }
@@ -300,9 +469,9 @@ impl IncTable {
         // SHANNON family via the count histograms:
         // H(Y|X) = (Σ_i a·lg a − Σ_ij c·lg c)/N,
         // H(Y)   = lg N − (Σ_j b·lg b)/N.
-        let s_rows = hist_entropy_sum(&self.hist_rows);
-        let s_cells = hist_entropy_sum(&self.hist_cells);
-        let s_cols = hist_entropy_sum(&self.hist_cols);
+        let s_rows = hist_entropy_sum(self.hist_rows);
+        let s_cells = hist_entropy_sum(self.hist_cells);
+        let s_cols = hist_entropy_sum(self.hist_cols);
         let hyx = ((s_rows - s_cells) / nf).max(0.0);
         let hy = (nf.log2() - s_cols / nf).max(0.0);
         let g1s = (1.0 - hyx).max(0.0);
@@ -544,6 +713,53 @@ mod tests {
         assert_eq!(t.nonzero_cells(), 0);
         assert!(t.hist_rows.is_empty());
         assert!(t.hist_row_shape.is_empty());
+    }
+
+    #[test]
+    fn merge_of_disjoint_x_partitions_is_bit_exact_and_order_independent() {
+        // Whole table: X=a {y1×3, y2×1}, X=b {y1×4}, X=c {y2×2, y3×1}.
+        let mut whole = fixture(); // a, b with y ids 0/1
+        whole.insert(2, 1);
+        whole.insert(2, 1);
+        whole.insert(2, 2);
+        // Shard 0 holds {a, b} with local y ids 0=y1, 1=y2; shard 1 holds
+        // {c} with local y ids 0=y2, 1=y3.
+        let s0 = fixture();
+        let mut s1 = IncTable::new();
+        s1.insert(0, 0);
+        s1.insert(0, 0);
+        s1.insert(0, 1);
+        let (m0, m1): (&[u32], &[u32]) = (&[0, 1], &[1, 2]);
+        let merged = IncTable::merge([(&s0, m0), (&s1, m1)]);
+        assert_eq!(merged.n(), whole.n());
+        assert_eq!(merged.n_x(), whole.n_x());
+        assert_eq!(merged.n_y(), whole.n_y());
+        assert_eq!(merged.nonzero_cells(), whole.nonzero_cells());
+        assert_eq!(merged.sum_sq_cols, whole.sum_sq_cols);
+        assert_eq!(merged.hist_cols, whole.hist_cols);
+        assert!(merged.scores().bits_eq(&whole.scores()));
+        // The materialisation-free score merge agrees bit-for-bit.
+        let light = IncTable::merged_scores([(&s0, m0), (&s1, m1)]);
+        assert!(light.bits_eq(&whole.scores()));
+        // Reversed part order: bit-identical scores.
+        let swapped = IncTable::merge([(&s1, m1), (&s0, m0)]);
+        assert!(swapped.scores().bits_eq(&whole.scores()));
+        assert!(IncTable::merged_scores([(&s1, m1), (&s0, m0)]).bits_eq(&whole.scores()));
+        // A merged table keeps working as a live table.
+        let mut live = merged;
+        live.insert(99, 7);
+        live.delete(99, 7);
+        assert!(live.scores().bits_eq(&whole.scores()));
+    }
+
+    #[test]
+    fn merge_of_single_part_is_identity_for_scores() {
+        let t = fixture();
+        let map: Vec<u32> = vec![0, 1];
+        let merged = IncTable::merge([(&t, map.as_slice())]);
+        assert!(merged.scores().bits_eq(&t.scores()));
+        assert_eq!(merged.hist_rows, t.hist_rows);
+        assert_eq!(merged.hist_row_shape, t.hist_row_shape);
     }
 
     #[test]

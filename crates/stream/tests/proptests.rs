@@ -6,7 +6,7 @@
 
 use afd_core::measure_by_name;
 use afd_relation::{AttrId, AttrSet, Fd, Pli, Relation, Schema, Value};
-use afd_stream::{plis_equal, tables_equal, RowDelta, StreamScores, StreamSession};
+use afd_stream::{plis_equal, tables_equal, RowDelta, ShardedSession, StreamScores, StreamSession};
 use proptest::prelude::*;
 
 /// One stream event: op selector, delete-target pick, and cell values
@@ -183,6 +183,82 @@ proptest! {
         }
         let snap = session.relation().snapshot();
         check_against_batch(&session, cid, &snap)?;
+    }
+
+    #[test]
+    fn sharded_sessions_match_single_session_and_batch_bit_exactly(events in events()) {
+        // The sharding pinning property: for every shard count, a
+        // ShardedSession's merged score reads are bit-identical to a
+        // single StreamSession over the same delta history, which in turn
+        // is pinned (above and here) to the batch kernels — all 11 fast
+        // measures, random insert/delete sequences, shard key = {A}.
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let key = AttrSet::single(AttrId(0));
+        let fds = [
+            Fd::linear(AttrId(0), AttrId(1)),
+            Fd::linear(AttrId(0), AttrId(2)),
+            Fd::new(
+                AttrSet::new([AttrId(0), AttrId(1)]),
+                AttrSet::single(AttrId(2)),
+            )
+            .unwrap(),
+        ];
+        let mut single = StreamSession::new(schema.clone());
+        let single_cids: Vec<usize> = fds
+            .iter()
+            .map(|fd| single.subscribe(fd.clone()).unwrap())
+            .collect();
+        let mut sharded: Vec<ShardedSession> = [1usize, 2, 3, 7]
+            .iter()
+            .map(|&n| ShardedSession::new(schema.clone(), key.clone(), n).unwrap())
+            .collect();
+        let sharded_cids: Vec<Vec<usize>> = sharded
+            .iter_mut()
+            .map(|s| fds.iter().map(|fd| s.subscribe(fd.clone()).unwrap()).collect())
+            .collect();
+        let mut mirror = Mirror::new();
+        for chunk in events.chunks(4) {
+            let delta = mirror.delta_from(chunk, 3);
+            single.apply(&delta).unwrap();
+            for s in &mut sharded {
+                s.apply(&delta).unwrap();
+            }
+            let snap = single.relation().snapshot();
+            for (ci, &scid) in single_cids.iter().enumerate() {
+                // Single session vs the batch measures.
+                let batch_ct = fds[ci].contingency(&snap);
+                for name in StreamScores::NAMES {
+                    let want = measure_by_name(name).unwrap().score_contingency(&batch_ct);
+                    let got = single.scores(scid).get(name).unwrap();
+                    prop_assert!(
+                        (want - got).abs() < 1e-9,
+                        "{name} differs from afd-core for {:?}: {got} vs {want}",
+                        fds[ci]
+                    );
+                }
+                // Every shard count vs the single session, bit-exactly.
+                for (s, cids) in sharded.iter().zip(&sharded_cids) {
+                    prop_assert!(
+                        s.scores(cids[ci]).bits_eq(&single.scores(scid)),
+                        "ShardedSession({}) diverged from single session for {:?}: {:?} vs {:?}",
+                        s.n_shards(),
+                        fds[ci],
+                        s.scores(cids[ci]),
+                        single.scores(scid)
+                    );
+                }
+            }
+        }
+        // Per-shard compaction verification passes everywhere and keeps
+        // the merged reads bit-identical.
+        for s in &mut sharded {
+            let before: Vec<StreamScores> =
+                (0..fds.len()).map(|ci| s.scores(ci)).collect();
+            s.compact().unwrap();
+            for (ci, b) in before.iter().enumerate() {
+                prop_assert!(s.scores(ci).bits_eq(b));
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! cargo run --example data_cleaning_ranking
 //! ```
 
-use afd::{measure_by_name, rank_linear, AttrId, Fd, Relation, Schema, Value};
+use afd::{AfdEngine, AttrId, DiscoverRequest, Fd, Relation, Schema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -69,9 +69,18 @@ fn main() {
         );
     }
 
+    let mut engine = AfdEngine::from_relation(rel.clone());
     for name in ["mu+", "g3"] {
-        let measure = measure_by_name(name).expect("registered measure");
-        let ranked = rank_linear(&rel, measure.as_ref());
+        // Ranking = threshold discovery at epsilon 0 (all violated
+        // candidates, sorted by descending score).
+        let ranked = engine
+            .discover(&DiscoverRequest {
+                measure: name.into(),
+                epsilon: 0.0,
+                max_lhs: 1,
+            })
+            .expect("registered measure")
+            .found;
         println!("\ntop 5 candidates by {name}:");
         for (i, d) in ranked.iter().take(5).enumerate() {
             let marker = if design.contains(&d.fd) {

@@ -10,7 +10,7 @@
 //! cargo run --release --example nonlinear_discovery
 //! ```
 
-use afd::{discover_all, measure_by_name, LatticeConfig, Relation, Schema, Value};
+use afd::{AfdEngine, DiscoverRequest, Relation, Schema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,20 +44,24 @@ fn flights(n: usize, seed: u64) -> Relation {
 
 fn main() {
     let rel = flights(6000, 4);
+    let schema = rel.schema().clone();
     println!("searching for minimal AFDs with |LHS| <= 2, epsilon = 0.9, measure = mu+ ...\n");
-    let measure = measure_by_name("mu+").expect("registered");
-    let cfg = LatticeConfig {
-        max_lhs: 2,
-        epsilon: 0.9,
-    };
-    let found = discover_all(&rel, measure.as_ref(), cfg);
+    let mut engine = AfdEngine::from_relation(rel);
+    let found = engine
+        .discover(&DiscoverRequest {
+            measure: "mu+".into(),
+            epsilon: 0.9,
+            max_lhs: 2,
+        })
+        .expect("registered measure, valid config")
+        .found;
     if found.is_empty() {
         println!("no AFDs found — try lowering epsilon");
     }
     for d in &found {
         println!(
             "  {:<44} score {:.4}",
-            d.fd.display(rel.schema()).to_string(),
+            d.fd.display(&schema).to_string(),
             d.score
         );
     }

@@ -6,33 +6,58 @@
 //! substrates they need, discovery algorithms built on them, and the full
 //! experiment suite regenerating every table and figure of the paper.
 //!
-//! This facade crate re-exports the workspace members:
+//! The paper frames AFD measurement as one question — *how strong is
+//! `X -> Y`?* — and this workspace answers it through **one front door**:
+//! the [`AfdEngine`], a single typed entry point whose request/response
+//! pairs cover every way of asking, all returning `Result<_, AfdError>`:
+//!
+//! | Request | Answers | Backed by |
+//! |---|---|---|
+//! | [`ScoreRequest`] | one FD under one measure | `afd-core` measures on the snapshot |
+//! | [`MatrixRequest`] | a candidate set × a measure set | encoding-cache batch path, threaded |
+//! | [`SubscribeRequest`] / [`DeltaRequest`] | scores kept fresh under churn | sharded incremental sessions (`afd-stream`) |
+//! | [`DiscoverRequest`] | which FDs hold approximately | threshold / parallel lattice (`afd-discovery`) |
+//!
+//! The workspace crates behind the door, re-exported as modules:
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`relation`] | `afd-relation` | bag relations, contingency tables, PLIs, CSV, NULLs |
+//! | [`engine`] | `afd-engine` | the [`AfdEngine`] front door: requests, responses, [`AfdError`] |
+//! | [`relation`] | `afd-relation` | bag relations, contingency tables, PLIs, CSV, NULLs, candidates |
 //! | [`entropy`] | `afd-entropy` | Shannon/logical entropy, permutation-null expectations |
 //! | [`measures`] | `afd-core` | the 14 measures behind the [`Measure`] trait |
 //! | [`synth`] | `afd-synth` | Beta-distributed generators, error channels, ERR/UNIQ/SKEW |
 //! | [`rwd`] | `afd-rwd` | the simulated real-world benchmark (RWD / RWDe) |
-//! | [`eval`] | `afd-eval` | PR/AUC, rank-at-max-recall, separation, budgets, streaming runs |
+//! | [`eval`] | `afd-eval` | PR/AUC, rank-at-max-recall, separation, budgeted runs |
 //! | [`discovery`] | `afd-discovery` | threshold + lattice (non-linear) AFD discovery |
-//! | [`stream`] | `afd-stream` | incremental engine: delta-maintained PLIs, tables, scores |
+//! | [`stream`] | `afd-stream` | incremental engine: delta-maintained state, sharded sessions |
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use afd::{Relation, Fd, AttrId, MuPlus, Measure};
+//! use afd::{AfdEngine, DeltaRequest, ScoreRequest, SubscribeRequest};
+//! use afd::{AttrId, Fd, Relation, RowDelta, Value};
 //!
 //! // zip -> city, with one typo in row 5.
 //! let rel = Relation::from_pairs([
 //!     (94110, 1), (94110, 1), (94110, 1),
 //!     (10001, 2), (10001, 2), (10001, 9),
 //! ]);
+//! let mut engine = AfdEngine::from_relation(rel);
 //! let fd = Fd::linear(AttrId(0), AttrId(1));
-//! assert!(!fd.holds_in(&rel));                  // not an exact FD...
-//! let score = MuPlus.score(&rel, &fd);          // ...but a strong AFD
-//! assert!(score > 0.5);
+//!
+//! // Batch: not an exact FD, but a strong AFD under the paper's
+//! // recommended measure µ⁺.
+//! let resp = engine.score(&ScoreRequest::new(fd.clone(), "mu+")).unwrap();
+//! assert!(resp.score > 0.5 && resp.score < 1.0);
+//!
+//! // Streaming: subscribe the candidate, feed deltas, scores stay fresh
+//! // in O(delta) — bit-identical to recomputing from scratch.
+//! let sub = engine.subscribe(&SubscribeRequest::new(fd)).unwrap();
+//! let diff = engine.delta(&DeltaRequest::new(RowDelta::insert_only([
+//!     vec![Value::Int(94110), Value::Int(7)], // another typo arrives
+//! ]))).unwrap();
+//! assert!(diff.diffs[sub.candidate].after.mu_plus < resp.score);
 //! ```
 //!
 //! The paper's practical recommendation is [`MuPlus`] (`µ⁺`): as robust
@@ -59,45 +84,55 @@
 //! * [`ContingencyTable`] and the PLI store their cells/clusters in
 //!   flat CSR vectors (one allocation each), built by counting sort
 //!   plus stamped tallies.
-//! * Non-linear discovery ([`discover_all`]) is **level-synchronous
-//!   parallel** (scoped threads, see `afd-parallel`): candidates are
-//!   generated sequentially for deterministic pruning, evaluated across
-//!   workers, and merged in order — output is byte-identical for every
-//!   thread count (`AFD_THREADS` overrides the worker count).
-//!   Minimality pruning uses a bitmask subset index instead of scanning
-//!   all emitted FDs.
-//!
-//! * Candidate scoring shares work one level higher too: `afd-eval`'s
-//!   `score_matrix` group-encodes each **distinct attribute set once**
-//!   into a [`relation::EncodingCache`] (warmed in parallel) and
-//!   assembles every candidate's contingency table from the cached side
+//! * Non-linear discovery ([`DiscoverRequest`] with `max_lhs > 1`) is
+//!   **level-synchronous parallel** (scoped threads, see `afd-parallel`):
+//!   candidates are generated sequentially for deterministic pruning,
+//!   evaluated across workers, and merged in order — output is
+//!   byte-identical for every thread count (`AFD_THREADS` overrides the
+//!   worker count; an invalid override is an [`AfdError::Config`], not a
+//!   panic). Minimality pruning uses a bitmask subset index.
+//! * [`MatrixRequest`]s share work one level higher too: each **distinct
+//!   attribute set is group-encoded once** into a
+//!   [`relation::EncodingCache`] (warmed in parallel) and every
+//!   candidate's contingency table is assembled from the cached side
 //!   codes, instead of re-encoding both sides per candidate.
 //!   [`Relation::project`] and `filter_rows` are code-level as well:
 //!   `O(rows)` code copies, no `Value` round-trips.
 //!
-//! ### Streaming: the incremental engine (`afd-stream`)
+//! ### Streaming: sharded incremental sessions (`afd-stream`)
 //!
 //! The batch pipeline answers "how strong is `X -> Y` *on this
-//! snapshot*"; the [`stream`] subsystem keeps the answer fresh while the
-//! relation changes. Data flow:
+//! snapshot*"; the streaming requests keep the answer fresh while the
+//! relation changes. Data flow behind [`SubscribeRequest`] /
+//! [`DeltaRequest`]:
 //!
-//! 1. [`RowDelta`]s (row inserts + tombstone deletes) enter a
-//!    [`StreamSession`] over an append-only, dictionary-stable row log.
-//! 2. Per subscribed candidate, the session delta-maintains the dense
-//!    side encodings (`row -> group id`, the incremental PLI
-//!    membership), the joint counts of an `IncTable` (cells, margins,
-//!    `Σ max`, `Σ n²`), and **count-value histograms** from which the
-//!    eleven fast measures ([`StreamScores`]) are read back.
-//! 3. Only touched groups are re-aggregated — Shannon entropy terms are
-//!    patched group-by-group through the histograms, never recomputed —
-//!    so an apply costs `O(|delta|)`, not `O(N)`: `BENCH_stream.json`
-//!    (from `cargo run --release -p afd-bench --example record_stream`)
-//!    records ~16× vs full recompute at a 1/256 delta on 65 536 rows.
-//! 4. Because every floating-point reduction iterates ordered
-//!    histograms, scores are *bit-identical* to a from-scratch rebuild;
-//!    periodic compaction exploits that to verify the incremental state
-//!    against the batch kernels (exact PLI/table equality, bit-exact
-//!    scores) before dropping tombstones.
+//! 1. [`RowDelta`]s (row inserts + tombstone deletes) enter the engine's
+//!    session. A `DeltaRouter` **hash-partitions** every row by shard
+//!    key (a subset of each tracked candidate's LHS — so each LHS group
+//!    lives wholly inside one shard) and fans the per-shard slices
+//!    across N `StreamSession` shards on `afd-parallel` scoped threads.
+//! 2. Per subscribed candidate and shard, the session delta-maintains
+//!    the dense side encodings (`row -> group id`, the incremental PLI
+//!    membership), the joint counts of an [`stream::IncTable`] (cells,
+//!    margins, `Σ max`, `Σ n²`), and **count-value histograms** from
+//!    which the eleven fast measures ([`StreamScores`]) are read back.
+//! 3. Score reads merge the per-shard tables (`IncTable::merge`: sum
+//!    counts and histograms; column totals re-derived through a
+//!    coordinator-owned global Y-id space). Because every
+//!    floating-point reduction iterates ordered histograms, the merge is
+//!    order-independent and **bit-identical** to a single unsharded
+//!    session — and to a from-scratch rebuild via the batch kernels
+//!    (pinned by proptests for N ∈ {1, 2, 3, 7}).
+//! 4. An apply costs `O(|delta|)`, not `O(N rows)`: `BENCH_stream.json`
+//!    records ~16× vs full recompute at a 1/256 delta on 65 536 rows,
+//!    and `BENCH_shard.json` (from `cargo run --release -p afd-bench
+//!    --example record_shard`) records the per-shard work dropping
+//!    towards 1/N of the single-session cost (the host is single-core,
+//!    so work-per-shard is the honest metric, not wall-clock).
+//! 5. Periodic compaction verifies **per shard** against the batch
+//!    kernels (exact PLI/table equality, bit-exact scores) before
+//!    dropping tombstones — divergence surfaces as an error instead of
+//!    silently serving wrong scores.
 //!
 //! The original hash-based inner loops are retained in
 //! [`relation::naive`]; property tests pin `optimized ≡ naive`, and
@@ -106,10 +141,11 @@
 //! (≥ 3–6× on the 8 192-row bench fixture for contingency construction
 //! and PLI refinement). `cargo bench -p afd-bench` runs the wider
 //! criterion-style suites, including 65 536-row fixtures and end-to-end
-//! `discover_all`.
+//! discovery.
 
 pub use afd_core as measures;
 pub use afd_discovery as discovery;
+pub use afd_engine as engine;
 pub use afd_entropy as entropy;
 pub use afd_eval as eval;
 pub use afd_relation as relation;
@@ -122,11 +158,16 @@ pub use afd_core::{
     all_measures, fast_measures, measure_by_name, Fi, G1Prime, G3Prime, Measure, MeasureClass,
     MuPlus, Pdep, RfiPlus, RfiPrimePlus, Rho, Sfi, Tau, G1, G1S, G2, G3,
 };
-pub use afd_discovery::{discover_all, discover_linear, rank_linear, LatticeConfig};
-pub use afd_eval::{auc_pr, rank_at_max_recall, violated_candidates, Labeled};
+pub use afd_engine::{
+    AfdEngine, AfdError, CandidateSet, DeltaRequest, DeltaResponse, DiscoverRequest,
+    DiscoverResponse, EngineConfig, MatrixRequest, MatrixResponse, ScoreRequest, ScoreResponse,
+    SubscribeRequest, SubscribeResponse,
+};
+pub use afd_eval::{auc_pr, rank_at_max_recall, Labeled};
 pub use afd_relation::{
-    read_csv, write_csv, AttrId, AttrSet, ContingencyTable, Fd, Relation, Schema, Value,
+    linear_candidates, read_csv, violated_candidates, write_csv, AttrId, AttrSet, ContingencyTable,
+    Fd, Relation, Schema, Value,
 };
 pub use afd_rwd::RwdBenchmark;
-pub use afd_stream::{RowDelta, ScoreDiff, StreamScores, StreamSession};
+pub use afd_stream::{RowDelta, ScoreDiff, ShardedSession, StreamScores, StreamSession};
 pub use afd_synth::{Axis, Beta, ErrorType, SynthBenchmark};

@@ -3,8 +3,8 @@
 
 use afd::eval::{auc_pr, violated_candidates, Labeled};
 use afd::{
-    all_measures, discover_linear, measure_by_name, rank_linear, read_csv, write_csv, AttrId, Fd,
-    MuPlus, RwdBenchmark,
+    all_measures, measure_by_name, read_csv, write_csv, AfdEngine, AttrId, DiscoverRequest, Fd,
+    Measure, MuPlus, RwdBenchmark, ScoreRequest,
 };
 
 const DIRTY_CSV: &str = "\
@@ -51,16 +51,34 @@ fn csv_roundtrip_preserves_scores() {
 }
 
 #[test]
-fn discovery_agrees_with_manual_ranking() {
+fn engine_discovery_agrees_with_manual_ranking() {
     let rel = read_csv(DIRTY_CSV.as_bytes()).expect("parse");
-    let ranked = rank_linear(&rel, &MuPlus);
-    let discovered = discover_linear(&rel, &MuPlus, 0.3);
+    let mut engine = AfdEngine::from_csv(DIRTY_CSV.as_bytes()).expect("parse");
+    let discover = |engine: &mut AfdEngine, epsilon: f64| {
+        engine
+            .discover(&DiscoverRequest {
+                measure: "mu+".into(),
+                epsilon,
+                max_lhs: 1,
+            })
+            .expect("valid request")
+            .found
+    };
+    let ranked = discover(&mut engine, 0.0);
+    let discovered = discover(&mut engine, 0.3);
     // Discovery is exactly the ranking truncated at the threshold.
     let expected: Vec<_> = ranked.iter().filter(|d| d.score >= 0.3).collect();
     assert_eq!(discovered.len(), expected.len());
     for (d, e) in discovered.iter().zip(expected) {
         assert_eq!(d.fd, e.fd);
         assert_eq!(d.score, e.score);
+        // The engine's one-off score path agrees with its discovery path
+        // and with the raw measure trait.
+        let one_off = engine
+            .score(&ScoreRequest::new(d.fd.clone(), "mu+"))
+            .expect("valid request");
+        assert_eq!(one_off.score, d.score);
+        assert_eq!(MuPlus.score(&rel, &d.fd), d.score);
     }
     // And never returns satisfied FDs.
     for d in &discovered {
