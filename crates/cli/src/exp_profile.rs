@@ -115,7 +115,8 @@ pub fn profile(opts: &ProfileOptions) -> Result<(), String> {
         })
         .map_err(|e| e.to_string())?
         .found;
-    // Optional non-linear search.
+    // Optional non-linear search (response carries the lattice's
+    // per-level search statistics).
     let nonlinear = if opts.max_lhs > 1 {
         Some(
             engine
@@ -124,8 +125,7 @@ pub fn profile(opts: &ProfileOptions) -> Result<(), String> {
                     epsilon: opts.epsilon,
                     max_lhs: opts.max_lhs,
                 })
-                .map_err(|e| e.to_string())?
-                .found,
+                .map_err(|e| e.to_string())?,
         )
     } else {
         None
@@ -161,8 +161,8 @@ pub fn profile(opts: &ProfileOptions) -> Result<(), String> {
     );
     table.print();
 
-    if let Some(found) = nonlinear {
-        let nonlinear: Vec<_> = found.iter().filter(|d| !d.fd.is_linear()).collect();
+    if let Some(resp) = nonlinear {
+        let nonlinear: Vec<_> = resp.found.iter().filter(|d| !d.fd.is_linear()).collect();
         println!(
             "\nminimal non-linear AFDs (|LHS| <= {}, {} >= {}):",
             opts.max_lhs, opts.measure, opts.epsilon
@@ -176,6 +176,27 @@ pub fn profile(opts: &ProfileOptions) -> Result<(), String> {
         }
         if nonlinear.is_empty() {
             println!("  (none)");
+        }
+        if let Some(stats) = &resp.lattice {
+            println!(
+                "  lattice: {} candidates evaluated, peak node storage {} bytes (pool reuse {}/{})",
+                stats.total_candidates(),
+                stats.peak_node_bytes,
+                stats.pool_reuses,
+                stats.pool_reuses + stats.pool_fresh_allocs
+            );
+            for lvl in &stats.levels {
+                println!(
+                    "    level {}: {} candidates, {} pruned, {} emitted, {} exact, {} open, {} stored rows",
+                    lvl.level,
+                    lvl.candidates,
+                    lvl.pruned,
+                    lvl.emitted,
+                    lvl.exact,
+                    lvl.open,
+                    lvl.stored_rows
+                );
+            }
         }
     }
     Ok(())

@@ -108,6 +108,19 @@ pub trait Measure: Send + Sync {
     /// `R |= φ → 1` convention first.
     fn score_table(&self, t: &ContingencyTable) -> f64;
 
+    /// `true` iff [`Measure::score_table`] is **bit-identical** on a
+    /// table with implicit singleton X-groups
+    /// ([`ContingencyTable::implicit_singletons`]) to the same table in
+    /// full-codes form. Holds for every fast measure (their per-singleton
+    /// float terms are exactly `0.0`) and for the RFI family (the margin
+    /// histogram folds singletons in exactly); measures that accumulate
+    /// nonzero per-singleton terms in row order (SFI, Monte-Carlo
+    /// extensions) override this to `false`, and the stripped lattice
+    /// then scores them on a materialised full-codes table instead.
+    fn bit_exact_on_implicit_singletons(&self) -> bool {
+        true
+    }
+
     /// Scores a contingency table with the paper's conventions applied:
     /// empty or exactly-satisfied tables score 1, everything else is
     /// clamped into `[0, 1]`.

@@ -187,9 +187,14 @@ impl Measure for Sfi {
         }
     }
     fn score_table(&self, t: &ContingencyTable) -> f64 {
-        // Materialise the dense smoothed matrix (paper-faithful cost).
+        // Materialise the dense smoothed matrix (paper-faithful cost) for
+        // the explicit groups; implicit singleton groups (stripped
+        // tables) contribute a closed-form per-row term — every implicit
+        // row has one cell of count 1 and `ky − 1` absent cells,
+        // regardless of which Y value it carries.
         let (kx, ky) = (t.n_x(), t.n_y());
-        let mut dense = vec![self.alpha; kx * ky];
+        let kx_explicit = t.n_explicit_x();
+        let mut dense = vec![self.alpha; kx_explicit * ky];
         for (i, j, c) in t.cells() {
             dense[i * ky + j] += c as f64;
         }
@@ -201,18 +206,41 @@ impl Measure for Sfi {
             hy -= p * p.log2();
         }
         let mut hyx = 0.0;
-        for i in 0..kx {
+        for i in 0..kx_explicit {
             let a = t.row_totals()[i] as f64 + self.alpha * ky as f64;
             for j in 0..ky {
                 let c = dense[i * ky + j];
                 hyx -= (c / n) * (c / a).log2();
             }
         }
+        hyx += sfi_implicit_hyx(t.implicit_singletons(), ky, self.alpha, n);
         if hy <= f64::EPSILON {
             return 1.0;
         }
         1.0 - hyx / hy
     }
+
+    fn bit_exact_on_implicit_singletons(&self) -> bool {
+        // Singleton terms are nonzero and interleave with explicit ones
+        // in the full-codes summation order; the implicit form is
+        // value-equal but not bit-pinned.
+        false
+    }
+}
+
+/// Smoothed `H(Y|X)` contribution of `implicit` singleton X-groups:
+/// each implicit row carries one present cell of count 1 and `ky − 1`
+/// absent cells, regardless of which Y value it holds. Shared by both
+/// SFI scorers so their "identical value" contract cannot drift.
+fn sfi_implicit_hyx(implicit: u64, ky: usize, alpha: f64, n: f64) -> f64 {
+    if implicit == 0 {
+        return 0.0;
+    }
+    let a = 1.0 + alpha * ky as f64;
+    let hit = 1.0 + alpha;
+    let mut per_row = -(hit / n) * (hit / a).log2();
+    per_row -= (ky as f64 - 1.0) * (alpha / n) * (alpha / a).log2();
+    implicit as f64 * per_row
 }
 
 /// Closed-form SFI: identical value to [`Sfi::score_table`] without
@@ -231,7 +259,7 @@ pub fn sfi_closed_form(t: &ContingencyTable, alpha: f64) -> f64 {
         hy -= p * p.log2();
     }
     let mut hyx = 0.0;
-    for i in 0..kx {
+    for i in 0..t.n_explicit_x() {
         let a = t.row_totals()[i] as f64 + alpha * ky as f64;
         let present = t.row(i).len();
         for &(_, c) in t.row(i) {
@@ -243,6 +271,7 @@ pub fn sfi_closed_form(t: &ContingencyTable, alpha: f64) -> f64 {
             hyx -= absent * (alpha / n) * (alpha / a).log2();
         }
     }
+    hyx += sfi_implicit_hyx(t.implicit_singletons(), ky, alpha, n);
     if hy <= f64::EPSILON {
         return 1.0;
     }

@@ -59,7 +59,9 @@ impl Measure for G2 {
         }
     }
     fn score_table(&self, t: &ContingencyTable) -> f64 {
-        let violating: u64 = (0..t.n_x())
+        // Singleton groups (implicit ones included) never violate, so
+        // iterating the explicit rows covers every violating tuple.
+        let violating: u64 = (0..t.n_explicit_x())
             .filter(|&i| t.row(i).len() >= 2)
             .map(|i| t.row_totals()[i])
             .sum();

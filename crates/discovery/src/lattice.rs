@@ -1,5 +1,6 @@
 //! Levelwise lattice search for **non-linear** AFDs (multi-attribute
-//! LHS), TANE-style.
+//! LHS), TANE-style — on stripped partitions, pooled code buffers and a
+//! fused generation/evaluation pipeline.
 //!
 //! The paper's concluding observation motivates this module: because
 //! LHS-uniqueness tends to 1 as the LHS grows, only uniqueness-insensitive
@@ -16,39 +17,82 @@
 //!
 //! ## Performance architecture
 //!
-//! Node partitions are dense per-row group codes refined attribute by
-//! attribute through `afd-relation`'s pair-code kernel
-//! ([`combine_codes_with`]) — no hash maps, no per-row key clones — and
-//! scored via the scratch contingency kernel
-//! ([`ContingencyTable::from_codes_with`]).
+//! **Stripped nodes.** A node stores only the rows of its partition's
+//! non-singleton groups (CSR clusters ordered by first row, like
+//! `Pli`), plus the usually-empty list of NULL-dropped rows — not a
+//! dense `O(rows)` code vector. Work and memory per node shrink
+//! monotonically up the lattice: once a group shrinks to one row it
+//! leaves the representation for good. Scoring goes through
+//! [`ContingencyTable::from_stripped_with`], which folds the implicit
+//! singleton groups in arithmetically; every measure whose
+//! [`Measure::bit_exact_on_implicit_singletons`] holds (all fast
+//! measures and the RFI family) scores **bit-identically** to the
+//! full-codes reference retained in [`crate::naive_lattice`]. Candidates
+//! over NULL-bearing attributes — and measures that need materialised
+//! singleton rows, like SFI — fall back to reconstructing dense codes in
+//! a per-worker scratch buffer and evaluating through the classic
+//! [`ContingencyTable::from_codes_with`] kernel, which is bit-identical
+//! by construction.
 //!
-//! The search is *level-synchronous parallel*: every candidate of a
-//! level is generated sequentially (so pruning and ordering are
-//! deterministic), then evaluated across worker threads, each with its
-//! own kernel [`Scratch`]. Because all candidates of a level have the
-//! same LHS size, a same-level emission can never subsume another
-//! same-level candidate (a subset of equal cardinality would be equal,
-//! and canonical prefix-extension generates every set exactly once), so
-//! evaluating a level in parallel is exactly equivalent to the
-//! sequential left-to-right sweep — [`discover_for_rhs_threaded`]
-//! returns identical output for every thread count.
+//! **Fused generation + evaluation.** Child *descriptors* (`AttrSet` +
+//! parent index) are generated sequentially as cheap set ops — so
+//! pruning and ordering stay deterministic — but partition refinement
+//! ([`afd_relation::refine_stripped_into`]) **and** scoring run together
+//! in one `par_map_with` pass with the parent partitions shared
+//! read-only. The old lattice cloned and refined every child's `O(rows)`
+//! code vector on the sequential critical path between level
+//! evaluations; here nothing `O(rows)` happens outside the workers.
 //!
-//! Minimality ("no emitted LHS is a subset of the candidate") is decided
-//! by a [`SubsetIndex`] — emitted sets as bitmasks bucketed by lowest
-//! attribute — instead of a linear scan over everything emitted so far.
+//! **Pooled buffers.** Node CSR vectors come from a [`CodePool`]: closed
+//! nodes return their buffers, the next level's children reuse them, so
+//! steady-state level transitions allocate no fresh code buffers. The
+//! pool's high-water mark is the "peak lattice bytes" that
+//! `record_lattice` benchmarks (bar: ≥ 4× below the full-codes
+//! reference on the 65 536-row fixture).
+//!
+//! **Exactness pruning.** Emitted *and* exactly-satisfied LHS sets go
+//! into one [`SubsetIndex`]; candidate generation skips any superset
+//! before its partition is materialised. Previously only emitted sets
+//! were indexed, so a superset of an exact set reached through a
+//! different prefix parent was still built and scored (always to a
+//! silent `Exact`) — pure wasted work, now avoided without changing
+//! output.
+//!
+//! The search remains *level-synchronous parallel*: all candidates of a
+//! level have the same LHS size, so a same-level emission can never
+//! subsume another same-level candidate, and evaluating a level across
+//! workers is exactly equivalent to the sequential left-to-right sweep —
+//! [`discover_for_rhs_threaded`] returns identical output for every
+//! thread count, and [`discover_all_threaded`] shares one set of
+//! per-attribute encodings and stripped bases across every RHS instead
+//! of re-encoding `O(m²)` times.
 
 use afd_core::Measure;
 use afd_parallel::{max_threads, par_map_with};
-use afd_relation::{combine_codes_with, AttrId, AttrSet, ContingencyTable, Fd, Relation, Scratch};
+use afd_relation::{
+    refine_stripped_into, strip_codes_into, AttrId, AttrSet, ContingencyTable, Fd, GroupEncoding,
+    Relation, Scratch, NULL_CODE,
+};
 
+use crate::pool::CodePool;
 use crate::threshold::Discovered;
+
+/// The ε both discovery front doors default to (`LatticeConfig` here,
+/// `DiscoverRequest` in `afd-engine` — a regression test in the engine
+/// pins the two together).
+pub const DEFAULT_EPSILON: f64 = 0.5;
 
 /// Configuration of the lattice search.
 #[derive(Debug, Clone, Copy)]
 pub struct LatticeConfig {
-    /// Maximum LHS size (level cap).
+    /// Maximum LHS size (level cap). Defaults to 3 — the non-linear
+    /// depth the paper's experiments use. (The engine's
+    /// `DiscoverRequest` defaults to `max_lhs = 1` instead because its
+    /// default algorithm is the *linear* threshold search; this type is
+    /// the non-linear preset.)
     pub max_lhs: usize,
     /// Discovery threshold ε: emit AFDs with score in `[ε, 1)`.
+    /// Defaults to [`DEFAULT_EPSILON`], shared with the engine.
     pub epsilon: f64,
 }
 
@@ -56,34 +100,166 @@ impl Default for LatticeConfig {
     fn default() -> Self {
         LatticeConfig {
             max_lhs: 3,
-            epsilon: 0.9,
+            epsilon: DEFAULT_EPSILON,
         }
     }
 }
 
-/// An open lattice node: an LHS attribute set with its dense per-row
-/// partition codes (NULL_CODE for dropped rows).
-struct Node {
-    attrs: AttrSet,
-    codes: Vec<u32>,
-    n_groups: u32,
+/// An invalid [`LatticeConfig`] — the non-panicking form of the
+/// validation the `discover_*` wrappers enforce with `assert!`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatticeError {
+    /// `epsilon` outside `[0, 1)`.
+    Epsilon(f64),
+    /// `max_lhs == 0`.
+    MaxLhs,
 }
 
-/// Index over emitted LHS sets answering "is any emitted set a subset
-/// of this candidate?" without scanning every emission.
+impl std::fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatticeError::Epsilon(e) => write!(f, "epsilon must be in [0, 1), got {e}"),
+            LatticeError::MaxLhs => write!(f, "max_lhs must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+impl LatticeConfig {
+    /// Checks the configuration without running anything — the shared
+    /// validation behind every `discover_*` entry (and the engine's
+    /// linear threshold path, so both algorithms reject identically).
+    ///
+    /// # Errors
+    /// [`LatticeError`] for `epsilon ∉ [0, 1)` or `max_lhs == 0`.
+    pub fn validate(&self) -> Result<(), LatticeError> {
+        if !(0.0..1.0).contains(&self.epsilon) {
+            return Err(LatticeError::Epsilon(self.epsilon));
+        }
+        if self.max_lhs == 0 {
+            return Err(LatticeError::MaxLhs);
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------------
+// Search statistics
+
+/// Per-level node accounting of one lattice run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// LHS size of this level (1-based).
+    pub level: usize,
+    /// Candidates whose partitions were built and scored.
+    pub candidates: usize,
+    /// Descriptors skipped by the subset index before materialisation.
+    pub pruned: usize,
+    /// Candidates emitted as AFDs.
+    pub emitted: usize,
+    /// Candidates that held exactly (silently closed).
+    pub exact: usize,
+    /// Candidates kept open for the next level.
+    pub open: usize,
+    /// Bytes of partition storage held by the open nodes.
+    pub node_bytes: u64,
+    /// Rows stored across the open nodes (stripped size for the
+    /// stripped lattice, `rows × nodes` for the full-codes reference).
+    pub stored_rows: u64,
+}
+
+impl LevelStats {
+    fn add(&mut self, other: &LevelStats) {
+        self.candidates += other.candidates;
+        self.pruned += other.pruned;
+        self.emitted += other.emitted;
+        self.exact += other.exact;
+        self.open += other.open;
+        self.node_bytes += other.node_bytes;
+        self.stored_rows += other.stored_rows;
+    }
+}
+
+/// Aggregated statistics of a lattice run ([`try_discover_all_stats`]);
+/// per-RHS runs are summed level-wise, byte peaks come from the shared
+/// pool's run-wide high-water mark (see
+/// [`LatticeStats::peak_node_bytes`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatticeStats {
+    /// Per-level accounting, summed across RHS searches.
+    pub levels: Vec<LevelStats>,
+    /// High-water mark of **live** node partition bytes (data committed
+    /// to open or under-evaluation nodes; the full-codes reference
+    /// reports its live node vectors here). For `discover_all` this is
+    /// the pool-wide peak across every RHS search: with `threads = 1`
+    /// (sequential RHS sweeps — the `record_lattice` setting) that
+    /// equals the worst single search, while a multi-threaded RHS
+    /// fan-out reports the true aggregate working set of all
+    /// concurrently active searches.
+    pub peak_node_bytes: u64,
+    /// High-water mark of everything the pool keeps resident, retained
+    /// free-list capacity included (0 for the reference path, which
+    /// returns freed vectors to the allocator).
+    pub peak_held_bytes: u64,
+    /// Bytes of the shared per-attribute encodings + stripped bases
+    /// (allocated once per run, not per node; 0 for the reference path,
+    /// which re-encodes per RHS instead).
+    pub base_bytes: u64,
+    /// Code buffers allocated fresh by the pool.
+    pub pool_fresh_allocs: u64,
+    /// Code buffers served from the pool's free list.
+    pub pool_reuses: u64,
+}
+
+impl LatticeStats {
+    /// Folds another run's stats into this one (levels summed, peak
+    /// maximised) — how `discover_all` combines its per-RHS searches.
+    pub fn absorb(&mut self, other: &LatticeStats) {
+        for lvl in &other.levels {
+            match self.levels.iter_mut().find(|l| l.level == lvl.level) {
+                Some(mine) => mine.add(lvl),
+                None => self.levels.push(lvl.clone()),
+            }
+        }
+        self.levels.sort_by_key(|l| l.level);
+        self.peak_node_bytes = self.peak_node_bytes.max(other.peak_node_bytes);
+        self.peak_held_bytes = self.peak_held_bytes.max(other.peak_held_bytes);
+        self.base_bytes = self.base_bytes.max(other.base_bytes);
+        self.pool_fresh_allocs += other.pool_fresh_allocs;
+        self.pool_reuses += other.pool_reuses;
+    }
+
+    /// Candidates evaluated across all levels.
+    pub fn total_candidates(&self) -> usize {
+        self.levels.iter().map(|l| l.candidates).sum()
+    }
+
+    /// Records a byte level, keeping the maximum (reference-path hook).
+    pub(crate) fn note_bytes(&mut self, bytes: u64) {
+        self.peak_node_bytes = self.peak_node_bytes.max(bytes);
+    }
+}
+
+// ------------------------------------------------------------------
+// Subset index
+
+/// Index over closed (emitted or exact) LHS sets answering "is any
+/// closed set a subset of this candidate?" without scanning every
+/// closure.
 ///
 /// Sets are stored as `u64` bitmasks bucketed by their smallest
 /// attribute: a subset of the candidate must have its smallest attribute
 /// inside the candidate, so only the candidate's own attribute buckets
 /// are probed. Relations wider than 64 attributes fall back to a linear
 /// scan over `AttrSet`s.
-struct SubsetIndex {
+pub(crate) struct SubsetIndex {
     buckets: Vec<Vec<u64>>,
     wide: Vec<AttrSet>,
 }
 
 impl SubsetIndex {
-    fn new(arity: usize) -> Self {
+    pub(crate) fn new(arity: usize) -> Self {
         SubsetIndex {
             buckets: vec![Vec::new(); arity.min(64)],
             wide: Vec::new(),
@@ -101,7 +277,7 @@ impl SubsetIndex {
         Some(m)
     }
 
-    fn insert(&mut self, attrs: &AttrSet) {
+    pub(crate) fn insert(&mut self, attrs: &AttrSet) {
         match Self::mask(attrs) {
             Some(m) => {
                 let lowest = attrs.ids()[0].0 as usize;
@@ -111,7 +287,7 @@ impl SubsetIndex {
         }
     }
 
-    fn any_subset_of(&self, attrs: &AttrSet) -> bool {
+    pub(crate) fn any_subset_of(&self, attrs: &AttrSet) -> bool {
         if let Some(cand) = Self::mask(attrs) {
             for a in attrs.ids() {
                 for &m in &self.buckets[a.0 as usize] {
@@ -134,9 +310,159 @@ impl SubsetIndex {
     }
 }
 
+// ------------------------------------------------------------------
+// Shared per-attribute data
+
+/// Everything the search needs about one attribute, computed **once**
+/// per run and shared read-only by every RHS worker: the dense
+/// first-encounter encoding (the refinement operand), the stripped CSR
+/// of its partition (the level-1 node), and its NULL rows.
+struct AttrBase {
+    enc: GroupEncoding,
+    rows: Vec<u32>,
+    starts: Vec<u32>,
+    dropped: Vec<u32>,
+}
+
+impl AttrBase {
+    fn bytes(&self) -> u64 {
+        ((self.enc.codes.len() + self.rows.len() + self.starts.len() + self.dropped.len())
+            * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+/// Builds the shared attribute bases — `m` encodings total, not
+/// `O(m²)` as the per-RHS re-encoding baseline performs.
+fn build_bases(rel: &Relation, threads: usize) -> Vec<AttrBase> {
+    let attrs: Vec<AttrId> = rel.schema().attrs().collect();
+    par_map_with(&attrs, threads, Scratch::new, |scratch, _, &a| {
+        let enc = rel.group_encode_with_scratch(
+            &AttrSet::single(a),
+            afd_relation::NullSemantics::DropTuples,
+            scratch,
+        );
+        let mut rows = Vec::new();
+        let mut starts = Vec::new();
+        let mut dropped = Vec::new();
+        strip_codes_into(
+            scratch,
+            &enc.codes,
+            enc.n_groups,
+            &mut rows,
+            &mut starts,
+            &mut dropped,
+        );
+        AttrBase {
+            enc,
+            rows,
+            starts,
+            dropped,
+        }
+    })
+}
+
+/// The shared Y side of one RHS search: dense first-encounter codes (the
+/// attribute encoding itself), full column totals over the surviving
+/// rows, and the survivor count — valid for every candidate whose X side
+/// is NULL-free.
+struct RhsData {
+    col_totals: Vec<u64>,
+    n_surviving: u64,
+    has_nulls: bool,
+}
+
+impl RhsData {
+    fn build(base: &AttrBase) -> Self {
+        let mut col_totals = vec![0u64; base.enc.n_groups as usize];
+        for &c in &base.enc.codes {
+            if c != NULL_CODE {
+                col_totals[c as usize] += 1;
+            }
+        }
+        let n_surviving = col_totals.iter().sum();
+        RhsData {
+            col_totals,
+            n_surviving,
+            has_nulls: !base.dropped.is_empty(),
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Nodes and evaluation
+
+/// Where an open node's stripped CSR lives: level-1 nodes share their
+/// attribute base read-only (zero per-node storage); refined nodes own
+/// pooled buffers.
+enum NodeStore {
+    /// Index into the shared `AttrBase` slice.
+    Shared(usize),
+    /// Pooled CSR buffers owned by this node.
+    Pooled { rows: Vec<u32>, starts: Vec<u32> },
+}
+
+/// An open stripped node: CSR clusters plus the sorted NULL-dropped rows
+/// of its attribute set (usually empty).
+struct Node {
+    attrs: AttrSet,
+    store: NodeStore,
+    dropped: Vec<u32>,
+}
+
+impl Node {
+    /// The node's CSR clusters (shared base or pooled).
+    fn csr<'a>(&'a self, bases: &'a [AttrBase]) -> (&'a [u32], &'a [u32]) {
+        match &self.store {
+            NodeStore::Shared(i) => (&bases[*i].rows, &bases[*i].starts),
+            NodeStore::Pooled { rows, starts } => (rows, starts),
+        }
+    }
+
+    /// Bytes this node *owns* (shared level-1 bases are accounted once
+    /// in `LatticeStats::base_bytes`, not per node).
+    fn bytes(&self) -> u64 {
+        let owned = match &self.store {
+            NodeStore::Shared(_) => 0,
+            NodeStore::Pooled { rows, starts } => rows.len() + starts.len(),
+        };
+        ((owned + self.dropped.len()) * std::mem::size_of::<u32>()) as u64
+    }
+
+    /// Rows stored in this node's clusters.
+    fn stored_rows(&self, bases: &[AttrBase]) -> u64 {
+        self.csr(bases).0.len() as u64
+    }
+
+    /// The node's NULL-dropped rows (shared level-1 nodes read the
+    /// attribute base's list instead of owning a copy).
+    fn dropped_rows<'a>(&'a self, bases: &'a [AttrBase]) -> &'a [u32] {
+        match &self.store {
+            NodeStore::Shared(i) => &bases[*i].dropped,
+            NodeStore::Pooled { .. } => &self.dropped,
+        }
+    }
+
+    /// Returns any pooled buffers for reuse.
+    fn recycle(self, pool: &CodePool) {
+        if let NodeStore::Pooled { rows, starts } = self.store {
+            pool.release(rows);
+            pool.release(starts);
+        }
+    }
+}
+
+/// A level-`N+1` candidate before materialisation: its attribute set and
+/// where to refine from.
+struct ChildDesc {
+    attrs: AttrSet,
+    parent: usize,
+    attr: AttrId,
+}
+
 /// What evaluating one candidate produced.
 enum Verdict {
-    /// FD holds exactly: prune silently (supersets hold too).
+    /// FD holds exactly: close silently (supersets hold too) and index
+    /// the set so supersets are pruned before materialisation.
     Exact,
     /// Scored at or above ε: emit, close the branch.
     Emit(f64),
@@ -144,19 +470,57 @@ enum Verdict {
     Open,
 }
 
-/// Evaluates one candidate node against the RHS codes.
-fn evaluate(
-    scratch: &mut Scratch,
-    node: &Node,
-    rhs_codes: &[u32],
-    measure: &dyn Measure,
-    epsilon: f64,
-) -> Verdict {
-    let t = ContingencyTable::from_codes_with(scratch, &node.codes, rhs_codes);
+/// Per-worker state: kernel scratch, refinement output buffers, and a
+/// dense code buffer for the NULL/full-table fallback reconstruction.
+/// Children that close (the common case) live and die entirely in these
+/// buffers — only open nodes copy into pooled storage.
+#[derive(Default)]
+struct EvalCtx {
+    scratch: Scratch,
+    rows_buf: Vec<u32>,
+    starts_buf: Vec<u32>,
+    codes_buf: Vec<u32>,
+}
+
+/// Recycles [`EvalCtx`]s across `par_map_with` calls (levels and RHS
+/// searches), so worker scratch grows to its high-water mark once per
+/// run instead of once per level.
+#[derive(Default)]
+struct CtxStash(std::sync::Mutex<Vec<EvalCtx>>);
+
+impl CtxStash {
+    fn checkout(&self) -> CtxGuard<'_> {
+        let ctx = self.0.lock().expect("stash lock").pop().unwrap_or_default();
+        CtxGuard { ctx, stash: self }
+    }
+}
+
+/// Returns its context to the stash when the worker finishes.
+struct CtxGuard<'a> {
+    ctx: EvalCtx,
+    stash: &'a CtxStash,
+}
+
+impl Drop for CtxGuard<'_> {
+    fn drop(&mut self) {
+        self.stash
+            .0
+            .lock()
+            .expect("stash lock")
+            .push(std::mem::take(&mut self.ctx));
+    }
+}
+
+/// Marker for rows that are neither clustered nor dropped during
+/// fallback reconstruction — i.e. implicit singletons.
+const SINGLETON_MARK: u32 = u32::MAX - 1;
+
+/// Scores a table into a verdict.
+fn verdict_of(t: &ContingencyTable, measure: &dyn Measure, epsilon: f64) -> Verdict {
     if t.is_exact_fd() {
         return Verdict::Exact;
     }
-    let score = measure.score_contingency(&t);
+    let score = measure.score_contingency(t);
     if score >= epsilon {
         Verdict::Emit(score)
     } else {
@@ -164,11 +528,333 @@ fn evaluate(
     }
 }
 
+/// Evaluates a stripped partition against the RHS.
+///
+/// Fast path (NULL-free candidate, NULL-free RHS, implicit-exact
+/// measure): build the implicit-singleton table straight from the
+/// clusters — `O(stripped)` work. Otherwise: reconstruct dense codes in
+/// the worker's buffer and evaluate through the full-codes kernel —
+/// `O(rows)` work, bit-identical to the reference by construction.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_stripped(
+    scratch: &mut Scratch,
+    codes_buf: &mut Vec<u32>,
+    rows: &[u32],
+    starts: &[u32],
+    dropped: &[u32],
+    n_rows: usize,
+    y: &AttrBase,
+    rhs_data: &RhsData,
+    measure: &dyn Measure,
+    epsilon: f64,
+) -> Verdict {
+    let fast =
+        !rhs_data.has_nulls && dropped.is_empty() && measure.bit_exact_on_implicit_singletons();
+    if fast {
+        let implicit = (n_rows - rows.len()) as u64;
+        let t = ContingencyTable::from_stripped_with(
+            scratch,
+            rows,
+            starts,
+            &y.enc.codes,
+            &rhs_data.col_totals,
+            rhs_data.n_surviving,
+            implicit,
+        );
+        verdict_of(&t, measure, epsilon)
+    } else {
+        // Reconstruct dense per-row codes: clusters keep their index,
+        // dropped rows are NULL, everything else is its own group. The
+        // full-codes kernel remaps to first-encounter order, so the ids
+        // only need to be distinct.
+        let buf = codes_buf;
+        buf.clear();
+        buf.resize(n_rows, SINGLETON_MARK);
+        let n_clusters = starts.len().saturating_sub(1);
+        for ci in 0..n_clusters {
+            for &r in &rows[starts[ci] as usize..starts[ci + 1] as usize] {
+                buf[r as usize] = ci as u32;
+            }
+        }
+        for &r in dropped {
+            buf[r as usize] = NULL_CODE;
+        }
+        let mut next = n_clusters as u32;
+        for v in buf.iter_mut() {
+            if *v == SINGLETON_MARK {
+                *v = next;
+                next += 1;
+            }
+        }
+        let t = ContingencyTable::from_codes_with(scratch, buf, &y.enc.codes);
+        verdict_of(&t, measure, epsilon)
+    }
+}
+
+/// Sorted union of two ascending row lists (NULL-dropped rows).
+fn merge_dropped(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+// ------------------------------------------------------------------
+// The per-RHS search
+
+#[allow(clippy::too_many_arguments)]
+fn search_rhs(
+    n_rows: usize,
+    arity: usize,
+    rhs: AttrId,
+    bases: &[AttrBase],
+    measure: &dyn Measure,
+    cfg: LatticeConfig,
+    threads: usize,
+    pool: &CodePool,
+    stash: &CtxStash,
+) -> (Vec<Discovered>, LatticeStats) {
+    let rhs_data = RhsData::build(&bases[rhs.index()]);
+    let y = &bases[rhs.index()];
+    let all_attrs: Vec<AttrId> = (0..arity)
+        .map(|i| AttrId(i as u32))
+        .filter(|&a| a != rhs)
+        .collect();
+
+    let mut out: Vec<Discovered> = Vec::new();
+    let mut closed = SubsetIndex::new(arity);
+    let mut stats = LatticeStats::default();
+
+    // Level 1: evaluate every single attribute straight off the shared
+    // stripped bases; open nodes keep borrowing the base (zero copies,
+    // zero per-node storage — they are only ever read as refinement
+    // parents).
+    let lvl1: Vec<Verdict> = par_map_with(
+        &all_attrs,
+        threads,
+        || stash.checkout(),
+        |guard, _, &a| {
+            let base = &bases[a.index()];
+            evaluate_stripped(
+                &mut guard.ctx.scratch,
+                &mut guard.ctx.codes_buf,
+                &base.rows,
+                &base.starts,
+                &base.dropped,
+                n_rows,
+                y,
+                &rhs_data,
+                measure,
+                cfg.epsilon,
+            )
+        },
+    );
+    let mut frontier: Vec<Node> = Vec::new();
+    let mut lvl = LevelStats {
+        level: 1,
+        candidates: all_attrs.len(),
+        ..LevelStats::default()
+    };
+    for (v, &a) in lvl1.into_iter().zip(&all_attrs) {
+        match v {
+            Verdict::Exact => {
+                lvl.exact += 1;
+                closed.insert(&AttrSet::single(a));
+            }
+            Verdict::Emit(score) => {
+                lvl.emitted += 1;
+                let attrs = AttrSet::single(a);
+                closed.insert(&attrs);
+                out.push(Discovered {
+                    fd: Fd::new(attrs, AttrSet::single(rhs)).expect("rhs excluded"),
+                    score,
+                });
+            }
+            Verdict::Open => frontier.push(Node {
+                attrs: AttrSet::single(a),
+                store: NodeStore::Shared(a.index()),
+                dropped: Vec::new(),
+            }),
+        }
+    }
+    lvl.open = frontier.len();
+    lvl.node_bytes = frontier.iter().map(Node::bytes).sum();
+    lvl.stored_rows = frontier.iter().map(|n| n.stored_rows(bases)).sum();
+    stats.levels.push(lvl);
+
+    for level in 2..=cfg.max_lhs {
+        if frontier.is_empty() {
+            break;
+        }
+        // Nodes of the final level can never become refinement parents;
+        // they are scored in the worker's buffers and never copied into
+        // pooled storage.
+        let last_level = level == cfg.max_lhs;
+        let mut lvl = LevelStats {
+            level,
+            ..LevelStats::default()
+        };
+        // Sequential generation: cheap descriptor set ops only — the
+        // O(rows) clone+refine the old lattice did here now runs inside
+        // the parallel evaluation pass below.
+        let mut descs: Vec<ChildDesc> = Vec::new();
+        for (p, node) in frontier.iter().enumerate() {
+            let max_attr = *node.attrs.ids().last().expect("non-empty LHS");
+            for &a in &all_attrs {
+                if a <= max_attr {
+                    continue;
+                }
+                let attrs = node.attrs.union(&AttrSet::single(a));
+                if closed.any_subset_of(&attrs) {
+                    lvl.pruned += 1;
+                    continue;
+                }
+                descs.push(ChildDesc {
+                    attrs,
+                    parent: p,
+                    attr: a,
+                });
+            }
+        }
+        lvl.candidates = descs.len();
+        if descs.is_empty() {
+            stats.levels.push(lvl);
+            break;
+        }
+        // Fused refine + score, parents shared read-only.
+        let results: Vec<(Verdict, Option<Node>)> = par_map_with(
+            &descs,
+            threads,
+            || stash.checkout(),
+            |guard, _, d| {
+                let parent = &frontier[d.parent];
+                let (p_rows, p_starts) = parent.csr(bases);
+                let b = &bases[d.attr.index()];
+                // Refine into the worker's own buffers: children that
+                // close (the common case) never touch the pool.
+                let EvalCtx {
+                    scratch,
+                    rows_buf,
+                    starts_buf,
+                    codes_buf,
+                } = &mut guard.ctx;
+                refine_stripped_into(
+                    scratch,
+                    p_rows,
+                    p_starts,
+                    &b.enc.codes,
+                    b.enc.n_groups,
+                    rows_buf,
+                    starts_buf,
+                );
+                let dropped = merge_dropped(parent.dropped_rows(bases), &b.dropped);
+                let v = evaluate_stripped(
+                    scratch,
+                    codes_buf,
+                    rows_buf,
+                    starts_buf,
+                    &dropped,
+                    n_rows,
+                    y,
+                    &rhs_data,
+                    measure,
+                    cfg.epsilon,
+                );
+                if matches!(v, Verdict::Open) && !last_level {
+                    // Exact-fit pooled copies: the pool holds open-node
+                    // storage only, so its high-water mark tracks the
+                    // true working set.
+                    let mut rows = pool.acquire_hint(rows_buf.len());
+                    rows.extend_from_slice(rows_buf);
+                    pool.commit(&rows);
+                    let mut starts = pool.acquire_hint(starts_buf.len());
+                    starts.extend_from_slice(starts_buf);
+                    pool.commit(&starts);
+                    (
+                        v,
+                        Some(Node {
+                            attrs: d.attrs.clone(),
+                            store: NodeStore::Pooled { rows, starts },
+                            dropped,
+                        }),
+                    )
+                } else {
+                    (v, None)
+                }
+            },
+        );
+        let mut next: Vec<Node> = Vec::new();
+        for ((v, node), d) in results.into_iter().zip(&descs) {
+            match v {
+                Verdict::Exact => {
+                    lvl.exact += 1;
+                    closed.insert(&d.attrs);
+                }
+                Verdict::Emit(score) => {
+                    lvl.emitted += 1;
+                    closed.insert(&d.attrs);
+                    out.push(Discovered {
+                        fd: Fd::new(d.attrs.clone(), AttrSet::single(rhs)).expect("rhs excluded"),
+                        score,
+                    });
+                }
+                Verdict::Open => {
+                    lvl.open += 1;
+                    if let Some(node) = node {
+                        next.push(node);
+                    }
+                }
+            }
+        }
+        // Parents served every child of this level; recycle them.
+        for node in frontier.drain(..) {
+            node.recycle(pool);
+        }
+        frontier = next;
+        lvl.node_bytes = frontier.iter().map(Node::bytes).sum();
+        lvl.stored_rows = frontier.iter().map(|n| n.stored_rows(bases)).sum();
+        stats.levels.push(lvl);
+    }
+    for node in frontier {
+        node.recycle(pool);
+    }
+    out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.fd.cmp(&b.fd)));
+    (out, stats)
+}
+
+// ------------------------------------------------------------------
+// Public entry points
+
 /// Discovers minimal non-linear AFDs `X -> rhs` with `|X| ≤ max_lhs`,
 /// fanning candidate evaluation out over [`max_threads`] workers.
 ///
 /// # Panics
-/// Panics if `epsilon ∉ [0, 1)` or `max_lhs == 0` (programmer errors).
+/// Panics if `epsilon ∉ [0, 1)` or `max_lhs == 0` (programmer errors);
+/// use [`try_discover_for_rhs_stats`] for a `Result`.
 pub fn discover_for_rhs(
     rel: &Relation,
     rhs: AttrId,
@@ -180,6 +866,9 @@ pub fn discover_for_rhs(
 
 /// As [`discover_for_rhs`] with an explicit worker count. Output is
 /// identical for every `threads` value (see the module docs).
+///
+/// # Panics
+/// As [`discover_for_rhs`].
 pub fn discover_for_rhs_threaded(
     rel: &Relation,
     rhs: AttrId,
@@ -187,122 +876,119 @@ pub fn discover_for_rhs_threaded(
     cfg: LatticeConfig,
     threads: usize,
 ) -> Vec<Discovered> {
-    assert!((0.0..1.0).contains(&cfg.epsilon), "ε must be in [0, 1)");
-    assert!(cfg.max_lhs >= 1, "max_lhs must be at least 1");
-    let rhs_codes = rel.group_encode(&AttrSet::single(rhs)).codes;
-    let all_attrs: Vec<AttrId> = rel.schema().attrs().filter(|&a| a != rhs).collect();
-    // Per-attribute encodings, the refinement operands.
-    let attr_encodings: Vec<(Vec<u32>, u32)> = all_attrs
-        .iter()
-        .map(|&a| {
-            let e = rel.group_encode(&AttrSet::single(a));
-            (e.codes, e.n_groups)
-        })
-        .collect();
+    try_discover_for_rhs_stats(rel, rhs, measure, cfg, threads)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .0
+}
 
-    let mut out: Vec<Discovered> = Vec::new();
-    let mut emitted = SubsetIndex::new(rel.arity());
-    // Level 1 candidates.
-    let mut candidates: Vec<Node> = all_attrs
-        .iter()
-        .zip(&attr_encodings)
-        .map(|(&a, (codes, n_groups))| Node {
-            attrs: AttrSet::single(a),
-            codes: codes.clone(),
-            n_groups: *n_groups,
-        })
-        .collect();
-
-    for level in 1..=cfg.max_lhs {
-        if candidates.is_empty() {
-            break;
-        }
-        // Evaluate the whole level in parallel, one Scratch per worker.
-        // `par_map_with` returns verdicts in candidate order, so merging
-        // below reproduces the sequential left-to-right sweep exactly.
-        let nodes = std::mem::take(&mut candidates);
-        let verdicts: Vec<Verdict> =
-            par_map_with(&nodes, threads, Scratch::new, |scratch, _, node| {
-                evaluate(scratch, node, &rhs_codes, measure, cfg.epsilon)
-            });
-        let mut frontier: Vec<Node> = Vec::new();
-        for (node, v) in nodes.into_iter().zip(verdicts) {
-            match v {
-                Verdict::Exact => {}
-                Verdict::Emit(score) => {
-                    emitted.insert(&node.attrs);
-                    out.push(Discovered {
-                        fd: Fd::new(node.attrs, AttrSet::single(rhs)).expect("rhs excluded"),
-                        score,
-                    });
-                }
-                Verdict::Open => frontier.push(node),
-            }
-        }
-        if level == cfg.max_lhs {
-            break;
-        }
-        // Generate the next level sequentially: canonical prefix
-        // extension (only attributes above the node's maximum), skipping
-        // children subsumed by an emitted LHS via the subset index.
-        for node in &frontier {
-            let max_attr = *node.attrs.ids().last().expect("non-empty LHS");
-            for (i, &a) in all_attrs.iter().enumerate() {
-                if a <= max_attr {
-                    continue;
-                }
-                let attrs = node.attrs.union(&AttrSet::single(a));
-                if emitted.any_subset_of(&attrs) {
-                    continue;
-                }
-                let (b_codes, b_groups) = &attr_encodings[i];
-                let mut codes = node.codes.clone();
-                let n_groups = afd_relation::with_scratch(|scratch| {
-                    combine_codes_with(
-                        scratch,
-                        &mut codes,
-                        node.n_groups,
-                        b_codes,
-                        *b_groups,
-                        false,
-                    )
-                });
-                candidates.push(Node {
-                    attrs,
-                    codes,
-                    n_groups,
-                });
-            }
-        }
-    }
-    out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.fd.cmp(&b.fd)));
-    out
+/// Non-panicking [`discover_for_rhs_threaded`], also returning the
+/// search statistics — the entry `AfdEngine` calls (mirroring
+/// `afd_parallel::try_max_threads`).
+///
+/// # Errors
+/// [`LatticeError`] when the configuration is invalid.
+pub fn try_discover_for_rhs_stats(
+    rel: &Relation,
+    rhs: AttrId,
+    measure: &dyn Measure,
+    cfg: LatticeConfig,
+    threads: usize,
+) -> Result<(Vec<Discovered>, LatticeStats), LatticeError> {
+    cfg.validate()?;
+    let bases = build_bases(rel, threads);
+    let pool = CodePool::new();
+    let stash = CtxStash::default();
+    let (out, mut stats) = search_rhs(
+        rel.n_rows(),
+        rel.arity(),
+        rhs,
+        &bases,
+        measure,
+        cfg,
+        threads,
+        &pool,
+        &stash,
+    );
+    stats.peak_node_bytes = stats.peak_node_bytes.max(pool.peak_live_bytes());
+    stats.peak_held_bytes = pool.peak_held_bytes();
+    stats.base_bytes = bases.iter().map(AttrBase::bytes).sum();
+    stats.pool_fresh_allocs = pool.fresh_allocs();
+    stats.pool_reuses = pool.reuses();
+    Ok((out, stats))
 }
 
 /// Discovers minimal non-linear AFDs for every RHS attribute, one RHS
 /// per worker ([`max_threads`]), each running the sequential per-RHS
-/// search. Output is identical to the fully sequential path.
+/// search over **shared** per-attribute encodings and stripped bases
+/// (encoded once, not once per RHS). Output is identical to the fully
+/// sequential path.
 pub fn discover_all(rel: &Relation, measure: &dyn Measure, cfg: LatticeConfig) -> Vec<Discovered> {
     discover_all_threaded(rel, measure, cfg, max_threads())
 }
 
 /// As [`discover_all`] with an explicit worker count (`threads = 1`
 /// is the sequential reference the property tests compare against).
+///
+/// # Panics
+/// Panics if `epsilon ∉ [0, 1)` or `max_lhs == 0`; use
+/// [`try_discover_all_stats`] for a `Result`.
 pub fn discover_all_threaded(
     rel: &Relation,
     measure: &dyn Measure,
     cfg: LatticeConfig,
     threads: usize,
 ) -> Vec<Discovered> {
+    try_discover_all_stats(rel, measure, cfg, threads)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .0
+}
+
+/// Non-panicking [`discover_all_threaded`] with aggregated search
+/// statistics (levels summed across RHS searches, byte peaks maximised).
+///
+/// # Errors
+/// [`LatticeError`] when the configuration is invalid.
+pub fn try_discover_all_stats(
+    rel: &Relation,
+    measure: &dyn Measure,
+    cfg: LatticeConfig,
+    threads: usize,
+) -> Result<(Vec<Discovered>, LatticeStats), LatticeError> {
+    cfg.validate()?;
+    let bases = build_bases(rel, threads);
+    let pool = CodePool::new();
+    let stash = CtxStash::default();
     let rhss: Vec<AttrId> = rel.schema().attrs().collect();
     // Parallelism is across RHS attributes; each per-RHS search runs
-    // sequentially (threads = 1) to avoid nested fan-out.
+    // sequentially (threads = 1) to avoid nested fan-out. The shared
+    // pool and worker-context stash recycle buffers across RHS
+    // searches too.
     let per_rhs = afd_parallel::par_map(&rhss, threads, |_, &rhs| {
-        discover_for_rhs_threaded(rel, rhs, measure, cfg, 1)
+        search_rhs(
+            rel.n_rows(),
+            rel.arity(),
+            rhs,
+            &bases,
+            measure,
+            cfg,
+            1,
+            &pool,
+            &stash,
+        )
     });
-    let mut out: Vec<Discovered> = per_rhs.into_iter().flatten().collect();
+    let mut out: Vec<Discovered> = Vec::new();
+    let mut stats = LatticeStats::default();
+    for (found, s) in per_rhs {
+        out.extend(found);
+        stats.absorb(&s);
+    }
+    stats.peak_node_bytes = stats.peak_node_bytes.max(pool.peak_live_bytes());
+    stats.peak_held_bytes = pool.peak_held_bytes();
+    stats.base_bytes = bases.iter().map(AttrBase::bytes).sum();
+    stats.pool_fresh_allocs = pool.fresh_allocs();
+    stats.pool_reuses = pool.reuses();
     out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.fd.cmp(&b.fd)));
-    out
+    Ok((out, stats))
 }
 
 #[cfg(test)]
@@ -413,26 +1099,6 @@ mod tests {
     }
 
     #[test]
-    fn pair_codes_match_group_encode() {
-        let rel = nonlinear_rel();
-        let ea = rel.group_encode(&AttrSet::single(AttrId(0)));
-        let eb = rel.group_encode(&AttrSet::single(AttrId(1)));
-        let mut combined = ea.codes.clone();
-        afd_relation::with_scratch(|s| {
-            combine_codes_with(s, &mut combined, ea.n_groups, &eb.codes, eb.n_groups, false)
-        });
-        let direct = rel
-            .group_encode(&AttrSet::new([AttrId(0), AttrId(1)]))
-            .codes;
-        // Same partition: codes equal up to renaming.
-        for i in 0..combined.len() {
-            for j in 0..combined.len() {
-                assert_eq!(combined[i] == combined[j], direct[i] == direct[j]);
-            }
-        }
-    }
-
-    #[test]
     fn discover_all_covers_every_rhs() {
         let rel = nonlinear_rel();
         let cfg = LatticeConfig {
@@ -475,6 +1141,131 @@ mod tests {
     }
 
     #[test]
+    fn matches_naive_reference_bit_for_bit() {
+        let rel = nonlinear_rel();
+        for epsilon in [0.5, 0.8] {
+            for max_lhs in [1, 2, 3] {
+                let cfg = LatticeConfig { max_lhs, epsilon };
+                for name in ["g3'", "mu+", "g1", "FI", "rho"] {
+                    let measure = measure_by_name(name).unwrap();
+                    let fast = discover_all_threaded(&rel, measure.as_ref(), cfg, 1);
+                    let slow =
+                        crate::naive_lattice::discover_all_threaded(&rel, measure.as_ref(), cfg, 1);
+                    assert_eq!(fast.len(), slow.len(), "{name} {cfg:?}");
+                    for (a, b) in fast.iter().zip(&slow) {
+                        assert_eq!(a.fd, b.fd, "{name} {cfg:?}");
+                        assert_eq!(
+                            a.score.to_bits(),
+                            b.score.to_bits(),
+                            "{name} {cfg:?}: {} vs {}",
+                            a.score,
+                            b.score
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nulls_fall_back_to_full_codes_and_match_reference() {
+        let mut rel = nonlinear_rel();
+        // Sprinkle NULLs across three columns.
+        for (row, col) in [(3usize, 0u32), (17, 1), (40, 2), (41, 0), (100, 3)] {
+            rel.set_value(row, AttrId(col), Value::Null);
+        }
+        let cfg = LatticeConfig {
+            max_lhs: 3,
+            epsilon: 0.6,
+        };
+        for name in ["g3'", "mu+"] {
+            let measure = measure_by_name(name).unwrap();
+            let fast = discover_all_threaded(&rel, measure.as_ref(), cfg, 1);
+            let slow = crate::naive_lattice::discover_all_threaded(&rel, measure.as_ref(), cfg, 1);
+            assert_eq!(fast.len(), slow.len(), "{name}");
+            for (a, b) in fast.iter().zip(&slow) {
+                assert_eq!(a.fd, b.fd, "{name}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn sfi_takes_the_fallback_and_matches_reference() {
+        // SFI is not implicit-exact: the lattice must route it through
+        // the materialised full-codes path and still match the naive
+        // reference bit for bit.
+        let rel = nonlinear_rel();
+        let sfi = afd_core::Sfi::half();
+        assert!(!afd_core::Measure::bit_exact_on_implicit_singletons(&sfi));
+        let cfg = LatticeConfig {
+            max_lhs: 2,
+            epsilon: 0.3,
+        };
+        let fast = discover_all_threaded(&rel, &sfi, cfg, 1);
+        let slow = crate::naive_lattice::discover_all_threaded(&rel, &sfi, cfg, 1);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.fd, b.fd);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn try_entries_reject_bad_config() {
+        let rel = nonlinear_rel();
+        let bad_eps = LatticeConfig {
+            max_lhs: 2,
+            epsilon: 1.5,
+        };
+        assert_eq!(
+            try_discover_all_stats(&rel, &MuPlus, bad_eps, 1).unwrap_err(),
+            LatticeError::Epsilon(1.5)
+        );
+        let bad_lhs = LatticeConfig {
+            max_lhs: 0,
+            epsilon: 0.5,
+        };
+        assert_eq!(
+            try_discover_for_rhs_stats(&rel, AttrId(0), &MuPlus, bad_lhs, 1).unwrap_err(),
+            LatticeError::MaxLhs
+        );
+        // Error text is what the panicking wrappers print.
+        assert!(LatticeError::Epsilon(1.5).to_string().contains("[0, 1)"));
+    }
+
+    #[test]
+    fn stats_account_for_every_candidate() {
+        let rel = nonlinear_rel();
+        let cfg = LatticeConfig {
+            max_lhs: 3,
+            epsilon: 0.6,
+        };
+        let (found, stats) = try_discover_all_stats(&rel, &G3Prime, cfg, 1).unwrap();
+        assert_eq!(stats.levels.len(), 3);
+        let emitted: usize = stats.levels.iter().map(|l| l.emitted).sum();
+        assert_eq!(emitted, found.len());
+        for lvl in &stats.levels {
+            assert_eq!(
+                lvl.candidates,
+                lvl.emitted + lvl.exact + lvl.open,
+                "level {}",
+                lvl.level
+            );
+        }
+        assert!(stats.peak_node_bytes > 0);
+        assert!(stats.base_bytes > 0);
+        // Steady state reuses pooled buffers across levels and RHSs.
+        assert!(stats.pool_reuses > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn default_epsilon_is_shared_constant() {
+        assert_eq!(LatticeConfig::default().epsilon, DEFAULT_EPSILON);
+        assert_eq!(LatticeConfig::default().max_lhs, 3);
+    }
+
+    #[test]
     fn subset_index_agrees_with_linear_scan() {
         let sets = [
             AttrSet::new([AttrId(0)]),
@@ -495,6 +1286,27 @@ mod tests {
         for c in &candidates {
             let linear = sets.iter().any(|s| s.is_subset(c));
             assert_eq!(idx.any_subset_of(c), linear, "candidate {c:?}");
+        }
+    }
+
+    #[test]
+    fn pair_codes_match_group_encode() {
+        use afd_relation::combine_codes_with;
+        let rel = nonlinear_rel();
+        let ea = rel.group_encode(&AttrSet::single(AttrId(0)));
+        let eb = rel.group_encode(&AttrSet::single(AttrId(1)));
+        let mut combined = ea.codes.clone();
+        afd_relation::with_scratch(|s| {
+            combine_codes_with(s, &mut combined, ea.n_groups, &eb.codes, eb.n_groups, false)
+        });
+        let direct = rel
+            .group_encode(&AttrSet::new([AttrId(0), AttrId(1)]))
+            .codes;
+        // Same partition: codes equal up to renaming.
+        for i in 0..combined.len() {
+            for j in 0..combined.len() {
+                assert_eq!(combined[i] == combined[j], direct[i] == direct[j]);
+            }
         }
     }
 }

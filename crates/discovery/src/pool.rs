@@ -1,0 +1,194 @@
+//! Pooled `Vec<u32>` code buffers for the stripped lattice.
+//!
+//! Every lattice node stores its partition in two `u32` vectors (CSR
+//! rows + starts). Nodes churn quickly — a node lives for exactly one
+//! level — so the search would otherwise allocate and free thousands of
+//! vectors per run. A [`CodePool`] recycles them: buffers released by
+//! closed nodes are handed back out (capacity intact) to the next level's
+//! children, so steady-state level transitions perform **zero** fresh
+//! code-buffer allocations (the same reuse idiom as the kernel
+//! `Scratch`, lifted to whole-buffer granularity).
+//!
+//! The pool also does the memory book-keeping the benchmarks need: it
+//! tracks the bytes held by outstanding (committed) buffers plus the
+//! free list, and records the high-water mark — the "peak lattice bytes"
+//! number `record_lattice` compares against the full-codes baseline.
+//!
+//! The pool is shared across worker threads (`Mutex` free list, atomic
+//! counters); acquire/release happen once per node, not per row, so
+//! contention is negligible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A recycling pool of `u32` buffers with live/peak byte accounting.
+#[derive(Debug, Default)]
+pub struct CodePool {
+    free: Mutex<Vec<Vec<u32>>>,
+    live_bytes: AtomicU64,
+    free_bytes: AtomicU64,
+    peak_live_bytes: AtomicU64,
+    peak_held_bytes: AtomicU64,
+    fresh_allocs: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl CodePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        CodePool::default()
+    }
+
+    /// Hands out an empty buffer, recycling a released one when
+    /// available. Call [`CodePool::commit`] once the buffer is filled so
+    /// the byte accounting sees its final size.
+    pub fn acquire(&self) -> Vec<u32> {
+        self.acquire_hint(0)
+    }
+
+    /// As [`CodePool::acquire`], preferring the smallest free buffer
+    /// whose capacity already covers `want` elements (best fit). This
+    /// keeps big buffers circulating among big partitions instead of
+    /// being pinned under tiny upper-level nodes, so the pool's retained
+    /// bytes track the actual working set.
+    pub fn acquire_hint(&self, want: usize) -> Vec<u32> {
+        let recycled = {
+            let mut free = self.free.lock().expect("pool lock");
+            // `free` is sorted by capacity (see `release`); take the
+            // smallest buffer that fits.
+            if free.is_empty() {
+                None
+            } else {
+                let i = free.partition_point(|v| v.capacity() < want);
+                // Nothing fits: hand out the *smallest* buffer — the
+                // caller's regrow destroys whatever it gets, so losing
+                // the smallest preserves the large ones for partitions
+                // they actually fit.
+                let i = if i == free.len() { 0 } else { i };
+                Some(free.remove(i))
+            }
+        };
+        match recycled {
+            Some(mut v) => {
+                self.free_bytes.fetch_sub(bytes_of(&v), Ordering::Relaxed);
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                v.clear();
+                v
+            }
+            None => {
+                self.fresh_allocs.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Accounts a filled buffer as live (by length — the partition data
+    /// it holds; free-list retention is tracked by capacity) and updates
+    /// the high-water marks. The buffer must not change length between
+    /// `commit` and `release`.
+    pub fn commit(&self, v: &[u32]) {
+        let b = std::mem::size_of_val(v) as u64;
+        let live = self.live_bytes.fetch_add(b, Ordering::Relaxed) + b;
+        self.peak_live_bytes.fetch_max(live, Ordering::Relaxed);
+        let total = live + self.free_bytes.load(Ordering::Relaxed);
+        self.peak_held_bytes.fetch_max(total, Ordering::Relaxed);
+    }
+
+    /// Returns a committed buffer to the free list (kept sorted by
+    /// capacity for best-fit reuse).
+    pub fn release(&self, v: Vec<u32>) {
+        let live = self.live_bytes.fetch_sub(
+            (v.len() * std::mem::size_of::<u32>()) as u64,
+            Ordering::Relaxed,
+        ) - (v.len() * std::mem::size_of::<u32>()) as u64;
+        let free_total = self.free_bytes.fetch_add(bytes_of(&v), Ordering::Relaxed) + bytes_of(&v);
+        // Held bytes can *grow* here (capacity > len slack moves into
+        // the free list), so the held peak is tracked on release too.
+        self.peak_held_bytes
+            .fetch_max(live + free_total, Ordering::Relaxed);
+        let mut free = self.free.lock().expect("pool lock");
+        let i = free.partition_point(|f| f.capacity() < v.capacity());
+        free.insert(i, v);
+    }
+
+    /// High-water mark of **live** node bytes — partition data committed
+    /// to nodes that have not been released. This is the pool's
+    /// counterpart of the full-codes lattice's live node storage.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.peak_live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of live + free-list bytes — everything the pool
+    /// keeps resident, counting retained (reusable) capacity too.
+    pub fn peak_held_bytes(&self) -> u64 {
+        self.peak_held_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Buffers created fresh because the free list was empty.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Buffers served from the free list.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+}
+
+/// Capacity bytes a pooled buffer retains.
+fn bytes_of(v: &Vec<u32>) -> u64 {
+    (v.capacity() * std::mem::size_of::<u32>()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_buffers() {
+        let pool = CodePool::new();
+        let mut a = pool.acquire();
+        a.extend(0..100);
+        pool.commit(&a);
+        pool.release(a);
+        let b = pool.acquire();
+        assert!(b.capacity() >= 100, "capacity not retained");
+        assert_eq!(pool.fresh_allocs(), 1);
+        assert_eq!(pool.reuses(), 1);
+    }
+
+    #[test]
+    fn tracks_peak_bytes() {
+        let pool = CodePool::new();
+        let mut a = pool.acquire();
+        a.extend(0..64);
+        pool.commit(&a);
+        let mut b = pool.acquire();
+        b.extend(0..32);
+        pool.commit(&b);
+        assert!(pool.peak_live_bytes() >= (64 + 32) * 4);
+        pool.release(a);
+        pool.release(b);
+        // Peaks are high-water marks: they never decrease, and held
+        // (live + free) is at least live.
+        assert!(pool.peak_live_bytes() >= (64 + 32) * 4);
+        assert!(pool.peak_held_bytes() >= pool.peak_live_bytes());
+    }
+
+    #[test]
+    fn steady_state_needs_no_fresh_allocations() {
+        let pool = CodePool::new();
+        // Warm up with two buffers, then cycle many times.
+        let (a, b) = (pool.acquire(), pool.acquire());
+        pool.release(a);
+        pool.release(b);
+        for _ in 0..50 {
+            let x = pool.acquire();
+            let y = pool.acquire();
+            pool.release(x);
+            pool.release(y);
+        }
+        assert_eq!(pool.fresh_allocs(), 2);
+        assert_eq!(pool.reuses(), 100);
+    }
+}

@@ -17,6 +17,19 @@ fn rel3() -> impl Strategy<Value = Relation> {
     })
 }
 
+/// As [`rel3`], with NULLs sprinkled in (value 0 becomes NULL) so the
+/// stripped lattice's full-codes fallback path is exercised.
+fn rel3_nulls() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0i64..5, 0i64..4, 0i64..3), 1..80).prop_map(|rows| {
+        let v = |x: i64| if x == 0 { Value::Null } else { Value::Int(x) };
+        Relation::from_rows(
+            Schema::new(["A", "B", "C"]).unwrap(),
+            rows.into_iter().map(|(a, b, c)| vec![v(a), v(b), v(c)]),
+        )
+        .unwrap()
+    })
+}
+
 proptest! {
     #[test]
     fn discovered_scores_respect_threshold(rel in rel3(), eps in 0.0f64..0.99) {
@@ -108,6 +121,80 @@ proptest! {
         for (a, b) in seq.iter().zip(&par) {
             prop_assert_eq!(&a.fd, &b.fd);
             prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    /// The stripped/pooled lattice is pinned **bit-identical** to the
+    /// retained full-codes reference (`afd_discovery::naive_lattice`,
+    /// mirroring `afd_relation::naive`): same FDs, same order, same
+    /// `f64::to_bits` scores — across thread counts and level caps.
+    #[test]
+    fn stripped_lattice_bit_identical_to_naive(rel in rel3(), eps in 0.0f64..0.95) {
+        for name in ["g3'", "mu+"] {
+            let measure = measure_by_name(name).unwrap();
+            for max_lhs in [1usize, 2, 3] {
+                let cfg = LatticeConfig { max_lhs, epsilon: eps };
+                let reference =
+                    afd_discovery::naive_lattice::discover_all_threaded(&rel, measure.as_ref(), cfg, 1);
+                for threads in [1usize, 2, 4] {
+                    let stripped = discover_all_threaded(&rel, measure.as_ref(), cfg, threads);
+                    prop_assert_eq!(stripped.len(), reference.len(),
+                        "{} max_lhs={} threads={}", name, max_lhs, threads);
+                    for (a, b) in stripped.iter().zip(&reference) {
+                        prop_assert_eq!(&a.fd, &b.fd,
+                            "{} max_lhs={} threads={}", name, max_lhs, threads);
+                        prop_assert_eq!(a.score.to_bits(), b.score.to_bits(),
+                            "{} max_lhs={} threads={}: {} vs {}",
+                            name, max_lhs, threads, a.score, b.score);
+                    }
+                }
+            }
+        }
+    }
+
+    /// As above on relations with NULLs — candidates over NULL-bearing
+    /// attributes take the lattice's full-codes fallback, which must be
+    /// just as bit-identical.
+    #[test]
+    fn stripped_lattice_bit_identical_with_nulls(rel in rel3_nulls(), eps in 0.0f64..0.95) {
+        let measure = measure_by_name("g3'").unwrap();
+        for max_lhs in [1usize, 2, 3] {
+            let cfg = LatticeConfig { max_lhs, epsilon: eps };
+            let reference =
+                afd_discovery::naive_lattice::discover_all_threaded(&rel, measure.as_ref(), cfg, 1);
+            for threads in [1usize, 2, 4] {
+                let stripped = discover_all_threaded(&rel, measure.as_ref(), cfg, threads);
+                prop_assert_eq!(stripped.len(), reference.len(),
+                    "max_lhs={} threads={}", max_lhs, threads);
+                for (a, b) in stripped.iter().zip(&reference) {
+                    prop_assert_eq!(&a.fd, &b.fd, "max_lhs={} threads={}", max_lhs, threads);
+                    prop_assert_eq!(a.score.to_bits(), b.score.to_bits(),
+                        "max_lhs={} threads={}", max_lhs, threads);
+                }
+            }
+        }
+    }
+
+    /// The per-RHS entry agrees with the reference too, and its stats
+    /// account for every emission.
+    #[test]
+    fn stripped_per_rhs_stats_consistent(rel in rel3(), eps in 0.0f64..0.95) {
+        let measure = measure_by_name("mu+").unwrap();
+        let cfg = LatticeConfig { max_lhs: 3, epsilon: eps };
+        let (found, stats) = afd_discovery::try_discover_for_rhs_stats(
+            &rel, AttrId(2), measure.as_ref(), cfg, 1).unwrap();
+        let reference = afd_discovery::naive_lattice::discover_for_rhs_threaded(
+            &rel, AttrId(2), measure.as_ref(), cfg, 1);
+        prop_assert_eq!(found.len(), reference.len());
+        for (a, b) in found.iter().zip(&reference) {
+            prop_assert_eq!(&a.fd, &b.fd);
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        let emitted: usize = stats.levels.iter().map(|l| l.emitted).sum();
+        prop_assert_eq!(emitted, found.len());
+        for lvl in &stats.levels {
+            prop_assert_eq!(lvl.candidates, lvl.emitted + lvl.exact + lvl.open,
+                "level {}", lvl.level);
         }
     }
 

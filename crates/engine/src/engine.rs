@@ -4,7 +4,7 @@
 use std::io::BufRead;
 
 use afd_core::{all_measures, measure_by_name, Measure};
-use afd_discovery::{discover_all_threaded, discover_linear, LatticeConfig};
+use afd_discovery::{discover_linear, try_discover_all_stats, LatticeConfig};
 use afd_relation::{
     linear_candidates, read_csv_typed, violated_candidates, AttrSet, CsvKind, Fd, Relation, Schema,
 };
@@ -250,39 +250,39 @@ impl AfdEngine {
     }
 
     /// Runs discovery on the current snapshot: threshold over linear
-    /// candidates for `max_lhs == 1`, the level-synchronous parallel
-    /// lattice search otherwise.
+    /// candidates for `max_lhs == 1`, the stripped/pooled
+    /// level-synchronous parallel lattice search otherwise (per-level
+    /// node/byte statistics come back on
+    /// [`DiscoverResponse::lattice`]).
     ///
     /// # Errors
     /// [`AfdError::UnknownMeasure`] / [`AfdError::Config`] (epsilon
-    /// outside `[0, 1)`, zero `max_lhs`, bad `AFD_THREADS`).
+    /// outside `[0, 1)`, zero `max_lhs` — via the discovery crate's
+    /// non-panicking `try_` entry — or bad `AFD_THREADS`).
     pub fn discover(&mut self, req: &DiscoverRequest) -> Result<DiscoverResponse, AfdError> {
         let measure = self.measure(&req.measure)?;
-        if !(0.0..1.0).contains(&req.epsilon) {
-            return Err(AfdError::Config(format!(
-                "epsilon must be in [0, 1), got {}",
-                req.epsilon
-            )));
-        }
-        if req.max_lhs == 0 {
-            return Err(AfdError::Config("max_lhs must be at least 1".into()));
-        }
+        // Linear threshold discovery shares the lattice's validation so
+        // both algorithms reject the same configurations.
+        let cfg = LatticeConfig {
+            max_lhs: req.max_lhs,
+            epsilon: req.epsilon,
+        };
+        cfg.validate()
+            .map_err(|e| AfdError::Config(e.to_string()))?;
         let threads = self.threads()?;
         let rel = self.snapshot();
-        let found = if req.max_lhs == 1 {
-            discover_linear(rel, measure.as_ref(), req.epsilon)
-        } else {
-            discover_all_threaded(
-                rel,
-                measure.as_ref(),
-                LatticeConfig {
-                    max_lhs: req.max_lhs,
-                    epsilon: req.epsilon,
-                },
-                threads,
-            )
-        };
-        Ok(DiscoverResponse { found })
+        if req.max_lhs == 1 {
+            return Ok(DiscoverResponse {
+                found: discover_linear(rel, measure.as_ref(), req.epsilon),
+                lattice: None,
+            });
+        }
+        let (found, stats) = try_discover_all_stats(rel, measure.as_ref(), cfg, threads)
+            .map_err(|e| AfdError::Config(e.to_string()))?;
+        Ok(DiscoverResponse {
+            found,
+            lattice: Some(stats),
+        })
     }
 
     fn ensure_session(&mut self, default_key: Option<&AttrSet>) -> Result<(), AfdError> {
@@ -480,7 +480,18 @@ mod tests {
             })
             .unwrap();
         assert!(lattice.found.len() >= linear.found.len().min(1));
-        // Bad epsilon is an error, not a panic.
+        // Lattice runs surface per-level search statistics; the linear
+        // path has none.
+        assert!(linear.lattice.is_none());
+        let stats = lattice.lattice.expect("lattice stats");
+        // Two attributes: the per-RHS frontier empties after level 1.
+        assert!(!stats.levels.is_empty() && stats.levels.len() <= 2);
+        assert_eq!(
+            stats.levels.iter().map(|l| l.emitted).sum::<usize>(),
+            lattice.found.len()
+        );
+        // Bad epsilon / max_lhs are errors, not panics — surfaced from
+        // the discovery crate's non-panicking `try_` entry.
         assert!(matches!(
             engine.discover(&DiscoverRequest {
                 measure: "mu+".into(),
@@ -489,6 +500,37 @@ mod tests {
             }),
             Err(AfdError::Config(_))
         ));
+        assert!(matches!(
+            engine.discover(&DiscoverRequest {
+                measure: "mu+".into(),
+                epsilon: 1.5,
+                max_lhs: 3,
+            }),
+            Err(AfdError::Config(_))
+        ));
+        assert!(matches!(
+            engine.discover(&DiscoverRequest {
+                measure: "mu+".into(),
+                epsilon: 0.5,
+                max_lhs: 0,
+            }),
+            Err(AfdError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn discovery_defaults_cannot_silently_drift() {
+        // The two discovery front doors share their default ε through
+        // `afd_discovery::DEFAULT_EPSILON`; `max_lhs` intentionally
+        // differs (engine default = linear threshold search, lattice
+        // preset = non-linear depth 3) — if either side changes, this
+        // test forces the divergence to be a conscious decision.
+        let req = DiscoverRequest::default();
+        let cfg = LatticeConfig::default();
+        assert_eq!(req.epsilon, cfg.epsilon);
+        assert_eq!(req.epsilon, afd_discovery::DEFAULT_EPSILON);
+        assert_eq!(req.max_lhs, 1, "engine defaults to linear discovery");
+        assert_eq!(cfg.max_lhs, 3, "lattice preset defaults to depth 3");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! * [`DiscoverRequest`]: threshold (linear) or lattice (non-linear)
 //!   discovery.
 
-use afd_discovery::Discovered;
+use afd_discovery::{Discovered, LatticeStats};
 use afd_relation::Fd;
 use afd_stream::{RowDelta, ScoreDiff, StreamScores};
 
@@ -152,9 +152,13 @@ pub struct DiscoverRequest {
 
 impl Default for DiscoverRequest {
     fn default() -> Self {
+        // ε is shared with `LatticeConfig::default()` (pinned by a
+        // regression test); `max_lhs` deliberately differs — the engine's
+        // default algorithm is the cheap *linear* threshold search, while
+        // `LatticeConfig` is the non-linear preset (depth 3).
         DiscoverRequest {
             measure: "mu+".into(),
-            epsilon: 0.5,
+            epsilon: afd_discovery::DEFAULT_EPSILON,
             max_lhs: 1,
         }
     }
@@ -165,4 +169,9 @@ impl Default for DiscoverRequest {
 pub struct DiscoverResponse {
     /// Discovered AFDs, sorted by descending score.
     pub found: Vec<Discovered>,
+    /// Per-level node/byte accounting of the lattice search (`None` for
+    /// the linear threshold path): candidates evaluated, subset-index
+    /// prunes, open-node storage bytes, and the pool's peak — the
+    /// numbers `record_lattice` tracks.
+    pub lattice: Option<LatticeStats>,
 }

@@ -43,7 +43,21 @@ pub fn expected_mi_exact(t: &ContingencyTable) -> f64 {
         v.sort_unstable();
         v
     };
-    let row_hist = hist(t.row_totals());
+    // Implicit singleton groups (stripped-lattice tables) are row totals
+    // of 1 that are not materialised; folding them into the histogram
+    // reproduces the full-codes histogram exactly — the expectation only
+    // depends on the margins, so RFI-family scores stay bit-identical.
+    let mut row_hist = hist(t.row_totals());
+    let implicit = t.implicit_singletons();
+    if implicit > 0 {
+        match row_hist.iter_mut().find(|e| e.0 == 1) {
+            Some(e) => e.1 += implicit,
+            None => {
+                row_hist.push((1, implicit));
+                row_hist.sort_unstable();
+            }
+        }
+    }
     let col_hist = hist(t.col_totals());
     let nf = n as f64;
     let ln2 = std::f64::consts::LN_2;
@@ -112,7 +126,9 @@ pub fn expected_mi_monte_carlo(
 }
 
 /// Expands a contingency table back into parallel per-row code vectors
-/// (one entry per tuple).
+/// (one entry per tuple). Implicit singleton groups are materialised
+/// with fresh X ids and their recovered Y values
+/// ([`ContingencyTable::implicit_col_counts`]).
 pub fn expand_codes(t: &ContingencyTable) -> (Vec<u32>, Vec<u32>) {
     let n = t.n() as usize;
     let mut xs = Vec::with_capacity(n);
@@ -121,6 +137,16 @@ pub fn expand_codes(t: &ContingencyTable) -> (Vec<u32>, Vec<u32>) {
         for _ in 0..c {
             xs.push(i as u32);
             ys.push(j as u32);
+        }
+    }
+    if t.implicit_singletons() > 0 {
+        let mut next_x = t.n_explicit_x() as u32;
+        for (j, c) in t.implicit_col_counts().into_iter().enumerate() {
+            for _ in 0..c {
+                xs.push(next_x);
+                ys.push(j as u32);
+                next_x += 1;
+            }
         }
     }
     (xs, ys)

@@ -30,6 +30,10 @@ pub fn logical_y(t: &ContingencyTable) -> f64 {
 
 /// `h_R(Y|X) = Σ_ij p_ij (p_i − p_ij)`: the probability that two random
 /// tuples agree on `X` but differ on `Y`.
+///
+/// Iterates explicit cells only; an implicit singleton cell's term is
+/// `c(a − c) = 1·(1 − 1) = 0`, so stripped-lattice tables sum to the
+/// same bits as the full-codes path.
 pub fn logical_y_given_x(t: &ContingencyTable) -> f64 {
     if t.n() == 0 {
         return 0.0;
@@ -45,13 +49,18 @@ pub fn logical_y_given_x(t: &ContingencyTable) -> f64 {
 
 /// `E_x[h_R(Y|x)] = Σ_i p_i · h(Y | x_i)`: the *expected conditional*
 /// logical entropy. Equals `1 − pdep(X→Y, R)` (Lemma 3 of the paper).
+///
+/// Only explicit X-groups are iterated: a singleton group's term is
+/// `a/n − sq/(a·n)` with `a = sq = 1`, i.e. exactly `0.0`, so implicit
+/// singletons (stripped-lattice tables) contribute nothing — bit for bit
+/// the same sum the full-codes table produces.
 pub fn expected_conditional_logical(t: &ContingencyTable) -> f64 {
     if t.n() == 0 {
         return 0.0;
     }
     let n = t.n() as f64;
     let mut sum = 0.0;
-    for i in 0..t.n_x() {
+    for i in 0..t.n_explicit_x() {
         let a = t.row_totals()[i] as f64;
         let sq: u64 = t.row(i).iter().map(|&(_, c)| c * c).sum();
         // p_i * (1 − Σ_j (c/a)²) = (a/n) − (Σ c²)/(a·n)

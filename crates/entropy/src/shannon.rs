@@ -26,8 +26,20 @@ pub fn entropy_of_counts(counts: &[u64], n: u64) -> f64 {
 }
 
 /// `H_R(X)`: marginal Shannon entropy of the X side.
+///
+/// Implicit singleton groups (stripped-lattice tables) each contribute a
+/// `−(1/n)·log2(1/n)` term, appended after the explicit groups. Their
+/// terms are *not* zero, so this quantity is value-equal but not
+/// bit-pinned against the full-codes table; no registry measure consumes
+/// it on lattice tables.
 pub fn shannon_x(t: &ContingencyTable) -> f64 {
-    entropy_of_counts(t.row_totals(), t.n())
+    let h = entropy_of_counts(t.row_totals(), t.n());
+    let implicit = t.implicit_singletons();
+    if implicit == 0 || t.n() == 0 {
+        return h;
+    }
+    let p = 1.0 / t.n() as f64;
+    h - implicit as f64 * (p * p.log2())
 }
 
 /// `H_R(Y)`: marginal Shannon entropy of the Y side.
@@ -36,6 +48,9 @@ pub fn shannon_y(t: &ContingencyTable) -> f64 {
 }
 
 /// `H_R(XY)`: joint Shannon entropy.
+///
+/// As [`shannon_x`], implicit singleton cells are folded in after the
+/// explicit cells (value-equal, not bit-pinned, on stripped tables).
 pub fn shannon_xy(t: &ContingencyTable) -> f64 {
     if t.n() == 0 {
         return 0.0;
@@ -46,20 +61,28 @@ pub fn shannon_xy(t: &ContingencyTable) -> f64 {
         let p = c as f64 / nf;
         h -= p * p.log2();
     }
+    let implicit = t.implicit_singletons();
+    if implicit > 0 {
+        let p = 1.0 / nf;
+        h -= implicit as f64 * (p * p.log2());
+    }
     h.max(0.0)
 }
 
 /// `H_R(Y | X) = H(XY) − H(X)`: conditional Shannon entropy.
 ///
 /// Computed cell-wise (`−Σ p_ij log2(p_ij / p_i)`) rather than as a
-/// difference, which is numerically cleaner near zero.
+/// difference, which is numerically cleaner near zero. Only explicit
+/// groups are iterated: a singleton's term is `p·log2(1/1) = 0.0`
+/// exactly, so stripped-lattice tables (implicit singletons) produce the
+/// same bits as the full-codes path.
 pub fn shannon_y_given_x(t: &ContingencyTable) -> f64 {
     if t.n() == 0 {
         return 0.0;
     }
     let nf = t.n() as f64;
     let mut h = 0.0;
-    for (i, row) in (0..t.n_x()).map(|i| (i, t.row(i))) {
+    for (i, row) in (0..t.n_explicit_x()).map(|i| (i, t.row(i))) {
         let a = t.row_totals()[i] as f64;
         for &(_, c) in row {
             let p = c as f64 / nf;

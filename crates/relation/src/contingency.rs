@@ -14,6 +14,26 @@
 //! counting sort by X-group followed by a stamped tally per group. The
 //! hash-based reference implementation is retained as
 //! [`crate::naive::contingency_from_codes`].
+//!
+//! ## Implicit singleton X-groups
+//!
+//! The stripped lattice (TANE-style discovery in `afd-discovery`) stores
+//! only the rows of non-singleton X-groups. [`ContingencyTable::
+//! from_stripped_with`] builds a table from that stripped layout plus the
+//! *count* of implicit singleton groups: each implicit group has row
+//! total 1 and one cell of count 1, so every aggregate
+//! ([`ContingencyTable::n_x`], [`ContingencyTable::sum_row_max`],
+//! [`ContingencyTable::sum_sq_cells`], ...) folds them in arithmetically
+//! without materialising them. Row-level accessors
+//! ([`ContingencyTable::row_totals`], [`ContingencyTable::row`],
+//! [`ContingencyTable::cells`]) expose **explicit** groups only; callers
+//! that iterate rows must add the implicit contribution themselves (see
+//! `n_explicit_x` uses across `afd-entropy`/`afd-core` — for every fast
+//! measure the per-singleton term is exactly `0.0`, which is what keeps
+//! stripped-lattice scores bit-identical to the full-codes path). The
+//! per-Y distribution of the implicit rows stays recoverable as
+//! [`ContingencyTable::implicit_col_counts`] because `col_totals` always
+//! covers *all* surviving rows.
 
 use crate::dictionary::NULL_CODE;
 use crate::kernels::{with_scratch, Scratch};
@@ -29,8 +49,12 @@ pub struct ContingencyTable {
     /// Nonzero cells `(y_index, count)` of all X-groups, row-major,
     /// sorted by `y_index` within each row.
     cells: Vec<(u32, u64)>,
-    /// CSR offsets into `cells`; length `n_x() + 1`.
+    /// CSR offsets into `cells`; length `n_explicit_x() + 1`.
     row_starts: Vec<u32>,
+    /// Number of X-groups with a single row that are *not* materialised
+    /// in `row_totals`/`cells` (each has row total 1 and one cell of
+    /// count 1). Always 0 for tables built from full per-row codes.
+    implicit_singletons: u64,
 }
 
 impl ContingencyTable {
@@ -84,6 +108,7 @@ impl ContingencyTable {
                 col_totals: Vec::new(),
                 cells: Vec::new(),
                 row_starts: vec![0],
+                implicit_singletons: 0,
             };
         }
         scratch.map_a.ensure(max_x as usize + 1);
@@ -178,6 +203,7 @@ impl ContingencyTable {
             col_totals,
             cells,
             row_starts,
+            implicit_singletons: 0,
         }
     }
 
@@ -202,6 +228,7 @@ impl ContingencyTable {
             col_totals,
             cells,
             row_starts,
+            implicit_singletons: 0,
         }
     }
 
@@ -247,6 +274,80 @@ impl ContingencyTable {
         Self::from_sparse_rows(rows, row_totals, col_totals, n)
     }
 
+    /// Builds the table of a *stripped* X-partition against a shared,
+    /// pre-encoded Y side — the evaluation kernel of the stripped
+    /// lattice in `afd-discovery`.
+    ///
+    /// `cluster_rows`/`cluster_starts` are the CSR clusters (size ≥ 2) of
+    /// the X-partition, **ordered by first row** with rows ascending
+    /// inside each cluster — the first-encounter group order the
+    /// full-codes path would produce. `y_codes` are dense
+    /// first-encounter Y ids covering every row, `col_totals` the per-Y
+    /// totals over **all** `n` surviving rows (cluster rows *and*
+    /// implicit singletons), and `implicit_singletons` the number of
+    /// X-groups with exactly one row that are not materialised.
+    ///
+    /// The caller guarantees there are no NULLs on either side among the
+    /// surviving rows (the stripped lattice falls back to
+    /// [`ContingencyTable::from_codes_with`] when the relation has NULLs
+    /// in the candidate's attributes). Under that contract the resulting
+    /// table is identical to the full-codes table up to the implicit
+    /// representation of singleton groups, and every measure score that
+    /// reads it through the aggregate accessors is **bit-identical** (the
+    /// per-singleton float terms of the fast measures are exactly `0.0`).
+    pub fn from_stripped_with(
+        scratch: &mut Scratch,
+        cluster_rows: &[u32],
+        cluster_starts: &[u32],
+        y_codes: &[u32],
+        col_totals: &[u64],
+        n: u64,
+        implicit_singletons: u64,
+    ) -> Self {
+        let n_clusters = cluster_starts.len().saturating_sub(1);
+        scratch.count.ensure(col_totals.len());
+        let mut row_totals: Vec<u64> = Vec::with_capacity(n_clusters);
+        let mut cells: Vec<(u32, u64)> = Vec::new();
+        let mut row_starts: Vec<u32> = Vec::with_capacity(n_clusters + 1);
+        for ci in 0..n_clusters {
+            let cluster =
+                &cluster_rows[cluster_starts[ci] as usize..cluster_starts[ci + 1] as usize];
+            scratch.count.begin();
+            scratch.touched.clear();
+            for &row in cluster {
+                let y = y_codes[row as usize];
+                debug_assert_ne!(y, NULL_CODE, "stripped table requires NULL-free sides");
+                match scratch.count.get(y) {
+                    Some(c) => scratch.count.set(y, c + 1),
+                    None => {
+                        scratch.count.set(y, 1);
+                        scratch.touched.push(y);
+                    }
+                }
+            }
+            scratch.touched.sort_unstable();
+            row_starts.push(cells.len() as u32);
+            for &y in &scratch.touched {
+                cells.push((y, scratch.count.get(y).expect("touched key counted")));
+            }
+            row_totals.push(cluster.len() as u64);
+        }
+        row_starts.push(cells.len() as u32);
+        debug_assert_eq!(
+            row_totals.iter().sum::<u64>() + implicit_singletons,
+            n,
+            "cluster rows + implicit singletons must cover all surviving rows"
+        );
+        ContingencyTable {
+            n,
+            row_totals,
+            col_totals: col_totals.to_vec(),
+            cells,
+            row_starts,
+            implicit_singletons,
+        }
+    }
+
     /// Total count `N` (tuples surviving NULL filtering).
     pub fn n(&self) -> u64 {
         self.n
@@ -257,9 +358,37 @@ impl ContingencyTable {
         self.n == 0
     }
 
-    /// `K_X`: number of distinct X-tuples (`|dom_R(X)|`).
+    /// `K_X`: number of distinct X-tuples (`|dom_R(X)|`), implicit
+    /// singleton groups included.
     pub fn n_x(&self) -> usize {
+        self.row_totals.len() + self.implicit_singletons as usize
+    }
+
+    /// Number of *materialised* X-groups — the index bound for
+    /// [`ContingencyTable::row`] / [`ContingencyTable::row_totals`].
+    /// Equals [`ContingencyTable::n_x`] unless the table was built from a
+    /// stripped partition.
+    pub fn n_explicit_x(&self) -> usize {
         self.row_totals.len()
+    }
+
+    /// Number of non-materialised singleton X-groups (row total 1, one
+    /// cell of count 1 each). Zero for tables built from full codes.
+    pub fn implicit_singletons(&self) -> u64 {
+        self.implicit_singletons
+    }
+
+    /// Per-Y counts of the implicit singleton rows: `col_totals` minus
+    /// the explicit cells. Lets consumers that need the full joint
+    /// distribution (e.g. permutation Monte-Carlo expansion) reconstruct
+    /// the singleton cells — their Y values are recoverable even though
+    /// their X positions are not.
+    pub fn implicit_col_counts(&self) -> Vec<u64> {
+        let mut counts = self.col_totals.clone();
+        for &(j, c) in &self.cells {
+            counts[j as usize] -= c;
+        }
+        counts
     }
 
     /// `K_Y`: number of distinct Y-tuples (`|dom_R(Y)|`).
@@ -267,7 +396,8 @@ impl ContingencyTable {
         self.col_totals.len()
     }
 
-    /// Row sums `a_i`.
+    /// Row sums `a_i` of the **explicit** X-groups (see
+    /// [`ContingencyTable::n_explicit_x`]).
     pub fn row_totals(&self) -> &[u64] {
         &self.row_totals
     }
@@ -277,23 +407,29 @@ impl ContingencyTable {
         &self.col_totals
     }
 
-    /// Sparse cells of X-group `i`: `(y_index, n_ij)` sorted by `y_index`.
+    /// Sparse cells of **explicit** X-group `i`: `(y_index, n_ij)` sorted
+    /// by `y_index`.
     pub fn row(&self, i: usize) -> &[(u32, u64)] {
         &self.cells[self.row_starts[i] as usize..self.row_starts[i + 1] as usize]
     }
 
-    /// Iterates over `(i, j, n_ij)` for all nonzero cells.
+    /// Iterates over `(i, j, n_ij)` for all nonzero **explicit** cells
+    /// (implicit singleton cells are not materialised; see
+    /// [`ContingencyTable::implicit_singletons`]).
     pub fn cells(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
-        (0..self.n_x()).flat_map(move |i| self.row(i).iter().map(move |&(j, c)| (i, j as usize, c)))
+        (0..self.n_explicit_x())
+            .flat_map(move |i| self.row(i).iter().map(move |&(j, c)| (i, j as usize, c)))
     }
 
-    /// Number of nonzero cells, i.e. `|dom_R(XY)|`.
+    /// Number of nonzero cells, i.e. `|dom_R(XY)|` (implicit singleton
+    /// groups carry one cell each).
     pub fn nonzero_cells(&self) -> usize {
-        self.cells.len()
+        self.cells.len() + self.implicit_singletons as usize
     }
 
     /// `true` iff the FD `X -> Y` holds exactly on the NULL-filtered data:
-    /// every X-group maps to a single Y-value. Vacuously true when empty.
+    /// every X-group maps to a single Y-value (implicit singletons
+    /// trivially do). Vacuously true when empty.
     pub fn is_exact_fd(&self) -> bool {
         self.row_starts.windows(2).all(|w| w[1] - w[0] <= 1)
     }
@@ -301,19 +437,20 @@ impl ContingencyTable {
     /// `Σ_i max_j n_ij` — the size of the largest FD-satisfying subrelation
     /// (numerator of `g3`).
     pub fn sum_row_max(&self) -> u64 {
-        (0..self.n_x())
+        (0..self.n_explicit_x())
             .map(|i| self.row(i).iter().map(|&(_, c)| c).max().unwrap_or(0))
-            .sum()
+            .sum::<u64>()
+            + self.implicit_singletons
     }
 
     /// `Σ_ij n_ij²` — used by `g1'` and logical entropy.
     pub fn sum_sq_cells(&self) -> u64 {
-        self.cells.iter().map(|&(_, c)| c * c).sum()
+        self.cells.iter().map(|&(_, c)| c * c).sum::<u64>() + self.implicit_singletons
     }
 
     /// `Σ_i a_i²`.
     pub fn sum_sq_rows(&self) -> u64 {
-        self.row_totals.iter().map(|&a| a * a).sum()
+        self.row_totals.iter().map(|&a| a * a).sum::<u64>() + self.implicit_singletons
     }
 
     /// `Σ_j b_j²`.
@@ -433,6 +570,76 @@ mod tests {
         assert_eq!(t.n_x(), 3); // (1,1),(1,2),(2,1)
         assert_eq!(t.n_y(), 2);
         assert!(t.is_exact_fd());
+    }
+
+    #[test]
+    fn stripped_table_aggregates_match_full_codes() {
+        use crate::kernels::strip_codes_into;
+        // NULL-free codes so the stripped contract applies; interleaved
+        // singleton groups (odd codes 100+) exercise the implicit path.
+        let x: Vec<u32> = (0..240u32)
+            .map(|i| if i % 3 == 1 { 100 + i } else { (i * 13) % 70 })
+            .collect();
+        let y: Vec<u32> = (0..240).map(|i| (i * 7) % 6).collect();
+        let full = ContingencyTable::from_codes(&x, &y);
+        // Stripped layout + shared dense Y side.
+        let (mut rows, mut starts, mut dropped) = (Vec::new(), Vec::new(), Vec::new());
+        with_scratch(|s| strip_codes_into(s, &x, 340, &mut rows, &mut starts, &mut dropped));
+        assert!(dropped.is_empty());
+        assert!(rows.len() < x.len(), "fixture must contain singletons");
+        let mut y_dense = y.clone();
+        let mut col_totals = Vec::new();
+        with_scratch(|s| {
+            s.map_b.ensure(6);
+            s.map_b.begin();
+            for c in y_dense.iter_mut() {
+                *c = match s.map_b.get(*c) {
+                    Some(id) => id,
+                    None => {
+                        let id = col_totals.len() as u32;
+                        s.map_b.set(*c, id);
+                        col_totals.push(0u64);
+                        id
+                    }
+                };
+                col_totals[*c as usize] += 1;
+            }
+        });
+        let implicit = (x.len() - rows.len()) as u64;
+        let stripped = with_scratch(|s| {
+            ContingencyTable::from_stripped_with(
+                s,
+                &rows,
+                &starts,
+                &y_dense,
+                &col_totals,
+                x.len() as u64,
+                implicit,
+            )
+        });
+        assert_eq!(stripped.n(), full.n());
+        assert_eq!(stripped.n_x(), full.n_x());
+        assert_eq!(stripped.n_y(), full.n_y());
+        assert_eq!(stripped.nonzero_cells(), full.nonzero_cells());
+        assert_eq!(stripped.sum_row_max(), full.sum_row_max());
+        assert_eq!(stripped.sum_sq_cells(), full.sum_sq_cells());
+        assert_eq!(stripped.sum_sq_rows(), full.sum_sq_rows());
+        assert_eq!(stripped.sum_sq_cols(), full.sum_sq_cols());
+        assert_eq!(stripped.col_totals(), full.col_totals());
+        assert_eq!(stripped.is_exact_fd(), full.is_exact_fd());
+        // Implicit singleton Y distribution is recoverable.
+        let implicit_cols = stripped.implicit_col_counts();
+        assert_eq!(implicit_cols.iter().sum::<u64>(), implicit);
+        // Explicit rows are the full table's multi-row groups, in the
+        // same relative (first-encounter) order.
+        let full_big: Vec<usize> = (0..full.n_x())
+            .filter(|&i| full.row_totals()[i] >= 2)
+            .collect();
+        assert_eq!(stripped.n_explicit_x(), full_big.len());
+        for (si, &fi) in full_big.iter().enumerate() {
+            assert_eq!(stripped.row_totals()[si], full.row_totals()[fi]);
+            assert_eq!(stripped.row(si), full.row(fi), "group {si}");
+        }
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub use csv::{read_csv, read_csv_typed, write_csv, CsvKind};
 pub use dictionary::{Dictionary, NULL_CODE};
 pub use error::RelationError;
 pub use fd::Fd;
-pub use kernels::{combine_codes_with, with_scratch, Scratch};
+pub use kernels::{
+    combine_codes_with, refine_stripped_into, strip_codes_into, with_scratch, Scratch,
+};
 pub use pli::Pli;
 pub use relation::{Column, GroupEncoding, NullSemantics, Relation};
 pub use schema::{AttrId, AttrSet, Schema};

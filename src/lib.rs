@@ -84,13 +84,29 @@
 //! * [`ContingencyTable`] and the PLI store their cells/clusters in
 //!   flat CSR vectors (one allocation each), built by counting sort
 //!   plus stamped tallies.
-//! * Non-linear discovery ([`DiscoverRequest`] with `max_lhs > 1`) is
-//!   **level-synchronous parallel** (scoped threads, see `afd-parallel`):
-//!   candidates are generated sequentially for deterministic pruning,
-//!   evaluated across workers, and merged in order — output is
-//!   byte-identical for every thread count (`AFD_THREADS` overrides the
-//!   worker count; an invalid override is an [`AfdError::Config`], not a
-//!   panic). Minimality pruning uses a bitmask subset index.
+//! * Non-linear discovery ([`DiscoverRequest`] with `max_lhs > 1`) runs
+//!   the **stripped lattice** (`afd-discovery`): nodes store only the
+//!   rows of non-singleton partition groups (CSR clusters, TANE-style),
+//!   scored through implicit-singleton contingency tables
+//!   ([`ContingencyTable::from_stripped_with`]) so per-node work and
+//!   memory shrink monotonically up the lattice instead of staying
+//!   `O(rows)`. Node buffers come from a recycling
+//!   [`discovery::CodePool`] (zero fresh allocations at steady state;
+//!   the pool's live high-water mark is surfaced on the response's
+//!   [`discovery::LatticeStats`]), per-attribute encodings are computed
+//!   once and shared across every RHS search, and supersets of exact
+//!   *and* emitted LHS sets are pruned through one bitmask subset index
+//!   before their partitions are materialised. The search stays
+//!   **level-synchronous parallel** (scoped threads, see
+//!   `afd-parallel`): child descriptors are generated sequentially for
+//!   deterministic pruning, but refinement *and* scoring run fused in
+//!   the worker pass — output is byte-identical for every thread count
+//!   (`AFD_THREADS` overrides the worker count; an invalid override is
+//!   an [`AfdError::Config`], not a panic), and bit-identical to the
+//!   retained full-codes reference in `afd_discovery::naive_lattice`
+//!   (proptest-pinned; `cargo run --release -p afd-bench --example
+//!   record_lattice` records ~8× end-to-end and ~10× lower peak node
+//!   bytes on the 65 536-row fixture in `BENCH_lattice.json`).
 //! * [`MatrixRequest`]s share work one level higher too: each **distinct
 //!   attribute set is group-encoded once** into a
 //!   [`relation::EncodingCache`] (warmed in parallel) and every
