@@ -130,7 +130,7 @@ pub fn profile(opts: &ProfileOptions) -> Result<(), String> {
     } else {
         None
     };
-    let rel = engine.snapshot();
+    let rel = engine.snapshot().map_err(|e| e.to_string())?;
 
     // Exact FDs (found by definition, not by ranking).
     let exact: Vec<_> = linear_candidates(rel)

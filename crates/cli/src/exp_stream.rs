@@ -68,7 +68,7 @@ pub fn stream(cfg: &Config) {
             threads: Some(cfg.threads),
             shards: cfg.shards,
             shard_key: Some(AttrSet::single(AttrId(0))),
-            compact_every: None,
+            ..EngineConfig::default()
         })
         .expect("valid stream experiment config");
     let run = stream_run(&mut engine, &[fd], &deltas).expect("planned deltas are valid");

@@ -23,6 +23,10 @@
 //!   mc-rfi      extension: Monte-Carlo RFI' vs exact RFI'+
 //!   stream      extension: incremental (delta-maintained) scoring under churn
 //!   profile <csv>  rank the AFDs of your own CSV file
+//!   save <csv> <snapshot>  persist a streamed session as a wire snapshot
+//!   load <snapshot>        restore a wire snapshot and print its scores
+//!   shard-worker  out-of-process shard speaking afd-wire over stdin/stdout
+//!                 (spawned by the engine's process backend, not by hand)
 //!   all      everything above (paper artifacts + extensions)
 //!
 //! flags:
@@ -45,6 +49,7 @@ mod exp_extensions;
 mod exp_profile;
 mod exp_rwd;
 mod exp_rwde;
+mod exp_snapshot;
 mod exp_stream;
 mod exp_synth;
 mod exp_table3;
@@ -57,7 +62,7 @@ use ctx::{Config, RwdEval};
 
 const USAGE: &str = "usage: afd <experiment> [--scale f] [--seed n] [--threads n] \
 [--budget-ms n] [--paper-scale] [--shards n] [--out dir]\n\
-experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi stream export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]";
+experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi stream export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]\n             save <in.csv> <out.snapshot> | load <snapshot> | shard-worker";
 
 fn parse_flags(args: &[String]) -> Result<Config, String> {
     let mut cfg = Config::default();
@@ -114,6 +119,23 @@ fn main() -> ExitCode {
     if cmd == "--help" || cmd == "-h" || cmd == "help" {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
+    }
+    if cmd == "shard-worker" {
+        return exp_snapshot::shard_worker();
+    }
+    if cmd == "save" || cmd == "load" {
+        let run = if cmd == "save" {
+            exp_snapshot::save(&args[1..])
+        } else {
+            exp_snapshot::load(&args[1..])
+        };
+        return match run {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if cmd == "profile" {
         return match exp_profile::parse_profile_args(&args[1..])
@@ -196,4 +218,31 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_zero_is_rejected_loudly() {
+        // `afd stream --shards 0` must be a clear error, not a panic or
+        // a silent one-shard fallback (the engine rejects 0 as well —
+        // see afd-engine's config tests).
+        let err = parse_flags(&["--shards".to_string(), "0".to_string()]).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn shards_flag_parses_positive_counts() {
+        let cfg = parse_flags(&["--shards".to_string(), "4".to_string()]).unwrap();
+        assert_eq!(cfg.shards, 4);
+    }
+
+    #[test]
+    fn threads_zero_is_rejected_loudly() {
+        let err = parse_flags(&["--threads".to_string(), "0".to_string()]).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+    }
 }

@@ -1,0 +1,337 @@
+//! End-to-end tests of the out-of-process shard topology: real
+//! `afd shard-worker` child processes (the binary Cargo built for this
+//! test run) driven by `ShardedSession<ProcessShard>` and the engine's
+//! process backend.
+//!
+//! The pinning property (the ISSUE's acceptance bar): for N ∈ {1, 2, 4}
+//! worker processes, over random insert/delete sequences, a
+//! process-backed session's score reads are **bit-identical**
+//! (`f64::to_bits`) to the in-process backend, to an unsharded session,
+//! and to a from-scratch rebuild through the batch kernels. Plus the
+//! fault path: a worker killed mid-delta surfaces a typed
+//! [`StreamError::Transport`] and leaves the session consistent
+//! (pre-delta reads served, further mutation refused).
+
+use std::process::{Command, Stdio};
+
+use afd_engine::{
+    AfdEngine, DeltaRequest, EngineConfig, RestoreRequest, SnapshotRequest, StreamBackend,
+    SubscribeRequest,
+};
+use afd_relation::{AttrId, AttrSet, Fd, Schema, Value};
+use afd_stream::{
+    ProcessShard, RowDelta, RowId, ShardedSession, StreamError, StreamSession, WorkerCommand,
+};
+use proptest::prelude::*;
+
+fn worker() -> WorkerCommand {
+    WorkerCommand::new(env!("CARGO_BIN_EXE_afd"))
+}
+
+fn schema3() -> Schema {
+    Schema::new(["A", "B", "C"]).unwrap()
+}
+
+fn row(a: i64, b: i64, c: i64) -> Vec<Value> {
+    vec![Value::Int(a), Value::Int(b), Value::Int(c)]
+}
+
+fn fixture_rows() -> Vec<Vec<Value>> {
+    (0..48)
+        .map(|i| row(i % 9, (i % 9) * 2 + i64::from(i == 13), i % 4))
+        .collect()
+}
+
+/// One stream event: op selector, delete-target pick, cell values
+/// (None = NULL).
+type Event = (u8, u32, (Option<i64>, Option<i64>, Option<i64>));
+
+fn events() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        (
+            0u8..4, // 0 => delete (when possible), else insert
+            0u32..4096,
+            (
+                prop::option::weighted(0.85, 0i64..5),
+                prop::option::weighted(0.85, 0i64..4),
+                prop::option::weighted(0.85, 0i64..3),
+            ),
+        ),
+        1..28,
+    )
+}
+
+/// Mirror of live row ids maintained alongside the sessions, turning
+/// random events into valid deltas.
+struct Mirror {
+    live: Vec<RowId>,
+    next_id: RowId,
+}
+
+impl Mirror {
+    fn new() -> Self {
+        Mirror {
+            live: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn delta_from(&mut self, chunk: &[Event]) -> RowDelta {
+        let base = self.next_id;
+        let mut delta = RowDelta::new();
+        for &(sel, pick, (a, b, c)) in chunk {
+            let deletable: Vec<RowId> = self
+                .live
+                .iter()
+                .copied()
+                .filter(|&id| id < base && !delta.deletes.contains(&id))
+                .collect();
+            if sel == 0 && !deletable.is_empty() {
+                let id = deletable[pick as usize % deletable.len()];
+                delta.deletes.push(id);
+                self.live.retain(|&l| l != id);
+            } else {
+                delta
+                    .inserts
+                    .push(vec![Value::from(a), Value::from(b), Value::from(c)]);
+                self.live.push(self.next_id);
+                self.next_id += 1;
+            }
+        }
+        delta
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn process_workers_match_in_process_and_unsharded_bit_exactly(events in events()) {
+        let key = AttrSet::single(AttrId(0));
+        let fds = [
+            Fd::linear(AttrId(0), AttrId(1)),
+            Fd::linear(AttrId(0), AttrId(2)),
+            Fd::new(
+                AttrSet::new([AttrId(0), AttrId(1)]),
+                AttrSet::single(AttrId(2)),
+            )
+            .unwrap(),
+        ];
+        // The three topologies under comparison: unsharded, in-process
+        // sharded, and process-backed for N ∈ {1, 2, 4}.
+        let mut single = StreamSession::new(schema3());
+        let mut inproc = ShardedSession::new(schema3(), key.clone(), 2).unwrap();
+        let mut procs: Vec<ShardedSession<ProcessShard>> = [1usize, 2, 4]
+            .iter()
+            .map(|&n| {
+                ShardedSession::spawn(schema3(), key.clone(), n, &worker())
+                    .expect("workers spawn")
+            })
+            .collect();
+        let mut cids = Vec::new();
+        for fd in &fds {
+            let cid = single.subscribe(fd.clone()).unwrap();
+            prop_assert_eq!(inproc.subscribe(fd.clone()).unwrap(), cid);
+            for p in &mut procs {
+                prop_assert_eq!(p.subscribe(fd.clone()).unwrap(), cid);
+            }
+            cids.push(cid);
+        }
+        let mut mirror = Mirror::new();
+        for chunk in events.chunks(5) {
+            let delta = mirror.delta_from(chunk);
+            single.apply(&delta).unwrap();
+            inproc.apply(&delta).unwrap();
+            for p in &mut procs {
+                p.apply(&delta).unwrap();
+            }
+            for &cid in &cids {
+                let want = single.scores(cid);
+                prop_assert!(inproc.scores(cid).bits_eq(&want));
+                for p in &procs {
+                    prop_assert!(
+                        p.scores(cid).bits_eq(&want),
+                        "ProcessShard({}) diverged for candidate {}: {:?} vs {:?}",
+                        p.n_shards(), cid, p.scores(cid), want
+                    );
+                }
+            }
+        }
+        // Bit-identical to the batch kernels: a fresh session rebuilt
+        // from the merged code-level snapshot (whose equivalence to the
+        // batch contingency/PLI kernels compaction verifies) reads the
+        // same bits.
+        let snap = procs[1].snapshot().expect("process snapshot");
+        prop_assert_eq!(snap.n_rows(), single.relation().n_live());
+        let mut fresh = StreamSession::from_relation(snap);
+        for (i, fd) in fds.iter().enumerate() {
+            let cid = fresh.subscribe(fd.clone()).unwrap();
+            prop_assert!(fresh.scores(cid).bits_eq(&single.scores(cids[i])));
+        }
+        // Worker-side compaction (batch-kernel verification inside the
+        // child process) passes and keeps every read bit-identical.
+        for p in &mut procs {
+            let before: Vec<_> = cids.iter().map(|&cid| p.scores(cid)).collect();
+            p.compact().expect("worker-side compaction verifies");
+            for (&cid, b) in cids.iter().zip(&before) {
+                prop_assert!(p.scores(cid).bits_eq(b));
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_worker_mid_delta_is_a_typed_transport_error() {
+    let key = AttrSet::single(AttrId(0));
+    let mut s = ShardedSession::spawn(schema3(), key, 2, &worker()).expect("workers spawn");
+    let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+    s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
+    let before = s.scores(cid);
+    let n_live = s.n_live();
+
+    // Kill worker 1 outright — the crash the transport must survive.
+    s.backend_mut(1).kill();
+    let err = s
+        .apply(&RowDelta::insert_only([row(1, 1, 1), row(2, 2, 2)]))
+        .unwrap_err();
+    assert!(matches!(err, StreamError::Transport(_)), "{err}");
+
+    // The session is left consistent: reads serve the pre-delta state...
+    assert!(s.scores(cid).bits_eq(&before));
+    // ...and every further mutation is refused with a typed error
+    // instead of tombstoning wrong rows (the router had already routed).
+    assert!(matches!(
+        s.apply(&RowDelta::delete_only([0])),
+        Err(StreamError::Transport(_))
+    ));
+    assert!(matches!(s.compact(), Err(StreamError::Transport(_))));
+    assert!(s.scores(cid).bits_eq(&before));
+    // The surviving worker's shard is still the size it was before the
+    // poisoned delta (nothing was half-applied to it and then served).
+    assert!(s.shard_sizes()[0] <= n_live);
+}
+
+#[test]
+fn engine_process_backend_matches_in_process_and_survives_save_restore() {
+    let base = afd_relation::Relation::from_pairs(
+        (0..64).map(|i| (i % 8, if i == 5 { 99 } else { (i % 8) * 3 })),
+    );
+    let fd = Fd::linear(AttrId(0), AttrId(1));
+    let mk = |backend: StreamBackend| {
+        AfdEngine::from_relation(base.clone())
+            .with_config(EngineConfig {
+                shards: 2,
+                shard_key: Some(AttrSet::single(AttrId(0))),
+                backend,
+                ..EngineConfig::default()
+            })
+            .unwrap()
+    };
+    let mut inproc = mk(StreamBackend::InProcess);
+    let mut proc = mk(StreamBackend::Process(worker()));
+    let ci = inproc
+        .subscribe(&SubscribeRequest::new(fd.clone()))
+        .unwrap();
+    let cp = proc.subscribe(&SubscribeRequest::new(fd.clone())).unwrap();
+    let delta = RowDelta {
+        inserts: vec![
+            vec![Value::Int(3), Value::Int(9)],
+            vec![Value::Int(1), Value::Int(3)],
+        ],
+        deletes: vec![5, 17, 40],
+    };
+    inproc.delta(&DeltaRequest::new(delta.clone())).unwrap();
+    proc.delta(&DeltaRequest::new(delta)).unwrap();
+    let (a, b) = (
+        inproc.scores(ci.candidate).unwrap(),
+        proc.scores(cp.candidate).unwrap(),
+    );
+    assert!(a.bits_eq(&b));
+
+    // Save from the process topology, restore into the in-process one:
+    // the wire snapshot is topology-neutral and bit-exact.
+    let snap = proc.save(&SnapshotRequest::default()).unwrap();
+    assert_eq!(snap.n_live, 63);
+    let restored = AfdEngine::restore(&RestoreRequest::new(snap.bytes.clone())).unwrap();
+    assert!(restored.scores(0).unwrap().bits_eq(&b));
+    // And back into process workers.
+    let restored = AfdEngine::restore_with_backend(
+        &RestoreRequest::new(snap.bytes),
+        StreamBackend::Process(worker()),
+    )
+    .unwrap();
+    assert_eq!(restored.n_shards(), 2);
+    assert!(restored.scores(0).unwrap().bits_eq(&b));
+}
+
+#[test]
+fn save_and_load_subcommands_round_trip() {
+    let dir = std::env::temp_dir().join(format!("afd-wire-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("in.csv");
+    let snap = dir.join("session.afdw");
+    std::fs::write(&csv, "zip,city\n94110,sf\n94110,sf\n94110,oak\n10001,nyc\n").unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_afd"))
+        .args(["save", csv.to_str().unwrap(), snap.to_str().unwrap()])
+        .output()
+        .expect("afd save runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("saved 4 rows"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_afd"))
+        .args(["load", snap.to_str().unwrap()])
+        .output()
+        .expect("afd load runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("restored 4 rows"), "{stdout}");
+    assert!(stdout.contains("zip -> city"), "{stdout}");
+
+    // A corrupted snapshot is refused with a typed decode error, not a
+    // panic or garbage scores.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    let bad = dir.join("corrupt.afdw");
+    std::fs::write(&bad, bytes).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_afd"))
+        .args(["load", bad.to_str().unwrap()])
+        .output()
+        .expect("afd load runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("checksum"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_worker_rejects_garbage_input() {
+    // Random bytes on stdin: the worker exits nonzero with a decode
+    // error on stderr instead of hanging or panicking.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_afd"))
+        .arg("shard-worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("worker spawns");
+    use std::io::Write as _;
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"definitely not an AFDW frame")
+        .unwrap();
+    let out = child.wait_with_output().expect("worker exits");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("shard-worker"));
+}

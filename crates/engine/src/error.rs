@@ -2,6 +2,7 @@
 
 use afd_relation::RelationError;
 use afd_stream::StreamError;
+use afd_wire::DecodeError;
 
 /// Everything an [`crate::AfdEngine`] request can fail with.
 ///
@@ -26,9 +27,13 @@ pub enum AfdError {
     /// A streaming request referenced a candidate index that was never
     /// subscribed.
     NoSuchCandidate(usize),
-    /// Invalid engine configuration: zero threads, a bad `AFD_THREADS`
-    /// override, an out-of-range epsilon, sharding without a shard key.
+    /// Invalid engine configuration: zero threads or shards, a bad
+    /// `AFD_THREADS` override, an out-of-range epsilon, sharding without
+    /// a shard key.
     Config(String),
+    /// A wire snapshot could not be decoded (corrupt bytes, truncation,
+    /// version mismatch) — see [`afd_wire::DecodeError`].
+    Wire(DecodeError),
 }
 
 impl std::fmt::Display for AfdError {
@@ -40,6 +45,7 @@ impl std::fmt::Display for AfdError {
             AfdError::UnknownAttr(a) => write!(f, "attribute #{a} outside the schema"),
             AfdError::NoSuchCandidate(c) => write!(f, "no subscribed candidate #{c}"),
             AfdError::Config(msg) => write!(f, "engine configuration: {msg}"),
+            AfdError::Wire(e) => write!(f, "wire snapshot: {e}"),
         }
     }
 }
@@ -49,8 +55,15 @@ impl std::error::Error for AfdError {
         match self {
             AfdError::Relation(e) => Some(e),
             AfdError::Stream(e) => Some(e),
+            AfdError::Wire(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<DecodeError> for AfdError {
+    fn from(e: DecodeError) -> Self {
+        AfdError::Wire(e)
     }
 }
 

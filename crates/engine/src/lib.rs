@@ -47,11 +47,12 @@ mod ranking;
 mod request;
 mod streaming;
 
-pub use engine::{AfdEngine, EngineConfig};
+pub use engine::{AfdEngine, EngineConfig, StreamBackend};
 pub use error::AfdError;
 pub use request::{
     CandidateSet, DeltaRequest, DeltaResponse, DiscoverRequest, DiscoverResponse, MatrixRequest,
-    MatrixResponse, ScoreRequest, ScoreResponse, SubscribeRequest, SubscribeResponse,
+    MatrixResponse, RestoreRequest, ScoreRequest, ScoreResponse, SnapshotRequest, SnapshotResponse,
+    SubscribeRequest, SubscribeResponse,
 };
 pub use streaming::{stream_run, StreamRun, StreamStep};
 
@@ -59,4 +60,7 @@ pub use streaming::{stream_run, StreamRun, StreamStep};
 // no further crates.
 pub use afd_discovery::Discovered;
 pub use afd_relation::{linear_candidates, violated_candidates, CsvKind};
-pub use afd_stream::{ChurnPlanner, CompactionReport, RowDelta, ScoreDiff, StreamScores};
+pub use afd_stream::{
+    ChurnPlanner, CompactionReport, RowDelta, ScoreDiff, SessionSnapshot, StreamScores,
+    WorkerCommand,
+};

@@ -164,6 +164,44 @@ impl Default for DiscoverRequest {
     }
 }
 
+/// Persist the engine's streaming state as one wire snapshot
+/// ([`afd_stream::SessionSnapshot`] framed and checksummed by
+/// `afd-wire`): the live rows in global order, the sharding
+/// configuration, and every subscription.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnapshotRequest {}
+
+/// Answer to a [`SnapshotRequest`].
+#[derive(Debug, Clone)]
+pub struct SnapshotResponse {
+    /// The framed snapshot blob — write it to disk, ship it, feed it to
+    /// [`RestoreRequest`].
+    pub bytes: Vec<u8>,
+    /// Live rows captured.
+    pub n_live: usize,
+    /// Subscriptions captured.
+    pub candidates: usize,
+}
+
+/// Rebuild an engine from a wire snapshot
+/// ([`crate::AfdEngine::restore`]). The restored engine resumes exactly:
+/// same rows in the same global order (ids renumbered densely, as after
+/// a compaction), same shard topology, same subscriptions — and every
+/// candidate's scores are **bit-identical** to the engine that was
+/// saved.
+#[derive(Debug, Clone)]
+pub struct RestoreRequest {
+    /// A blob produced by [`SnapshotRequest`] / `afd save`.
+    pub bytes: Vec<u8>,
+}
+
+impl RestoreRequest {
+    /// Builds a restore request.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        RestoreRequest { bytes }
+    }
+}
+
 /// Answer to a [`DiscoverRequest`].
 #[derive(Debug, Clone)]
 pub struct DiscoverResponse {

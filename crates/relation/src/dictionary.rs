@@ -13,7 +13,7 @@ use crate::value::Value;
 pub const NULL_CODE: u32 = u32::MAX;
 
 /// A mapping between distinct non-NULL [`Value`]s and dense `u32` codes.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Dictionary {
     values: Vec<Value>,
     index: HashMap<Value, u32>,

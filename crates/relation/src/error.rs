@@ -18,6 +18,10 @@ pub enum RelationError {
     UnknownAttribute(String),
     /// FD left- and right-hand sides overlap.
     OverlappingFd(String),
+    /// Raw columns handed to [`crate::Relation::from_columns`] are
+    /// inconsistent (row counts differ, or a code is outside its
+    /// column's dictionary).
+    InvalidColumns(String),
     /// Malformed CSV input.
     Csv {
         /// 1-based line number.
@@ -40,6 +44,7 @@ impl fmt::Display for RelationError {
             RelationError::OverlappingFd(fd) => {
                 write!(f, "FD `{fd}` has overlapping LHS and RHS")
             }
+            RelationError::InvalidColumns(msg) => write!(f, "invalid raw columns: {msg}"),
             RelationError::Csv { line, msg } => write!(f, "CSV error on line {line}: {msg}"),
             RelationError::Io(e) => write!(f, "I/O error: {e}"),
         }

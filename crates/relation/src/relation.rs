@@ -27,13 +27,21 @@ pub enum NullSemantics {
 }
 
 /// A single dictionary-encoded column.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Column {
     codes: Vec<u32>,
     dict: Dictionary,
 }
 
 impl Column {
+    /// Assembles a column from raw parts — the code-level construction
+    /// path used by the wire codec and shard-snapshot merging. Codes are
+    /// **not** validated here; [`Relation::from_columns`] checks them
+    /// against the dictionary before the column becomes reachable.
+    pub fn from_parts(codes: Vec<u32>, dict: Dictionary) -> Self {
+        Column { codes, dict }
+    }
+
     /// The per-row codes ([`NULL_CODE`] marks NULL cells).
     pub fn codes(&self) -> &[u32] {
         &self.codes
@@ -79,7 +87,7 @@ impl GroupEncoding {
 }
 
 /// A bag-based relation: a schema plus columnar data.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     schema: Schema,
     columns: Vec<Column>,
@@ -114,6 +122,50 @@ impl Relation {
             rel.push_row(row)?;
         }
         Ok(rel)
+    }
+
+    /// Assembles a relation directly from dictionary-encoded columns —
+    /// the code-level counterpart of [`Relation::from_rows`] (`O(rows)`
+    /// integer validation, no per-row `Value` materialisation). This is
+    /// how the wire codec and the sharded-session snapshot merge build
+    /// relations.
+    ///
+    /// # Errors
+    /// [`RelationError::ArityMismatch`] when the column count differs
+    /// from the schema's arity; [`RelationError::InvalidColumns`] when
+    /// columns disagree on row count or a code falls outside its
+    /// column's dictionary.
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Result<Self, RelationError> {
+        if columns.len() != schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: schema.arity(),
+                got: columns.len(),
+            });
+        }
+        let n_rows = columns.first().map_or(0, |c| c.codes.len());
+        for (i, col) in columns.iter().enumerate() {
+            if col.codes.len() != n_rows {
+                return Err(RelationError::InvalidColumns(format!(
+                    "column {i} has {} rows, column 0 has {n_rows}",
+                    col.codes.len()
+                )));
+            }
+            let n_distinct = col.dict.len() as u32;
+            if let Some(&bad) = col
+                .codes
+                .iter()
+                .find(|&&c| c != NULL_CODE && c >= n_distinct)
+            {
+                return Err(RelationError::InvalidColumns(format!(
+                    "column {i} holds code {bad} outside its {n_distinct}-entry dictionary"
+                )));
+            }
+        }
+        Ok(Relation {
+            schema,
+            columns,
+            n_rows,
+        })
     }
 
     /// Builds a binary relation over attributes `X`, `Y` from integer pairs —
@@ -416,6 +468,39 @@ mod tests {
         r.push_row([Value::Int(1), Value::Int(2)]).unwrap();
         assert_eq!(r.n_rows(), 1);
         assert_eq!(r.row(0), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn from_columns_validates_and_round_trips() {
+        let r = rel_xy(&[(1, 10), (2, 20), (1, 10)]);
+        let cols: Vec<Column> = [AttrId(0), AttrId(1)]
+            .iter()
+            .map(|&a| r.column(a).clone())
+            .collect();
+        let back = Relation::from_columns(r.schema().clone(), cols.clone()).unwrap();
+        assert_eq!(back, r);
+        // Wrong column count.
+        assert!(matches!(
+            Relation::from_columns(r.schema().clone(), cols[..1].to_vec()),
+            Err(RelationError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+        // Row counts disagree.
+        let mut short = cols.clone();
+        short[1] = Column::from_parts(vec![0], short[1].dict().clone());
+        assert!(matches!(
+            Relation::from_columns(r.schema().clone(), short),
+            Err(RelationError::InvalidColumns(_))
+        ));
+        // A code outside its dictionary.
+        let mut bad = cols;
+        bad[0] = Column::from_parts(vec![0, 1, 99], bad[0].dict().clone());
+        assert!(matches!(
+            Relation::from_columns(r.schema().clone(), bad),
+            Err(RelationError::InvalidColumns(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! Pluggable shard backends: where a [`crate::ShardedSession`]'s shards
+//! actually live.
+//!
+//! The coordinator ([`crate::ShardedSession`]) only ever talks to shards
+//! through [`ShardBackend`] — subscribe, apply a routed delta slice,
+//! read the candidate's [`IncTable`] merge input and Y side keys, take a
+//! snapshot, compact. Two implementations exist:
+//!
+//! * [`InProcShard`] — a [`StreamSession`] in the coordinator's address
+//!   space (the original topology; zero overhead).
+//! * [`ProcessShard`] — an `afd shard-worker` **child process** speaking
+//!   the checksummed `afd-wire` protocol over its stdin/stdout. After
+//!   every mutating request the worker ships its per-candidate state
+//!   back; the coordinator decodes it and merges via
+//!   [`IncTable::merge`], **bit-identical** to the in-process path
+//!   (every maintained aggregate is an integer, so the codec round-trip
+//!   is exact).
+//!
+//! A dead or corrupted worker never panics the coordinator: transport
+//! failures surface as [`StreamError::Transport`] and the session
+//! poisons itself (reads keep serving the last consistent state,
+//! mutation is refused).
+
+use std::io::{BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use afd_relation::{Fd, Relation, Schema, Value};
+use afd_wire::{encode_framed, read_frame_from, Decode, StreamFrame};
+
+use crate::delta::{RowDelta, StreamError};
+use crate::session::{CompactionReport, StreamSession};
+use crate::table::IncTable;
+use crate::wire::{ShardState, WorkerRequestRef, WorkerResponse, KIND_REQUEST, KIND_RESPONSE};
+
+/// One shard of a [`crate::ShardedSession`], wherever it lives.
+///
+/// The coordinator routes deltas and owns the cross-shard Y-id space;
+/// the backend owns one shard's rows and per-candidate state. Contract:
+/// after any `Ok` from a mutating call, [`ShardBackend::table`],
+/// [`ShardBackend::n_y_side_ids`] and [`ShardBackend::y_side_values`]
+/// reflect the post-call state.
+pub trait ShardBackend: Send {
+    /// Subscribes a candidate FD (validated by the coordinator first).
+    ///
+    /// # Errors
+    /// [`StreamError`] — for [`ProcessShard`], transport failures too.
+    fn subscribe(&mut self, fd: &Fd) -> Result<usize, StreamError>;
+
+    /// Applies one router-validated delta slice.
+    ///
+    /// # Errors
+    /// [`StreamError::Transport`] when the worker died or sent garbage
+    /// (in-process shards cannot fail here — the router validated).
+    fn apply(&mut self, delta: &RowDelta) -> Result<(), StreamError>;
+
+    /// The candidate's current [`IncTable`] — the merge input.
+    fn table(&self, cid: usize) -> &IncTable;
+
+    /// Live rows in this shard.
+    fn n_live(&self) -> usize;
+
+    /// Y side ids assigned for candidate `cid` (dense, `0..n`).
+    fn n_y_side_ids(&self, cid: usize) -> usize;
+
+    /// The value-level Y key of side id `id` for candidate `cid`.
+    fn y_side_values(&self, cid: usize, id: u32) -> Vec<Value>;
+
+    /// The shard's live rows as a compact relation, local arrival order.
+    ///
+    /// # Errors
+    /// [`StreamError::Transport`] for a process shard whose pipe failed.
+    fn snapshot(&mut self) -> Result<Relation, StreamError>;
+
+    /// Compacts with batch-kernel verification.
+    ///
+    /// # Errors
+    /// [`StreamError::Diverged`] / [`StreamError::Transport`].
+    fn compact(&mut self) -> Result<CompactionReport, StreamError>;
+}
+
+// ------------------------------------------------------------ in-process
+
+/// The original topology: one [`StreamSession`] per shard, in the
+/// coordinator's address space.
+#[derive(Debug, Clone)]
+pub struct InProcShard(StreamSession);
+
+impl InProcShard {
+    /// An empty in-process shard over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        InProcShard(StreamSession::new(schema))
+    }
+
+    /// The wrapped session (tests and benches inspect it).
+    pub fn session(&self) -> &StreamSession {
+        &self.0
+    }
+}
+
+impl ShardBackend for InProcShard {
+    fn subscribe(&mut self, fd: &Fd) -> Result<usize, StreamError> {
+        self.0.subscribe(fd.clone())
+    }
+
+    fn apply(&mut self, delta: &RowDelta) -> Result<(), StreamError> {
+        self.0.apply(delta).map(|_| ())
+    }
+
+    fn table(&self, cid: usize) -> &IncTable {
+        self.0.table(cid)
+    }
+
+    fn n_live(&self) -> usize {
+        self.0.relation().n_live()
+    }
+
+    fn n_y_side_ids(&self, cid: usize) -> usize {
+        self.0.n_y_side_ids(cid)
+    }
+
+    fn y_side_values(&self, cid: usize, id: u32) -> Vec<Value> {
+        self.0.y_side_values(cid, id)
+    }
+
+    fn snapshot(&mut self) -> Result<Relation, StreamError> {
+        Ok(self.0.relation().snapshot())
+    }
+
+    fn compact(&mut self) -> Result<CompactionReport, StreamError> {
+        self.0.compact()
+    }
+}
+
+// ---------------------------------------------------------- out-of-process
+
+/// How to launch a shard-worker process: the program plus its leading
+/// arguments (defaults to the `afd` CLI's `shard-worker` subcommand).
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    program: PathBuf,
+    args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// A worker launched as `<program> shard-worker`.
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        WorkerCommand {
+            program: program.into(),
+            args: vec!["shard-worker".into()],
+        }
+    }
+
+    /// Replaces the argument list (for wrappers that are not the `afd`
+    /// binary).
+    #[must_use]
+    pub fn with_args(mut self, args: impl IntoIterator<Item = String>) -> Self {
+        self.args = args.into_iter().collect();
+        self
+    }
+
+    /// The worker program.
+    pub fn program(&self) -> &Path {
+        &self.program
+    }
+
+    /// The worker's arguments.
+    pub fn args(&self) -> &[String] {
+        &self.args
+    }
+
+    /// Locates a binary named `name` next to (or a couple of directories
+    /// above) the current executable — how benches and examples find the
+    /// workspace's own `afd` binary inside `target/<profile>/` without
+    /// an installed copy.
+    pub fn sibling_binary(name: &str) -> Option<Self> {
+        let exe = std::env::current_exe().ok()?;
+        let file = format!("{name}{}", std::env::consts::EXE_SUFFIX);
+        let mut dir = exe.parent();
+        for _ in 0..3 {
+            let d = dir?;
+            let cand = d.join(&file);
+            if cand.is_file() {
+                return Some(WorkerCommand::new(cand));
+            }
+            dir = d.parent();
+        }
+        None
+    }
+}
+
+/// A shard living in an `afd shard-worker` child process, driven over
+/// its stdin/stdout with checksummed wire frames.
+///
+/// The protocol is strict request/response. Every mutating response
+/// carries the worker's full per-candidate state ([`ShardState`]); the
+/// coordinator reads [`ShardBackend::table`] &co from that cache, so
+/// score merges never block on the child between deltas.
+#[derive(Debug)]
+pub struct ProcessShard {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+    state: ShardState,
+}
+
+impl ProcessShard {
+    /// Spawns one worker and initialises its session over `schema`.
+    ///
+    /// # Errors
+    /// [`StreamError::Transport`] when the program cannot be spawned or
+    /// the Init handshake fails.
+    pub fn spawn(cmd: &WorkerCommand, schema: &Schema) -> Result<Self, StreamError> {
+        let mut child = Command::new(&cmd.program)
+            .args(&cmd.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| StreamError::Transport(format!("spawn {}: {e}", cmd.program.display())))?;
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut shard = ProcessShard {
+            child,
+            stdin: Some(stdin),
+            stdout,
+            state: ShardState {
+                n_live: 0,
+                candidates: Vec::new(),
+            },
+        };
+        match shard.request(&WorkerRequestRef::Init(schema))? {
+            WorkerResponse::Ok => Ok(shard),
+            other => Err(unexpected("Init", &other)),
+        }
+    }
+
+    /// The worker's process id (fault-injection tests kill it by pid).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Kills the worker outright — the fault every transport error path
+    /// must survive. Used by tests; a killed shard's next request
+    /// returns [`StreamError::Transport`].
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    fn request(&mut self, req: &WorkerRequestRef<'_>) -> Result<WorkerResponse, StreamError> {
+        let frame = encode_framed(KIND_REQUEST, req)
+            .map_err(|e| StreamError::Transport(format!("request encode: {e}")))?;
+        let stdin = self
+            .stdin
+            .as_mut()
+            .ok_or_else(|| StreamError::Transport("worker stdin already closed".into()))?;
+        stdin
+            .write_all(&frame)
+            .and_then(|()| stdin.flush())
+            .map_err(|e| StreamError::Transport(format!("write to worker: {e}")))?;
+        match read_frame_from(&mut self.stdout) {
+            Ok(StreamFrame::Frame(KIND_RESPONSE, payload)) => {
+                WorkerResponse::decode_exact(&payload)
+                    .map_err(|e| StreamError::Transport(format!("response decode: {e}")))
+            }
+            Ok(StreamFrame::Frame(kind, _)) => Err(StreamError::Transport(format!(
+                "worker sent unexpected frame kind {kind}"
+            ))),
+            Ok(StreamFrame::Eof) => Err(StreamError::Transport(
+                "worker closed its pipe mid-request (crashed or killed)".into(),
+            )),
+            Err(e) => Err(StreamError::Transport(e.to_string())),
+        }
+    }
+}
+
+fn unexpected(req: &str, resp: &WorkerResponse) -> StreamError {
+    match resp {
+        WorkerResponse::Err(e) => e.clone(),
+        other => StreamError::Transport(format!("unexpected worker response to {req}: {other:?}")),
+    }
+}
+
+impl ProcessShard {
+    /// Accepts a decoded worker state only after bounds-checking its
+    /// structure — the coordinator indexes into it, and this module's
+    /// fault model says a corrupted worker must surface as a typed
+    /// error, never a coordinator panic.
+    fn accept_state(&mut self, state: ShardState, expected: usize) -> Result<(), StreamError> {
+        if state.candidates.len() != expected {
+            return Err(StreamError::Transport(format!(
+                "worker state carries {} candidate(s), coordinator tracks {expected}",
+                state.candidates.len()
+            )));
+        }
+        for (cid, cand) in state.candidates.iter().enumerate() {
+            if let Some(max) = cand.table.max_y_id() {
+                if max as usize >= cand.y_keys.len() {
+                    return Err(StreamError::Transport(format!(
+                        "worker state for candidate {cid} references Y id {max} beyond its {} \
+                         Y key(s)",
+                        cand.y_keys.len()
+                    )));
+                }
+            }
+        }
+        self.state = state;
+        Ok(())
+    }
+}
+
+impl ShardBackend for ProcessShard {
+    fn subscribe(&mut self, fd: &Fd) -> Result<usize, StreamError> {
+        let expected = self.state.candidates.len() + 1;
+        match self.request(&WorkerRequestRef::Subscribe(fd))? {
+            WorkerResponse::Subscribed { cid, state } => {
+                self.accept_state(state, expected)?;
+                Ok(cid as usize)
+            }
+            other => Err(unexpected("Subscribe", &other)),
+        }
+    }
+
+    fn apply(&mut self, delta: &RowDelta) -> Result<(), StreamError> {
+        let expected = self.state.candidates.len();
+        match self.request(&WorkerRequestRef::Apply(delta))? {
+            WorkerResponse::Applied(state) => self.accept_state(state, expected),
+            other => Err(unexpected("Apply", &other)),
+        }
+    }
+
+    fn table(&self, cid: usize) -> &IncTable {
+        &self.state.candidates[cid].table
+    }
+
+    fn n_live(&self) -> usize {
+        self.state.n_live as usize
+    }
+
+    fn n_y_side_ids(&self, cid: usize) -> usize {
+        self.state.candidates[cid].y_keys.len()
+    }
+
+    fn y_side_values(&self, cid: usize, id: u32) -> Vec<Value> {
+        self.state.candidates[cid].y_keys[id as usize].clone()
+    }
+
+    fn snapshot(&mut self) -> Result<Relation, StreamError> {
+        match self.request(&WorkerRequestRef::Snapshot)? {
+            WorkerResponse::Snapshot(rel) => Ok(rel),
+            other => Err(unexpected("Snapshot", &other)),
+        }
+    }
+
+    fn compact(&mut self) -> Result<CompactionReport, StreamError> {
+        let expected = self.state.candidates.len();
+        match self.request(&WorkerRequestRef::Compact)? {
+            WorkerResponse::Compacted { report, state } => {
+                self.accept_state(state, expected)?;
+                Ok(report)
+            }
+            other => Err(unexpected("Compact", &other)),
+        }
+    }
+}
+
+impl Drop for ProcessShard {
+    fn drop(&mut self) {
+        // Best-effort graceful shutdown: ask, close the pipe (the worker
+        // exits on EOF anyway), then make sure no zombie remains.
+        if let Some(mut stdin) = self.stdin.take() {
+            if let Ok(frame) = encode_framed(KIND_REQUEST, &WorkerRequestRef::Shutdown) {
+                let _ = stdin.write_all(&frame);
+                let _ = stdin.flush();
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+// ------------------------------------------------------------- dispatch
+
+/// Runtime-selected backend — what `AfdEngine` holds when the topology
+/// is a configuration choice rather than a compile-time one.
+#[derive(Debug)]
+pub enum AnyShard {
+    /// An in-process shard.
+    InProc(InProcShard),
+    /// An out-of-process worker.
+    Process(ProcessShard),
+}
+
+impl ShardBackend for AnyShard {
+    fn subscribe(&mut self, fd: &Fd) -> Result<usize, StreamError> {
+        match self {
+            AnyShard::InProc(s) => s.subscribe(fd),
+            AnyShard::Process(s) => s.subscribe(fd),
+        }
+    }
+
+    fn apply(&mut self, delta: &RowDelta) -> Result<(), StreamError> {
+        match self {
+            AnyShard::InProc(s) => s.apply(delta),
+            AnyShard::Process(s) => s.apply(delta),
+        }
+    }
+
+    fn table(&self, cid: usize) -> &IncTable {
+        match self {
+            AnyShard::InProc(s) => s.table(cid),
+            AnyShard::Process(s) => s.table(cid),
+        }
+    }
+
+    fn n_live(&self) -> usize {
+        match self {
+            AnyShard::InProc(s) => s.n_live(),
+            AnyShard::Process(s) => s.n_live(),
+        }
+    }
+
+    fn n_y_side_ids(&self, cid: usize) -> usize {
+        match self {
+            AnyShard::InProc(s) => s.n_y_side_ids(cid),
+            AnyShard::Process(s) => s.n_y_side_ids(cid),
+        }
+    }
+
+    fn y_side_values(&self, cid: usize, id: u32) -> Vec<Value> {
+        match self {
+            AnyShard::InProc(s) => s.y_side_values(cid, id),
+            AnyShard::Process(s) => s.y_side_values(cid, id),
+        }
+    }
+
+    fn snapshot(&mut self) -> Result<Relation, StreamError> {
+        match self {
+            AnyShard::InProc(s) => s.snapshot(),
+            AnyShard::Process(s) => s.snapshot(),
+        }
+    }
+
+    fn compact(&mut self) -> Result<CompactionReport, StreamError> {
+        match self {
+            AnyShard::InProc(s) => s.compact(),
+            AnyShard::Process(s) => s.compact(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_relation::AttrId;
+
+    #[test]
+    fn in_proc_shard_round_trip() {
+        let schema = Schema::new(["X", "Y"]).unwrap();
+        let mut shard = InProcShard::new(schema);
+        let fd = Fd::linear(AttrId(0), AttrId(1));
+        let cid = shard.subscribe(&fd).unwrap();
+        shard
+            .apply(&RowDelta::insert_only([
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(11)],
+            ]))
+            .unwrap();
+        assert_eq!(shard.n_live(), 2);
+        assert_eq!(shard.table(cid).n(), 2);
+        assert_eq!(shard.n_y_side_ids(cid), 2);
+        assert_eq!(shard.y_side_values(cid, 0), vec![Value::Int(10)]);
+        let snap = shard.snapshot().unwrap();
+        assert_eq!(snap.n_rows(), 2);
+        let report = shard.compact().unwrap();
+        assert_eq!(report.n_live, 2);
+    }
+
+    #[test]
+    fn spawn_failure_is_typed() {
+        let cmd = WorkerCommand::new("/definitely/not/a/binary");
+        let schema = Schema::new(["X", "Y"]).unwrap();
+        assert!(matches!(
+            ProcessShard::spawn(&cmd, &schema),
+            Err(StreamError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn sibling_binary_misses_cleanly() {
+        assert!(WorkerCommand::sibling_binary("no-such-binary-here").is_none());
+    }
+}

@@ -16,7 +16,7 @@ pub type RowId = u32;
 ///
 /// Deletes refer to rows that existed *before* the delta (a row cannot be
 /// inserted and deleted by the same delta), and are applied first.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RowDelta {
     /// Rows to append, each matching the schema's arity.
     pub inserts: Vec<Vec<Value>>,
@@ -151,6 +151,11 @@ pub enum StreamError {
     /// Compaction found a divergence between the incremental state and a
     /// batch rebuild — an engine bug surfaced loudly rather than served.
     Diverged(String),
+    /// A process-backed shard's transport failed: the worker died, its
+    /// pipe closed mid-frame, or its bytes failed frame/codec
+    /// verification. The coordinator's last synced state stays readable;
+    /// mutation is refused until the session is rebuilt.
+    Transport(String),
     /// An underlying relation error.
     Relation(String),
 }
@@ -168,6 +173,7 @@ impl std::fmt::Display for StreamError {
             StreamError::Diverged(what) => {
                 write!(f, "incremental state diverged from batch rebuild: {what}")
             }
+            StreamError::Transport(msg) => write!(f, "shard worker transport: {msg}"),
             StreamError::Relation(e) => write!(f, "relation error: {e}"),
         }
     }

@@ -37,6 +37,42 @@
 //! million deltas and a fresh session built from the final snapshot
 //! return bit-identical `f64`s — the property the crate's proptests pin.
 //!
+//! ## Architecture & performance: the wire and the process topology
+//!
+//! [`ShardedSession`] is generic over a [`ShardBackend`] — *where* a
+//! shard lives is a plug point:
+//!
+//! * [`InProcShard`] (default): a [`StreamSession`] in the coordinator's
+//!   address space, zero transport cost.
+//! * [`ProcessShard`]: an `afd shard-worker` **child process** (spawned
+//!   via [`WorkerCommand`]) speaking the `afd-wire` protocol over its
+//!   stdin/stdout. Every frame is length-prefixed, versioned and
+//!   FNV-checksummed; each applied delta slice comes back as the
+//!   worker's full per-candidate state ([`wire::ShardState`]: the
+//!   [`IncTable`] merge inputs plus value-level Y side keys), which the
+//!   coordinator decodes and merges through the same
+//!   [`IncTable::merge`] as in-process shards. All maintained
+//!   aggregates are integers, so the codec round-trip is exact and the
+//!   merged reads are **bit-identical** across backends — pinned by
+//!   process-spawning proptests for N ∈ {1, 2, 4} (`crates/cli`
+//!   integration tests).
+//!
+//! Failure is typed, never silent: a killed worker or a corrupt frame
+//! surfaces as [`StreamError::Transport`] and the session *poisons* —
+//! score reads keep serving the last consistent state, every further
+//! mutation is refused. Whole sessions persist as framed
+//! [`SessionSnapshot`]s (live rows in global order, columnar; shard
+//! topology; subscriptions) — restoring is equivalent to resuming right
+//! after a compaction, with bit-identical scores.
+//!
+//! Coordinator snapshots are **code-level**: [`ShardedSession::snapshot`]
+//! unifies the shard dictionaries once (O(Σ distinct values)) and copies
+//! one remapped `u32` code per cell — O(rows) code copies like
+//! `Relation::filter_rows`, no per-row `Value` round-trips.
+//! `cargo run --release -p afd-bench --example record_wire` records the
+//! codec throughput and the process-backend apply overhead in
+//! `BENCH_wire.json`.
+//!
 //! ```
 //! use afd_relation::{AttrId, Fd, Schema, Value};
 //! use afd_stream::{RowDelta, StreamSession};
@@ -54,14 +90,20 @@
 //! assert!(diffs[zip_city].after.g3 < 1.0);
 //! ```
 
+pub mod backend;
 pub mod delta;
 pub mod session;
 pub mod shard;
 pub mod table;
+pub mod wire;
+pub mod worker;
 
+pub use backend::{AnyShard, InProcShard, ProcessShard, ShardBackend, WorkerCommand};
 pub use delta::{ChurnPlanner, RowDelta, RowId, StreamError};
 pub use session::{
     plis_equal, tables_equal, CompactionReport, IncrementalRelation, ScoreDiff, StreamSession,
 };
 pub use shard::{DeltaRouter, ShardedSession};
 pub use table::{IncTable, StreamScores};
+pub use wire::SessionSnapshot;
+pub use worker::run_worker;

@@ -220,7 +220,7 @@ impl ScoreDiff {
 }
 
 /// Outcome of a successful compaction.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompactionReport {
     /// Tombstoned slots reclaimed.
     pub rows_dropped: usize,

@@ -27,10 +27,11 @@
 use std::collections::HashMap;
 
 use afd_parallel::par_map_mut;
-use afd_relation::{AttrSet, Fd, Relation, Schema, Value};
+use afd_relation::{AttrId, AttrSet, Column, Dictionary, Fd, Relation, Schema, Value, NULL_CODE};
 
+use crate::backend::{InProcShard, ProcessShard, ShardBackend, WorkerCommand};
 use crate::delta::{RowDelta, RowId, StreamError};
-use crate::session::{CompactionReport, ScoreDiff, StreamSession};
+use crate::session::{CompactionReport, ScoreDiff};
 use crate::table::{IncTable, StreamScores};
 
 /// Stable 64-bit FNV-1a over a row's shard-key values. Deterministic
@@ -229,32 +230,51 @@ struct ShardedCandidate {
     last: StreamScores,
 }
 
-/// N hash-partitioned [`StreamSession`] shards behind the single-session
-/// API: same `subscribe`/`apply`/`scores` surface, same row-id semantics,
-/// bit-identical score reads.
+/// N hash-partitioned shards behind the single-session API: same
+/// `subscribe`/`apply`/`scores` surface, same row-id semantics,
+/// bit-identical score reads — generic over **where the shards live**
+/// ([`ShardBackend`]).
 ///
-/// `apply` routes the delta ([`DeltaRouter`]), fans the per-shard deltas
+/// * `ShardedSession<InProcShard>` (the default) keeps every shard as a
+///   [`crate::StreamSession`] in this process — the original topology.
+/// * `ShardedSession<ProcessShard>` (via [`ShardedSession::spawn`])
+///   drives one `afd shard-worker` child process per shard over the
+///   checksummed `afd-wire` stdin/stdout protocol: the coordinator
+///   routes encoded delta slices out, decodes each worker's refreshed
+///   [`IncTable`] state back, and merges through the existing
+///   [`IncTable::merge`] — **bit-identical** to the in-process path
+///   (every maintained aggregate is an integer; the codec is exact).
+///
+/// `apply` routes the delta ([`DeltaRouter`]), fans the per-shard slices
 /// across `afd-parallel` scoped threads, then refreshes each candidate's
-/// merged scores via [`IncTable::merge`]. Because each shard's apply only
-/// touches its own O(delta-slice) state, the *work per shard* shrinks
-/// roughly 1/N — the quantity `record_shard` benchmarks.
+/// merged scores. Because each shard's apply only touches its own
+/// O(delta-slice) state, the *work per shard* shrinks roughly 1/N — the
+/// quantity `record_shard` benchmarks (`record_wire` additionally
+/// records the process-backend transport overhead).
 #[derive(Debug, Clone)]
-pub struct ShardedSession {
-    shards: Vec<StreamSession>,
+pub struct ShardedSession<B: ShardBackend = InProcShard> {
+    schema: Schema,
+    shards: Vec<B>,
     router: DeltaRouter,
     candidates: Vec<ShardedCandidate>,
     threads: usize,
     deltas_applied: u64,
     compact_every: Option<u64>,
-    /// Set when a compaction failed after at least one shard had already
-    /// compacted: shard-local row ids renumbered but the router did not,
-    /// so further `apply`s would tombstone the wrong rows. Score reads
-    /// stay valid; mutation is refused.
-    poisoned: bool,
+    /// Why the session refuses further mutation, when it does:
+    /// * a compaction failed after at least one shard had already
+    ///   compacted (shard-local row ids renumbered but the router did
+    ///   not), or
+    /// * a shard backend failed mid-fan-out (a worker died or sent
+    ///   corrupt bytes), leaving the router ahead of the shards.
+    ///
+    /// Score reads keep serving the last consistent (pre-failure) state;
+    /// `apply`/`compact` return errors instead of corrupting rows.
+    poisoned: Option<String>,
 }
 
-impl ShardedSession {
-    /// An empty sharded session over `schema`, routing on `shard_key`.
+impl ShardedSession<InProcShard> {
+    /// An empty in-process sharded session over `schema`, routing on
+    /// `shard_key`.
     ///
     /// With `n_shards == 1` the key is irrelevant (everything lands in
     /// shard 0) and any FD may subscribe; with more shards every
@@ -264,22 +284,14 @@ impl ShardedSession {
     /// [`StreamError::ShardConfig`] for zero shards or an out-of-schema
     /// key attribute.
     pub fn new(schema: Schema, shard_key: AttrSet, n_shards: usize) -> Result<Self, StreamError> {
-        let router = DeltaRouter::new(shard_key, schema.arity(), n_shards)?;
-        Ok(ShardedSession {
-            shards: (0..n_shards)
-                .map(|_| StreamSession::new(schema.clone()))
-                .collect(),
-            router,
-            candidates: Vec::new(),
-            threads: 1,
-            deltas_applied: 0,
-            compact_every: None,
-            poisoned: false,
-        })
+        let shards = (0..n_shards)
+            .map(|_| InProcShard::new(schema.clone()))
+            .collect();
+        Self::with_backends(schema, shard_key, shards)
     }
 
-    /// A sharded session whose rows start as `rel` (all live), routed to
-    /// their shards in row order.
+    /// An in-process sharded session whose rows start as `rel` (all
+    /// live), routed to their shards in row order.
     ///
     /// # Errors
     /// As [`ShardedSession::new`].
@@ -288,15 +300,94 @@ impl ShardedSession {
         shard_key: AttrSet,
         n_shards: usize,
     ) -> Result<Self, StreamError> {
-        let mut s = Self::new(rel.schema().clone(), shard_key, n_shards)?;
+        Self::new(rel.schema().clone(), shard_key, n_shards)?.seeded(&rel)
+    }
+}
+
+impl ShardedSession<ProcessShard> {
+    /// An empty **process-backed** sharded session: spawns one
+    /// `afd shard-worker` child per shard via `worker` and initialises
+    /// each over the wire.
+    ///
+    /// # Errors
+    /// [`StreamError::ShardConfig`] for zero workers or an out-of-schema
+    /// key attribute; [`StreamError::Transport`] when a worker cannot be
+    /// spawned or fails its Init handshake.
+    pub fn spawn(
+        schema: Schema,
+        shard_key: AttrSet,
+        n_shards: usize,
+        worker: &WorkerCommand,
+    ) -> Result<Self, StreamError> {
+        if n_shards == 0 {
+            return Err(StreamError::ShardConfig(
+                "worker count must be at least 1".into(),
+            ));
+        }
+        let shards = (0..n_shards)
+            .map(|_| ProcessShard::spawn(worker, &schema))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::with_backends(schema, shard_key, shards)
+    }
+
+    /// As [`ShardedSession::spawn`], seeding the workers with `rel`'s
+    /// rows (routed, in row order).
+    ///
+    /// # Errors
+    /// As [`ShardedSession::spawn`].
+    pub fn spawn_from_relation(
+        rel: Relation,
+        shard_key: AttrSet,
+        n_shards: usize,
+        worker: &WorkerCommand,
+    ) -> Result<Self, StreamError> {
+        Self::spawn(rel.schema().clone(), shard_key, n_shards, worker)?.seeded(&rel)
+    }
+}
+
+impl<B: ShardBackend> ShardedSession<B> {
+    /// A sharded session over caller-built backends (one per shard).
+    /// This is the plug point: `AfdEngine` hands in
+    /// [`crate::AnyShard`]s picked by configuration.
+    ///
+    /// # Errors
+    /// [`StreamError::ShardConfig`] for zero backends or an
+    /// out-of-schema key attribute.
+    pub fn with_backends(
+        schema: Schema,
+        shard_key: AttrSet,
+        shards: Vec<B>,
+    ) -> Result<Self, StreamError> {
+        let router = DeltaRouter::new(shard_key, schema.arity(), shards.len())?;
+        Ok(ShardedSession {
+            schema,
+            shards,
+            router,
+            candidates: Vec::new(),
+            threads: 1,
+            deltas_applied: 0,
+            compact_every: None,
+            poisoned: None,
+        })
+    }
+
+    /// Routes and applies `rel`'s rows as the starting population
+    /// (counters reset, so the seed does not count as an applied delta).
+    ///
+    /// # Errors
+    /// [`StreamError::Transport`] when a worker backend fails the seed
+    /// apply; [`StreamError::Arity`] when `rel` disagrees with the
+    /// session schema.
+    pub fn seeded(mut self, rel: &Relation) -> Result<Self, StreamError> {
         let seed = RowDelta::insert_only((0..rel.n_rows()).map(|r| rel.row(r)));
-        s.apply(&seed).expect("seed rows match their own schema");
-        s.deltas_applied = 0;
-        Ok(s)
+        self.apply(&seed)?;
+        self.deltas_applied = 0;
+        Ok(self)
     }
 
     /// Fans per-shard applies over up to `threads` scoped workers
     /// (default 1: inline, deterministic either way).
+    #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -304,9 +395,15 @@ impl ShardedSession {
 
     /// Enables automatic (per-shard verified) compaction after every
     /// `every` applied deltas.
+    #[must_use]
     pub fn with_compaction_every(mut self, every: u64) -> Self {
         self.compact_every = Some(every.max(1));
         self
+    }
+
+    /// The schema every shard serves.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
     }
 
     /// Number of shards.
@@ -320,13 +417,21 @@ impl ShardedSession {
     }
 
     /// Live rows across all shards.
+    ///
+    /// Diagnostic counter: on a **poisoned** session this reflects the
+    /// router's view, which may include a partially-fanned-out delta —
+    /// only [`ShardedSession::scores`] is guaranteed to serve the last
+    /// consistent state there ([`ShardedSession::snapshot`] and
+    /// [`ShardedSession::merged_table`] refuse with typed errors).
     pub fn n_live(&self) -> usize {
         self.router.n_live()
     }
 
     /// Live rows per shard — how even the hash partitioning came out.
+    /// Diagnostic, with the same poisoned-session caveat as
+    /// [`ShardedSession::n_live`].
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.relation().n_live()).collect()
+        self.shards.iter().map(ShardBackend::n_live).collect()
     }
 
     /// Number of tracked candidates.
@@ -339,6 +444,24 @@ impl ShardedSession {
         &self.candidates[cid].fd
     }
 
+    /// Direct access to one shard's backend — the fault-injection hook
+    /// (tests kill a [`ProcessShard`] here to exercise the transport
+    /// error paths).
+    pub fn backend_mut(&mut self, shard: usize) -> &mut B {
+        &mut self.shards[shard]
+    }
+
+    fn check_poisoned(&self) -> Result<(), StreamError> {
+        match &self.poisoned {
+            Some(why) => Err(StreamError::Transport(format!(
+                "session poisoned ({why}); score reads still serve the last \
+                 consistent state — rebuild the session (e.g. from a wire \
+                 snapshot) to resume mutation"
+            ))),
+            None => Ok(()),
+        }
+    }
+
     /// Subscribes a candidate FD on every shard and returns its candidate
     /// index (re-subscribing returns the existing index).
     ///
@@ -346,10 +469,17 @@ impl ShardedSession {
     /// [`StreamError::UnknownAttr`] for out-of-schema attributes;
     /// [`StreamError::ShardConfig`] when `n_shards > 1` and the FD's LHS
     /// does not contain the shard key (its X-groups would straddle
-    /// shards).
+    /// shards); [`StreamError::Transport`] when a worker backend fails.
     pub fn subscribe(&mut self, fd: Fd) -> Result<usize, StreamError> {
         if let Some(i) = self.candidates.iter().position(|c| c.fd == fd) {
             return Ok(i);
+        }
+        self.check_poisoned()?;
+        // Coordinator-side validation, uniform across backends.
+        for &a in fd.lhs().ids().iter().chain(fd.rhs().ids()) {
+            if a.index() >= self.schema.arity() {
+                return Err(StreamError::UnknownAttr(a.0));
+            }
         }
         if self.shards.len() > 1 && !self.router.shard_key().is_subset(fd.lhs()) {
             return Err(StreamError::ShardConfig(format!(
@@ -358,9 +488,17 @@ impl ShardedSession {
                 self.router.shard_key().ids()
             )));
         }
-        for shard in &mut self.shards {
-            let cid = shard.subscribe(fd.clone())?;
-            debug_assert_eq!(cid, self.candidates.len(), "shards subscribe in lockstep");
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            match shard.subscribe(&fd) {
+                Ok(cid) => debug_assert_eq!(cid, self.candidates.len(), "lockstep subscribes"),
+                Err(e) => {
+                    // Validation passed above, so this is a backend (i.e.
+                    // transport) failure; earlier shards may already have
+                    // subscribed — refuse further mutation.
+                    self.poisoned = Some(format!("subscribe fan-out failed on shard {i}: {e}"));
+                    return Err(e);
+                }
+            }
         }
         self.candidates.push(ShardedCandidate {
             fd,
@@ -374,15 +512,14 @@ impl ShardedSession {
         Ok(cid)
     }
 
-    /// The merged score read: a single shard reads its own histograms
-    /// directly (O(distinct counts), same as an unsharded session —
-    /// merging one part is a score-level identity); N > 1 sums the
+    /// The merged score read: a single shard's table is read directly
+    /// (merging one part is a score-level identity); N > 1 sums the
     /// per-shard score aggregates via [`IncTable::merged_scores`]
     /// (O(histograms + column totals) — the merged group/cell maps are
     /// never materialised on this path).
     fn merged_scores(&self, cid: usize) -> StreamScores {
         if self.shards.len() == 1 {
-            self.shards[0].scores(cid)
+            self.shards[0].table(cid).scores()
         } else {
             let cand = &self.candidates[cid];
             IncTable::merged_scores(
@@ -413,18 +550,22 @@ impl ShardedSession {
 
     /// Merges candidate `cid`'s per-shard tables into one [`IncTable`]
     /// over the whole relation (O(aggregate state), not O(rows)).
-    pub fn merged_table(&self, cid: usize) -> IncTable {
+    ///
+    /// # Errors
+    /// [`StreamError::Transport`] on a poisoned session: after a
+    /// mid-fan-out failure the shard tables and the coordinator's Y
+    /// remaps may disagree, so a merge could panic or lie — only the
+    /// cached [`ShardedSession::scores`] stay served.
+    pub fn merged_table(&self, cid: usize) -> Result<IncTable, StreamError> {
+        self.check_poisoned()?;
         let cand = &self.candidates[cid];
-        IncTable::merge(
-            self.shards
-                .iter()
-                .enumerate()
-                .map(|(s, shard)| (shard.table(cid), cand.y_remap[s].as_slice())),
-        )
+        Ok(IncTable::merge(self.shards.iter().enumerate().map(
+            |(s, shard)| (shard.table(cid), cand.y_remap[s].as_slice()),
+        )))
     }
 
     /// The current merged scores of candidate `cid` — bit-identical to a
-    /// single [`StreamSession`] over the same delta history.
+    /// single [`crate::StreamSession`] over the same delta history.
     pub fn scores(&self, cid: usize) -> StreamScores {
         self.candidates[cid].last
     }
@@ -433,29 +574,34 @@ impl ShardedSession {
     /// across the shards in parallel, and reports one merged
     /// [`ScoreDiff`] per candidate.
     ///
-    /// Validation happens in the router before anything mutates, so an
-    /// `Err` leaves the session unchanged (same contract and same error
-    /// values as the unsharded session).
+    /// Validation happens in the router before anything mutates, so a
+    /// validation `Err` leaves the session unchanged (same contract and
+    /// same error values as the unsharded session). A **backend**
+    /// failure mid-fan-out (a killed worker, a corrupt frame) poisons
+    /// the session instead: score reads keep serving the pre-delta
+    /// state, and every further mutation is refused with a typed
+    /// [`StreamError::Transport`].
     ///
     /// # Errors
     /// [`StreamError::Arity`] / [`StreamError::UnknownRow`] /
-    /// [`StreamError::AlreadyDeleted`] on invalid deltas, and
+    /// [`StreamError::AlreadyDeleted`] on invalid deltas,
+    /// [`StreamError::Transport`] on backend failure, and
     /// [`StreamError::Diverged`] if due auto-compaction finds a
     /// shard diverging from its batch rebuild.
     pub fn apply(&mut self, delta: &RowDelta) -> Result<Vec<ScoreDiff>, StreamError> {
-        if self.poisoned {
-            return Err(StreamError::Diverged(
-                "session poisoned: a partial compaction failure left shard-local and \
-                 router row ids inconsistent; rebuild the session from a snapshot"
-                    .into(),
-            ));
-        }
+        self.check_poisoned()?;
         let locals = self.router.route(delta)?;
-        par_map_mut(&mut self.shards, self.threads, |s, shard| {
-            shard
-                .apply(&locals[s])
-                .expect("router-validated delta slices apply cleanly")
+        let results = par_map_mut(&mut self.shards, self.threads, |s, shard| {
+            shard.apply(&locals[s])
         });
+        if let Some(err) = results.into_iter().find_map(Result::err) {
+            // The router already re-placed the delta and some shards may
+            // have absorbed their slice — the coordinator's candidate
+            // scores still reflect the pre-delta state, so reads stay
+            // consistent; mutation is refused from here on.
+            self.poisoned = Some(format!("delta fan-out failed: {err}"));
+            return Err(err);
+        }
         let diffs = (0..self.candidates.len())
             .map(|cid| {
                 self.sync_candidate(cid);
@@ -479,23 +625,77 @@ impl ShardedSession {
     }
 
     /// Materialises the live rows in global row order as one compact
-    /// [`Relation`] — equals the snapshot of an unsharded session over
-    /// the same history.
-    pub fn snapshot(&self) -> Relation {
-        let schema = self.shards[0].relation().schema().clone();
-        let mut rel = Relation::empty(schema);
+    /// [`Relation`] — row-equivalent to the snapshot of an unsharded
+    /// session over the same history.
+    ///
+    /// This is a **code-level merge** (the ROADMAP-flagged fix): each
+    /// shard ships its snapshot columns once, per-column dictionaries
+    /// are unified by interning each shard's *distinct* values
+    /// (O(Σ dictionary sizes) `Value` handling in total), and every row
+    /// is then one remapped `u32` code copy per column — O(rows) code
+    /// copies like [`Relation::filter_rows`], not O(rows · arity)
+    /// `Value` round-trips. Dictionary code numbering may differ from an
+    /// unsharded session's (grouping kernels remap densely and never
+    /// observe it); rows and their order are identical.
+    ///
+    /// # Errors
+    /// [`StreamError::Transport`] when a worker's snapshot request
+    /// fails — or when the session is poisoned (the router's placements
+    /// are ahead of the shard contents, so a merged snapshot would be
+    /// inconsistent with the served scores).
+    pub fn snapshot(&mut self) -> Result<Relation, StreamError> {
+        self.check_poisoned()?;
+        let locals = self
+            .shards
+            .iter_mut()
+            .map(ShardBackend::snapshot)
+            .collect::<Result<Vec<_>, _>>()?;
+        let arity = self.schema.arity();
+        let mut codes: Vec<Vec<u32>> = (0..arity)
+            .map(|_| Vec::with_capacity(self.router.n_live()))
+            .collect();
+        let mut dicts: Vec<Dictionary> = (0..arity).map(|_| Dictionary::new()).collect();
+        // Per shard, per column: local dictionary code -> merged code.
+        let mut remaps: Vec<Vec<Vec<u32>>> = Vec::with_capacity(locals.len());
+        for snap in &locals {
+            let mut per_col = Vec::with_capacity(arity);
+            for (c, dict) in dicts.iter_mut().enumerate() {
+                let col = snap.column(AttrId(c as u32));
+                per_col.push(
+                    col.dict()
+                        .iter()
+                        .map(|(_, v)| dict.intern(v.clone()))
+                        .collect::<Vec<u32>>(),
+                );
+            }
+            remaps.push(per_col);
+        }
+        // Live rows of a shard appear in its snapshot in arrival order,
+        // which is also their relative global order — so a per-shard
+        // cursor walks each snapshot exactly once.
+        let mut cursors = vec![0usize; self.shards.len()];
         for slot in 0..self.router.n_slots() {
-            if let Some((shard, local)) = self.router.placement_of(slot as RowId) {
-                rel.push_row(
-                    self.shards[shard as usize]
-                        .relation()
-                        .log()
-                        .row(local as usize),
-                )
-                .expect("shard rows match the shared schema");
+            if let Some((shard, _)) = self.router.placement_of(slot as RowId) {
+                let s = shard as usize;
+                let r = cursors[s];
+                cursors[s] += 1;
+                for (c, out) in codes.iter_mut().enumerate() {
+                    let code = locals[s].column(AttrId(c as u32)).codes()[r];
+                    out.push(if code == NULL_CODE {
+                        NULL_CODE
+                    } else {
+                        remaps[s][c][code as usize]
+                    });
+                }
             }
         }
-        rel
+        let columns = codes
+            .into_iter()
+            .zip(dicts)
+            .map(|(codes, dict)| Column::from_parts(codes, dict))
+            .collect();
+        Relation::from_columns(self.schema.clone(), columns)
+            .map_err(|e| StreamError::Relation(e.to_string()))
     }
 
     /// Compacts every shard — each shard verifies its incremental PLIs,
@@ -506,17 +706,13 @@ impl ShardedSession {
     /// # Errors
     /// [`StreamError::Diverged`] if any shard's incremental state
     /// disagrees with its batch rebuild (that shard is left unswapped for
-    /// post-mortem). If the failure strikes after at least one shard had
-    /// already compacted, shard-local ids and the router's placements no
-    /// longer agree — the session is **poisoned**: score reads keep
-    /// working, but every further `apply`/`compact` is refused with a
-    /// `Diverged` error rather than silently tombstoning wrong rows.
+    /// post-mortem), [`StreamError::Transport`] on worker failure. If the
+    /// failure strikes after at least one shard had already compacted —
+    /// or the transport itself failed — shard-local ids and the router's
+    /// placements may no longer agree: the session is **poisoned** (score
+    /// reads keep working; every further `apply`/`compact` is refused).
     pub fn compact(&mut self) -> Result<CompactionReport, StreamError> {
-        if self.poisoned {
-            return Err(StreamError::Diverged(
-                "session poisoned by an earlier partial compaction failure".into(),
-            ));
-        }
+        self.check_poisoned()?;
         let before: Vec<StreamScores> = (0..self.candidates.len())
             .map(|cid| self.candidates[cid].last)
             .collect();
@@ -530,8 +726,13 @@ impl ShardedSession {
                 }
                 Err(e) => {
                     // Shards 0..i already renumbered their local ids but
-                    // the router still holds the old placements.
-                    self.poisoned = i > 0;
+                    // the router still holds the old placements. A
+                    // transport failure is unrecoverable regardless of
+                    // position (the worker may or may not have compacted).
+                    if i > 0 || matches!(e, StreamError::Transport(_)) {
+                        self.poisoned =
+                            Some(format!("compaction fan-out failed on shard {i}: {e}"));
+                    }
                     return Err(e);
                 }
             }
@@ -560,7 +761,7 @@ impl ShardedSession {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use afd_relation::AttrId;
+    use crate::session::StreamSession;
 
     fn schema3() -> Schema {
         Schema::new(["A", "B", "C"]).unwrap()
@@ -672,7 +873,7 @@ mod tests {
         let mut s = sharded(3);
         s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
         s.apply(&RowDelta::delete_only([5, 20])).unwrap();
-        let snap = s.snapshot();
+        let snap = s.snapshot().expect("in-process snapshot");
         let want: Vec<Vec<Value>> = fixture_rows()
             .into_iter()
             .enumerate()
@@ -730,6 +931,132 @@ mod tests {
             .unwrap();
         assert!(s.scores(cid).bits_eq(&single.scores(c1)));
         assert_eq!(s.n_live(), 40);
+    }
+
+    /// An in-process shard that can be told to fail its next request —
+    /// the unit-level stand-in for a killed `afd shard-worker` (the real
+    /// process-kill test lives in the CLI crate's integration tests).
+    struct FlakyShard {
+        inner: InProcShard,
+        fail_next: bool,
+    }
+
+    impl FlakyShard {
+        fn trip(&mut self) -> Result<(), StreamError> {
+            if self.fail_next {
+                return Err(StreamError::Transport("worker killed (simulated)".into()));
+            }
+            Ok(())
+        }
+    }
+
+    impl ShardBackend for FlakyShard {
+        fn subscribe(&mut self, fd: &Fd) -> Result<usize, StreamError> {
+            self.trip()?;
+            self.inner.subscribe(fd)
+        }
+        fn apply(&mut self, delta: &RowDelta) -> Result<(), StreamError> {
+            self.trip()?;
+            self.inner.apply(delta)
+        }
+        fn table(&self, cid: usize) -> &IncTable {
+            self.inner.table(cid)
+        }
+        fn n_live(&self) -> usize {
+            self.inner.n_live()
+        }
+        fn n_y_side_ids(&self, cid: usize) -> usize {
+            self.inner.n_y_side_ids(cid)
+        }
+        fn y_side_values(&self, cid: usize, id: u32) -> Vec<Value> {
+            self.inner.y_side_values(cid, id)
+        }
+        fn snapshot(&mut self) -> Result<Relation, StreamError> {
+            self.trip()?;
+            self.inner.snapshot()
+        }
+        fn compact(&mut self) -> Result<CompactionReport, StreamError> {
+            self.trip()?;
+            self.inner.compact()
+        }
+    }
+
+    #[test]
+    fn backend_failure_mid_delta_poisons_but_reads_stay_consistent() {
+        let backends: Vec<FlakyShard> = (0..2)
+            .map(|_| FlakyShard {
+                inner: InProcShard::new(schema3()),
+                fail_next: false,
+            })
+            .collect();
+        let mut s =
+            ShardedSession::with_backends(schema3(), AttrSet::single(AttrId(0)), backends).unwrap();
+        let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
+        let before = s.scores(cid);
+        // Kill shard 1 mid-delta: a typed transport error comes back and
+        // score reads keep serving the pre-delta state.
+        s.backend_mut(1).fail_next = true;
+        let err = s.apply(&RowDelta::insert_only([row(1, 2, 0)])).unwrap_err();
+        assert!(matches!(err, StreamError::Transport(_)), "{err}");
+        assert!(s.scores(cid).bits_eq(&before));
+        // The session is poisoned: further mutation is refused with a
+        // typed error (even though the backend would now succeed), reads
+        // still work.
+        s.backend_mut(1).fail_next = false;
+        assert!(matches!(
+            s.apply(&RowDelta::insert_only([row(1, 2, 0)])),
+            Err(StreamError::Transport(_))
+        ));
+        assert!(matches!(s.compact(), Err(StreamError::Transport(_))));
+        assert!(s.scores(cid).bits_eq(&before));
+        // Snapshot and table merges are refused too: the router's
+        // placements ran ahead of the shard contents, so either could
+        // panic or contradict the served scores.
+        assert!(matches!(s.snapshot(), Err(StreamError::Transport(_))));
+        assert!(matches!(
+            s.merged_table(cid),
+            Err(StreamError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn code_level_snapshot_matches_value_level_merge() {
+        // The code-level snapshot must be row-identical to the old
+        // per-row Value materialisation (kept inline here as the
+        // reference).
+        let mut s = sharded(3);
+        s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
+        s.apply(&RowDelta::delete_only([1, 8, 21])).unwrap();
+        s.apply(&RowDelta::insert_only([
+            vec![Value::Null, Value::Int(1), Value::str("z")],
+            row(3, 3, 3),
+        ]))
+        .unwrap();
+        // Reference: walk placements and push value-level rows.
+        let mut reference = Relation::empty(schema3());
+        let mut shard_rows: Vec<Vec<Vec<Value>>> = (0..s.n_shards())
+            .map(|i| {
+                let snap = s.backend_mut(i).snapshot().unwrap();
+                (0..snap.n_rows()).map(|r| snap.row(r)).collect()
+            })
+            .collect();
+        let mut cursors = vec![0usize; shard_rows.len()];
+        for slot in 0..s.router().n_slots() {
+            if let Some((shard, _)) = s.router().placement_of(slot as RowId) {
+                let sidx = shard as usize;
+                let r = cursors[sidx];
+                cursors[sidx] += 1;
+                reference
+                    .push_row(std::mem::take(&mut shard_rows[sidx][r]))
+                    .unwrap();
+            }
+        }
+        let snap = s.snapshot().unwrap();
+        assert_eq!(snap.n_rows(), reference.n_rows());
+        for r in 0..snap.n_rows() {
+            assert_eq!(snap.row(r), reference.row(r));
+        }
     }
 
     #[test]

@@ -25,9 +25,11 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use afd_wire::{Decode, DecodeError, Encode, Reader};
+
 /// Per-X-group state: total, sum of squared cell counts, majority count,
 /// and the nonzero cells themselves.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct XGroup {
     /// `a_i = Σ_j n_ij`.
     total: u64,
@@ -75,7 +77,7 @@ fn hist_entropy_sum(h: &CountHist) -> f64 {
 }
 
 /// Incrementally maintained joint counts of one FD candidate `X -> Y`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IncTable {
     /// Tuples currently counted (`N`).
     n: u64,
@@ -130,6 +132,19 @@ impl IncTable {
     /// `Σ_i max_j n_ij`.
     pub fn sum_row_max(&self) -> u64 {
         self.sum_row_max
+    }
+
+    /// The largest Y side id this table references (cells and column
+    /// totals) — what a coordinator bounds-checks a decoded shard table
+    /// against before handing it a Y remap slice.
+    pub fn max_y_id(&self) -> Option<u32> {
+        let cols = self.col_totals.keys().copied().max();
+        let cells = self
+            .groups
+            .values()
+            .flat_map(|g| g.ys.keys().copied())
+            .max();
+        cols.into_iter().chain(cells).max()
     }
 
     /// `true` iff the (NULL-filtered) FD holds exactly: every X-group
@@ -494,6 +509,117 @@ impl ScoreAggregates<'_> {
     }
 }
 
+// ------------------------------------------------------------- wire form
+
+/// `IncTable` is the unit the coordinator⇄worker wire protocol moves:
+/// after every applied delta slice, a process-backed shard ships its
+/// tables back for [`IncTable::merge`] / [`IncTable::merged_scores`].
+///
+/// Layout: `n`, then the X-groups **sorted by local id** (each with its
+/// total/sq/max and its `(y, count)` cells sorted by `y`), the column
+/// totals sorted by `y`, the six scalar aggregates, and the four count
+/// histograms in ascending key order. Sorting makes the encoding
+/// canonical: two equal tables produce identical bytes. Every maintained
+/// aggregate is an integer, so the round-trip is exact and merged scores
+/// read from a decoded table are **bit-identical** to ones read from the
+/// original.
+impl Encode for IncTable {
+    fn encode(&self, out: &mut Vec<u8>) {
+        fn hist(h: &CountHist, out: &mut Vec<u8>) {
+            (h.len() as u32).encode(out);
+            for (&k, &v) in h {
+                k.encode(out);
+                v.encode(out);
+            }
+        }
+        self.n.encode(out);
+        let mut xs: Vec<u32> = self.groups.keys().copied().collect();
+        xs.sort_unstable();
+        (xs.len() as u32).encode(out);
+        for x in xs {
+            let g = &self.groups[&x];
+            x.encode(out);
+            g.total.encode(out);
+            g.sq.encode(out);
+            g.max.encode(out);
+            let mut ys: Vec<(u32, u64)> = g.ys.iter().map(|(&y, &c)| (y, c)).collect();
+            ys.sort_unstable();
+            ys.encode(out);
+        }
+        let mut cols: Vec<(u32, u64)> = self.col_totals.iter().map(|(&y, &b)| (y, b)).collect();
+        cols.sort_unstable();
+        cols.encode(out);
+        self.nonzero_cells.encode(out);
+        self.sum_row_max.encode(out);
+        self.violating_mass.encode(out);
+        self.sum_sq_rows.encode(out);
+        self.sum_sq_cols.encode(out);
+        self.sum_sq_cells.encode(out);
+        hist(&self.hist_rows, out);
+        hist(&self.hist_cols, out);
+        hist(&self.hist_cells, out);
+        (self.hist_row_shape.len() as u32).encode(out);
+        for (&(a, sq), &mult) in &self.hist_row_shape {
+            a.encode(out);
+            sq.encode(out);
+            mult.encode(out);
+        }
+    }
+}
+
+impl Decode for IncTable {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        fn hist(r: &mut Reader<'_>) -> Result<CountHist, DecodeError> {
+            let len = r.len_prefix("count histogram", 16)?;
+            let mut h = CountHist::new();
+            for _ in 0..len {
+                let k = u64::decode(r)?;
+                let v = u64::decode(r)?;
+                h.insert(k, v);
+            }
+            Ok(h)
+        }
+        let mut t = IncTable::new();
+        t.n = u64::decode(r)?;
+        let n_groups = r.len_prefix("X groups", 4 + 8 * 3 + 4)?;
+        for _ in 0..n_groups {
+            let x = u32::decode(r)?;
+            let total = u64::decode(r)?;
+            let sq = u64::decode(r)?;
+            let max = u64::decode(r)?;
+            let ys: Vec<(u32, u64)> = Vec::decode(r)?;
+            t.groups.insert(
+                x,
+                XGroup {
+                    total,
+                    sq,
+                    max,
+                    ys: ys.into_iter().collect(),
+                },
+            );
+        }
+        let cols: Vec<(u32, u64)> = Vec::decode(r)?;
+        t.col_totals = cols.into_iter().collect();
+        t.nonzero_cells = u64::decode(r)?;
+        t.sum_row_max = u64::decode(r)?;
+        t.violating_mass = u64::decode(r)?;
+        t.sum_sq_rows = u64::decode(r)?;
+        t.sum_sq_cols = u64::decode(r)?;
+        t.sum_sq_cells = u64::decode(r)?;
+        t.hist_rows = hist(r)?;
+        t.hist_cols = hist(r)?;
+        t.hist_cells = hist(r)?;
+        let n_shapes = r.len_prefix("row-shape histogram", 24)?;
+        for _ in 0..n_shapes {
+            let a = u64::decode(r)?;
+            let sq = u64::decode(r)?;
+            let mult = u64::decode(r)?;
+            t.hist_row_shape.insert((a, sq), mult);
+        }
+        Ok(t)
+    }
+}
+
 /// Scores of the incrementally maintained measures: the paper's eleven
 /// *efficiently computable* measures (everything except the RFI family
 /// and SFI, whose permutation/smoothing sums are not decomposable into
@@ -760,6 +886,36 @@ mod tests {
         assert!(merged.scores().bits_eq(&t.scores()));
         assert_eq!(merged.hist_rows, t.hist_rows);
         assert_eq!(merged.hist_row_shape, t.hist_row_shape);
+    }
+
+    #[test]
+    fn max_y_id_tracks_cells_and_columns() {
+        assert_eq!(IncTable::new().max_y_id(), None);
+        let mut t = IncTable::new();
+        t.insert(0, 7);
+        t.insert(1, 3);
+        assert_eq!(t.max_y_id(), Some(7));
+        t.delete(0, 7);
+        assert_eq!(t.max_y_id(), Some(3));
+    }
+
+    #[test]
+    fn wire_roundtrip_is_exact_and_canonical() {
+        let mut t = fixture();
+        t.insert(7, 9);
+        t.delete(1, 0);
+        let bytes = t.encode_to_vec();
+        let back = IncTable::decode_exact(&bytes).expect("table decodes");
+        assert_eq!(back, t);
+        assert!(back.scores().bits_eq(&t.scores()));
+        // Canonical form: equal tables encode to identical bytes even
+        // though the in-memory maps hash nondeterministically.
+        assert_eq!(back.encode_to_vec(), bytes);
+        // A decoded table keeps working as a live table.
+        let mut live = back;
+        live.insert(42, 1);
+        live.delete(42, 1);
+        assert!(live.scores().bits_eq(&t.scores()));
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! The shard-worker loop: one [`StreamSession`] driven by wire frames.
+//!
+//! `afd shard-worker` calls [`run_worker`] over its stdin/stdout; a
+//! [`crate::ProcessShard`] on the coordinator side speaks the other end.
+//! The loop is strict request/response — read one [`WorkerRequest`]
+//! frame, act, write exactly one [`WorkerResponse`] frame — and exits
+//! cleanly on `Shutdown` or a closed stdin (the coordinator dropping the
+//! shard). Request-level failures (an FD outside the schema, a
+//! compaction divergence) are *answered* as typed
+//! [`WorkerResponse::Err`]s; only transport-level failures (corrupt
+//! frames, broken pipes) abort the worker.
+
+use std::io::{Read, Write};
+
+use afd_wire::{encode_framed, read_frame_from, Decode, FrameReadError, StreamFrame};
+
+use crate::delta::StreamError;
+use crate::session::StreamSession;
+use crate::wire::{
+    CandidateState, ShardState, WorkerRequest, WorkerResponse, KIND_REQUEST, KIND_RESPONSE,
+};
+
+/// The full coordinator-visible state of a worker's session: live row
+/// count plus every candidate's table and Y side keys.
+pub fn shard_state(session: &StreamSession) -> ShardState {
+    ShardState {
+        n_live: session.relation().n_live() as u64,
+        candidates: (0..session.n_candidates())
+            .map(|cid| CandidateState {
+                table: session.table(cid).clone(),
+                y_keys: (0..session.n_y_side_ids(cid))
+                    .map(|id| session.y_side_values(cid, id as u32))
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+fn handle(session: &mut Option<StreamSession>, req: WorkerRequest) -> WorkerResponse {
+    match req {
+        WorkerRequest::Init(schema) => {
+            *session = Some(StreamSession::new(schema));
+            WorkerResponse::Ok
+        }
+        WorkerRequest::Shutdown => WorkerResponse::Ok,
+        other => {
+            let Some(session) = session.as_mut() else {
+                return WorkerResponse::Err(StreamError::Transport("request before Init".into()));
+            };
+            match other {
+                WorkerRequest::Subscribe(fd) => match session.subscribe(fd) {
+                    Ok(cid) => WorkerResponse::Subscribed {
+                        cid: cid as u32,
+                        state: shard_state(session),
+                    },
+                    Err(e) => WorkerResponse::Err(e),
+                },
+                WorkerRequest::Apply(delta) => match session.apply(&delta) {
+                    Ok(_) => WorkerResponse::Applied(shard_state(session)),
+                    Err(e) => WorkerResponse::Err(e),
+                },
+                WorkerRequest::Snapshot => WorkerResponse::Snapshot(session.relation().snapshot()),
+                WorkerRequest::Compact => match session.compact() {
+                    Ok(report) => WorkerResponse::Compacted {
+                        report,
+                        state: shard_state(session),
+                    },
+                    Err(e) => WorkerResponse::Err(e),
+                },
+                WorkerRequest::Init(_) | WorkerRequest::Shutdown => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+/// Runs the worker loop until `Shutdown`, EOF on `input`, or a transport
+/// failure.
+///
+/// # Errors
+/// [`FrameReadError`] when a frame fails checksum/decode verification or
+/// the pipes break — request-level errors are answered in-band instead.
+pub fn run_worker(mut input: impl Read, mut output: impl Write) -> Result<(), FrameReadError> {
+    let mut session: Option<StreamSession> = None;
+    loop {
+        let (kind, payload) = match read_frame_from(&mut input)? {
+            StreamFrame::Frame(kind, payload) => (kind, payload),
+            StreamFrame::Eof => return Ok(()),
+        };
+        if kind != KIND_REQUEST {
+            return Err(FrameReadError::Decode(
+                afd_wire::DecodeError::UnknownMessage { kind },
+            ));
+        }
+        let req = WorkerRequest::decode_exact(&payload)?;
+        let shutdown = matches!(req, WorkerRequest::Shutdown);
+        let resp = handle(&mut session, req);
+        let frame = encode_framed(KIND_RESPONSE, &resp)?;
+        output.write_all(&frame)?;
+        output.flush()?;
+        if shutdown {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_relation::{AttrId, Fd, Schema, Value};
+    use afd_wire::Encode;
+
+    use crate::delta::RowDelta;
+    use crate::table::IncTable;
+    use crate::wire::WorkerRequestRef;
+
+    fn drive(requests: &[WorkerRequest]) -> Vec<WorkerResponse> {
+        let mut input = Vec::new();
+        for req in requests {
+            input.extend(encode_framed(KIND_REQUEST, req).unwrap());
+        }
+        let mut output = Vec::new();
+        run_worker(input.as_slice(), &mut output).expect("worker runs");
+        let mut resps = Vec::new();
+        let mut cursor = std::io::Cursor::new(output);
+        while let StreamFrame::Frame(kind, payload) =
+            read_frame_from(&mut cursor).expect("well-formed output")
+        {
+            assert_eq!(kind, KIND_RESPONSE);
+            resps.push(WorkerResponse::decode_exact(&payload).expect("response decodes"));
+        }
+        resps
+    }
+
+    fn row(x: i64, y: i64) -> Vec<Value> {
+        vec![Value::Int(x), Value::Int(y)]
+    }
+
+    #[test]
+    fn worker_tracks_a_session_and_ships_state() {
+        let schema = Schema::new(["X", "Y"]).unwrap();
+        let fd = Fd::linear(AttrId(0), AttrId(1));
+        let resps = drive(&[
+            WorkerRequest::Init(schema.clone()),
+            WorkerRequest::Subscribe(fd.clone()),
+            WorkerRequest::Apply(RowDelta::insert_only([
+                row(1, 10),
+                row(1, 10),
+                row(2, 20),
+                row(1, 11),
+            ])),
+            WorkerRequest::Snapshot,
+            WorkerRequest::Compact,
+            WorkerRequest::Shutdown,
+        ]);
+        assert_eq!(resps.len(), 6);
+        assert_eq!(resps[0], WorkerResponse::Ok);
+        // The shipped state matches a local session fed the same data.
+        let mut local = StreamSession::new(schema);
+        let cid = local.subscribe(fd).unwrap();
+        local
+            .apply(&RowDelta::insert_only([
+                row(1, 10),
+                row(1, 10),
+                row(2, 20),
+                row(1, 11),
+            ]))
+            .unwrap();
+        match &resps[2] {
+            WorkerResponse::Applied(state) => {
+                assert_eq!(state.n_live, 4);
+                assert_eq!(&state.candidates[cid].table, local.table(cid));
+                assert_eq!(state.candidates[cid].y_keys.len(), local.n_y_side_ids(cid));
+                assert!(state.candidates[cid]
+                    .table
+                    .scores()
+                    .bits_eq(&local.scores(cid)));
+            }
+            other => panic!("expected Applied, got {other:?}"),
+        }
+        match &resps[3] {
+            WorkerResponse::Snapshot(rel) => assert_eq!(rel.n_rows(), 4),
+            other => panic!("expected Snapshot, got {other:?}"),
+        }
+        match &resps[4] {
+            WorkerResponse::Compacted { report, state } => {
+                assert_eq!(report.n_live, 4);
+                assert_eq!(state.candidates.len(), 1);
+            }
+            other => panic!("expected Compacted, got {other:?}"),
+        }
+        assert_eq!(resps[5], WorkerResponse::Ok);
+    }
+
+    #[test]
+    fn request_level_errors_are_answered_not_fatal() {
+        let schema = Schema::new(["X", "Y"]).unwrap();
+        let resps = drive(&[
+            // Before Init: answered with a typed error, loop continues.
+            WorkerRequest::Snapshot,
+            WorkerRequest::Init(schema),
+            // Out-of-schema FD: typed error, session stays usable.
+            WorkerRequest::Subscribe(Fd::linear(AttrId(0), AttrId(9))),
+            WorkerRequest::Apply(RowDelta::insert_only([row(1, 1)])),
+        ]);
+        assert!(matches!(
+            resps[0],
+            WorkerResponse::Err(StreamError::Transport(_))
+        ));
+        assert_eq!(resps[1], WorkerResponse::Ok);
+        assert!(matches!(
+            resps[2],
+            WorkerResponse::Err(StreamError::UnknownAttr(9))
+        ));
+        assert!(matches!(&resps[3], WorkerResponse::Applied(s) if s.n_live == 1));
+    }
+
+    #[test]
+    fn eof_mid_stream_is_clean_exit_corrupt_frame_is_not() {
+        // Clean EOF.
+        let mut out = Vec::new();
+        run_worker(&[][..], &mut out).expect("empty stream is a clean exit");
+        assert!(out.is_empty());
+        // Corrupt frame: typed transport failure.
+        let mut frame = encode_framed(
+            KIND_REQUEST,
+            &WorkerRequestRef::Init(&Schema::new(["A"]).unwrap()),
+        )
+        .unwrap();
+        let mid = frame.len() / 2;
+        frame[mid] ^= 0x10;
+        let mut out = Vec::new();
+        assert!(run_worker(frame.as_slice(), &mut out).is_err());
+    }
+
+    #[test]
+    fn shipped_tables_merge_bit_identically() {
+        // The end-to-end wire property on the worker loop alone: state
+        // shipped through encode/decode merges exactly like local state.
+        let schema = Schema::new(["X", "Y"]).unwrap();
+        let fd = Fd::linear(AttrId(0), AttrId(1));
+        let delta = RowDelta::insert_only([row(1, 10), row(2, 20), row(1, 11)]);
+        let resps = drive(&[
+            WorkerRequest::Init(schema.clone()),
+            WorkerRequest::Subscribe(fd.clone()),
+            WorkerRequest::Apply(delta.clone()),
+        ]);
+        let WorkerResponse::Applied(state) = &resps[2] else {
+            panic!("expected Applied");
+        };
+        let mut local = StreamSession::new(schema);
+        let cid = local.subscribe(fd).unwrap();
+        local.apply(&delta).unwrap();
+        let y_map: Vec<u32> = (0..local.n_y_side_ids(cid) as u32).collect();
+        let from_wire = IncTable::merged_scores([(&state.candidates[cid].table, y_map.as_slice())]);
+        let from_local = IncTable::merged_scores([(local.table(cid), y_map.as_slice())]);
+        assert!(from_wire.bits_eq(&from_local));
+        // Byte-level determinism: re-encoding the shipped table yields
+        // the same canonical bytes.
+        assert_eq!(
+            state.candidates[cid].table.encode_to_vec(),
+            local.table(cid).encode_to_vec()
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Typed decode failures.
+//!
+//! Every way a byte stream can be unusable has its own variant, and
+//! decoding **never panics**: corrupt input — truncation, bit flips,
+//! wrong protocol, hostile lengths — always comes back as a
+//! [`DecodeError`]. This is the contract that lets the coordinator treat
+//! worker processes as untrusted byte sources.
+
+use std::fmt;
+
+/// Why a byte stream could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes that were actually left.
+        have: usize,
+    },
+    /// The frame does not start with the `AFDW` magic.
+    BadMagic {
+        /// The four bytes found instead.
+        got: [u8; 4],
+    },
+    /// The frame's wire version is not one this build speaks.
+    UnsupportedVersion {
+        /// Version found in the frame header.
+        got: u16,
+        /// The single version this build supports.
+        supported: u16,
+    },
+    /// The frame checksum does not match its contents.
+    Checksum {
+        /// Checksum recomputed over the received bytes.
+        expected: u64,
+        /// Checksum carried by the frame.
+        got: u64,
+    },
+    /// An enum discriminant byte holds no known variant.
+    BadTag {
+        /// The type being decoded.
+        what: &'static str,
+        /// The unknown discriminant.
+        tag: u8,
+    },
+    /// A length prefix claims more elements than the remaining bytes
+    /// could possibly hold (a hostile length that would otherwise force a
+    /// huge allocation).
+    BadLength {
+        /// The collection being decoded.
+        what: &'static str,
+        /// The claimed element count.
+        len: u64,
+        /// The upper bound the remaining bytes admit.
+        budget: u64,
+    },
+    /// A string's bytes are not valid UTF-8.
+    Utf8 {
+        /// The field being decoded.
+        what: &'static str,
+    },
+    /// The bytes decoded structurally but violate the type's invariants
+    /// (overlapping FD sides, duplicate schema attributes, a dictionary
+    /// code out of range, ...).
+    Invalid {
+        /// The type being decoded.
+        what: &'static str,
+        /// What was wrong.
+        msg: String,
+    },
+    /// Bytes were left over after the value ended.
+    TrailingBytes {
+        /// How many.
+        extra: usize,
+    },
+    /// A frame or message carries a kind byte the receiver does not
+    /// handle.
+    UnknownMessage {
+        /// The unknown kind.
+        kind: u8,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated input: needed {needed} more bytes, have {have}"
+                )
+            }
+            DecodeError::BadMagic { got } => write!(f, "bad frame magic {got:02x?}"),
+            DecodeError::UnsupportedVersion { got, supported } => {
+                write!(
+                    f,
+                    "unsupported wire version {got} (this build speaks {supported})"
+                )
+            }
+            DecodeError::Checksum { expected, got } => write!(
+                f,
+                "frame checksum mismatch: computed {expected:#018x}, frame says {got:#018x}"
+            ),
+            DecodeError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            DecodeError::BadLength { what, len, budget } => write!(
+                f,
+                "{what} length {len} exceeds what the remaining bytes admit ({budget})"
+            ),
+            DecodeError::Utf8 { what } => write!(f, "{what} holds invalid UTF-8"),
+            DecodeError::Invalid { what, msg } => write!(f, "invalid {what}: {msg}"),
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the value")
+            }
+            DecodeError::UnknownMessage { kind } => write!(f, "unknown message kind {kind:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        assert!(DecodeError::Truncated { needed: 8, have: 3 }
+            .to_string()
+            .contains("needed 8"));
+        assert!(DecodeError::BadMagic { got: *b"NOPE" }
+            .to_string()
+            .contains("magic"));
+        assert!(DecodeError::UnsupportedVersion {
+            got: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains("version 9"));
+        assert!(DecodeError::Checksum {
+            expected: 1,
+            got: 2
+        }
+        .to_string()
+        .contains("mismatch"));
+        assert!(DecodeError::BadTag {
+            what: "Value",
+            tag: 9
+        }
+        .to_string()
+        .contains("Value"));
+        assert!(DecodeError::BadLength {
+            what: "Vec",
+            len: 1 << 40,
+            budget: 10
+        }
+        .to_string()
+        .contains("exceeds"));
+        assert!(DecodeError::Utf8 { what: "name" }
+            .to_string()
+            .contains("UTF-8"));
+        assert!(DecodeError::Invalid {
+            what: "Fd",
+            msg: "overlap".into()
+        }
+        .to_string()
+        .contains("overlap"));
+        assert!(DecodeError::TrailingBytes { extra: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(DecodeError::UnknownMessage { kind: 7 }
+            .to_string()
+            .contains("0x07"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the wire codec: `decode(encode(x)) == x` for every
+//! vocabulary type (bit-exact for floats), and corrupted / truncated
+//! bytes always surfacing as typed [`DecodeError`]s — never a panic.
+
+use afd_relation::{AttrId, AttrSet, Fd, Relation, Schema, Value};
+use afd_wire::{decode_framed, encode_framed, read_frame, Decode, DecodeError, Encode};
+use proptest::prelude::*;
+
+/// Raw material for one generated [`Value`]: a tag selector, an int, raw
+/// float bits (NaNs and -0.0 included) and string bytes.
+type RawValue = (u8, i64, u64, Vec<u8>);
+
+fn raw_value() -> impl Strategy<Value = RawValue> {
+    (
+        0u8..4,
+        i64::MIN..=i64::MAX,
+        u64::MIN..=u64::MAX,
+        prop::collection::vec(0u8..26, 0..6),
+    )
+}
+
+fn to_value(raw: &RawValue) -> Value {
+    match raw.0 {
+        0 => Value::Null,
+        1 => Value::Int(raw.1),
+        // `Value::float` normalises, exactly like every construction
+        // path in the workspace — the codec must round-trip the
+        // normalised form bit-exactly.
+        2 => Value::float(f64::from_bits(raw.2)),
+        _ => Value::str(
+            raw.3
+                .iter()
+                .map(|b| char::from(b'a' + b % 26))
+                .collect::<String>(),
+        ),
+    }
+}
+
+fn assert_roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(
+    v: &T,
+) -> Result<(), TestCaseError> {
+    let bytes = v.encode_to_vec();
+    match T::decode_exact(&bytes) {
+        Ok(back) => prop_assert_eq!(&back, v),
+        Err(e) => prop_assert!(false, "decode failed: {e:?}"),
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn values_roundtrip_bit_exactly(raws in prop::collection::vec(raw_value(), 1..30)) {
+        for raw in &raws {
+            let v = to_value(raw);
+            let bytes = v.encode_to_vec();
+            let back = Value::decode_exact(&bytes).expect("value decodes");
+            // PartialEq on Value::Float is bit-level after normalisation
+            // (OrderedF64 compares to_bits), so this is the bit-exact
+            // float check the ISSUE asks for.
+            prop_assert_eq!(&back, &v);
+        }
+        // And as one Vec<Value> message.
+        let vals: Vec<Value> = raws.iter().map(to_value).collect();
+        assert_roundtrip(&vals)?;
+    }
+
+    #[test]
+    fn fds_and_attr_sets_roundtrip(ids in prop::collection::vec(0u32..12, 2..8), split in 1usize..7) {
+        let attrs: Vec<AttrId> = ids.iter().map(|&i| AttrId(i)).collect();
+        let set = AttrSet::new(attrs.clone());
+        assert_roundtrip(&set)?;
+        let split = split.min(attrs.len() - 1);
+        let lhs = AttrSet::new(attrs[..split].iter().copied());
+        let rhs: AttrSet = attrs[split..]
+            .iter()
+            .copied()
+            .filter(|a| !lhs.contains(*a))
+            .collect();
+        if !rhs.is_empty() {
+            let fd = Fd::new(lhs, rhs).expect("disjoint by construction");
+            assert_roundtrip(&fd)?;
+        }
+    }
+
+    #[test]
+    fn relations_roundtrip_columnar(
+        rows in prop::collection::vec(
+            (raw_value(), raw_value(), raw_value()),
+            0..40,
+        ),
+    ) {
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            rows.iter().map(|(a, b, c)| [to_value(a), to_value(b), to_value(c)]),
+        )
+        .unwrap();
+        let bytes = rel.encode_to_vec();
+        let back = Relation::decode_exact(&bytes).expect("relation decodes");
+        prop_assert_eq!(back.n_rows(), rel.n_rows());
+        prop_assert_eq!(back.schema(), rel.schema());
+        for r in 0..rel.n_rows() {
+            prop_assert_eq!(back.row(r), rel.row(r));
+        }
+        // Dictionary codes survive verbatim (code-level identity, not
+        // just row-level equality).
+        for a in rel.schema().attrs() {
+            prop_assert_eq!(back.column(a).codes(), rel.column(a).codes());
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error_typed(
+        raws in prop::collection::vec(raw_value(), 1..12),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let vals: Vec<Value> = raws.iter().map(to_value).collect();
+        let frame = encode_framed(1, &vals).unwrap();
+        let cut = ((frame.len() as f64) * cut_frac) as usize;
+        if cut < frame.len() {
+            let err = read_frame(&frame[..cut]).unwrap_err();
+            prop_assert!(
+                matches!(
+                    err,
+                    DecodeError::Truncated { .. }
+                        | DecodeError::BadLength { .. }
+                        | DecodeError::BadMagic { .. }
+                ),
+                "cut {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_error_typed_never_panic(
+        raws in prop::collection::vec(raw_value(), 1..12),
+        byte_pick in 0usize..=usize::MAX,
+        bit in 0u8..8,
+    ) {
+        let vals: Vec<Value> = raws.iter().map(to_value).collect();
+        let mut frame = encode_framed(1, &vals).unwrap();
+        let byte = byte_pick % frame.len();
+        frame[byte] ^= 1 << bit;
+        // A flipped bit anywhere must surface as a typed error: in the
+        // header it trips magic/version/length checks, in the payload or
+        // checksum it trips the FNV verification.
+        let err = decode_framed::<Vec<Value>>(1, &frame).unwrap_err();
+        let _ = err.to_string(); // every variant renders
+    }
+
+    #[test]
+    fn corrupted_payload_bytes_never_panic_unframed(
+        raws in prop::collection::vec(raw_value(), 1..12),
+        byte_pick in 0usize..=usize::MAX,
+        flip in 1u8..=255,
+    ) {
+        // Decoding a corrupted *bare* payload (no checksum protection)
+        // must still never panic: either it happens to decode, or it
+        // returns a typed error.
+        let vals: Vec<Value> = raws.iter().map(to_value).collect();
+        let mut bytes = vals.encode_to_vec();
+        let byte = byte_pick % bytes.len();
+        bytes[byte] ^= flip;
+        match Vec::<Value>::decode_exact(&bytes) {
+            Ok(_) => {}
+            Err(err) => {
+                let _ = err.to_string();
+            }
+        }
+    }
+}
