@@ -30,10 +30,19 @@ pub struct Config {
     pub paper_scale: bool,
     /// Streaming shard count for the `stream` experiment.
     pub shards: usize,
+    /// Recovery checkpoint interval (applies between per-shard
+    /// checkpoints) for the `stream` experiment, at least 1.
+    pub checkpoint_every: u64,
+    /// Recovery retry budget (respawn attempts per failing request)
+    /// for the `stream` experiment, at least 1.
+    pub retry_budget: u32,
 }
 
 impl Default for Config {
     fn default() -> Self {
+        // Recovery knobs default to the engine's own policy defaults so
+        // `afd stream` and a programmatic `EngineConfig::default()` agree.
+        let recovery = afd_engine::RecoveryConfig::default();
         Config {
             scale: 0.02,
             seed: 20240607,
@@ -44,6 +53,8 @@ impl Default for Config {
             out_dir: PathBuf::from("results"),
             paper_scale: false,
             shards: 1,
+            checkpoint_every: recovery.checkpoint_every,
+            retry_budget: recovery.retry_budget,
         }
     }
 }

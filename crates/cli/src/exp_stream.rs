@@ -14,7 +14,7 @@
 use std::time::Instant;
 
 use afd_core::fast_measures;
-use afd_engine::{stream_run, AfdEngine, ChurnPlanner, EngineConfig};
+use afd_engine::{stream_run, AfdEngine, ChurnPlanner, EngineConfig, RecoveryConfig};
 use afd_relation::{AttrId, AttrSet, Fd, Relation};
 use afd_synth::{generate_positive, GenParams};
 use rand::rngs::StdRng;
@@ -68,6 +68,11 @@ pub fn stream(cfg: &Config) {
             threads: Some(cfg.threads),
             shards: cfg.shards,
             shard_key: Some(AttrSet::single(AttrId(0))),
+            recovery: RecoveryConfig {
+                checkpoint_every: cfg.checkpoint_every,
+                retry_budget: cfg.retry_budget,
+                ..RecoveryConfig::default()
+            },
             ..EngineConfig::default()
         })
         .expect("valid stream experiment config");

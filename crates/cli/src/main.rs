@@ -36,6 +36,10 @@
 //!   --budget-ms <n>    per-measure per-relation budget (default 2000)
 //!   --paper-scale      run synthetic sweeps at full 50x50 paper scale
 //!   --shards <n>       stream experiment: sharded session fan-out (default 1)
+//!   --checkpoint-every <n>  stream experiment: recovery checkpoint interval
+//!                      in applies (default 64, at least 1)
+//!   --retry-budget <n>  stream experiment: worker respawn attempts per
+//!                      failing request before poisoning (default 3, at least 1)
 //!   --out <dir>        CSV output directory (default results/)
 //!
 //! Every experiment asks its questions through the `afd-engine` front
@@ -61,7 +65,8 @@ use std::time::Duration;
 use ctx::{Config, RwdEval};
 
 const USAGE: &str = "usage: afd <experiment> [--scale f] [--seed n] [--threads n] \
-[--budget-ms n] [--paper-scale] [--shards n] [--out dir]\n\
+[--budget-ms n] [--paper-scale] [--shards n] [--checkpoint-every n] [--retry-budget n] \
+[--out dir]\n\
 experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi stream export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]\n             save <in.csv> <out.snapshot> | load <snapshot> | shard-worker";
 
 fn parse_flags(args: &[String]) -> Result<Config, String> {
@@ -100,6 +105,22 @@ fn parse_flags(args: &[String]) -> Result<Config, String> {
                     .map_err(|e| format!("--shards: {e}"))?;
                 if cfg.shards == 0 {
                     return Err("--shards must be at least 1".into());
+                }
+            }
+            "--checkpoint-every" => {
+                cfg.checkpoint_every = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+                if cfg.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+            }
+            "--retry-budget" => {
+                cfg.retry_budget = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--retry-budget: {e}"))?;
+                if cfg.retry_budget == 0 {
+                    return Err("--retry-budget must be at least 1".into());
                 }
             }
             "--out" => cfg.out_dir = take(&mut i)?.into(),
@@ -244,5 +265,35 @@ mod tests {
     fn threads_zero_is_rejected_loudly() {
         let err = parse_flags(&["--threads".to_string(), "0".to_string()]).unwrap_err();
         assert!(err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn zero_recovery_knobs_are_rejected_loudly() {
+        // Like `--shards 0`: zero would silently disable recovery
+        // semantics, and the engine rejects it too — catch it at the
+        // flag boundary with the flag's own name in the message.
+        let err = parse_flags(&["--checkpoint-every".to_string(), "0".to_string()]).unwrap_err();
+        assert!(err.contains("--checkpoint-every"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse_flags(&["--retry-budget".to_string(), "0".to_string()]).unwrap_err();
+        assert!(err.contains("--retry-budget"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn recovery_flags_parse_and_default_to_engine_policy() {
+        let cfg = parse_flags(&[
+            "--checkpoint-every".to_string(),
+            "8".to_string(),
+            "--retry-budget".to_string(),
+            "5".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(cfg.checkpoint_every, 8);
+        assert_eq!(cfg.retry_budget, 5);
+        let defaults = parse_flags(&[]).unwrap();
+        let policy = afd_engine::RecoveryConfig::default();
+        assert_eq!(defaults.checkpoint_every, policy.checkpoint_every);
+        assert_eq!(defaults.retry_budget, policy.retry_budget);
     }
 }

@@ -8,11 +8,14 @@
 //! process-backed session's score reads are **bit-identical**
 //! (`f64::to_bits`) to the in-process backend, to an unsharded session,
 //! and to a from-scratch rebuild through the batch kernels. Plus the
-//! fault path: a worker killed mid-delta surfaces a typed
-//! [`StreamError::Transport`] and leaves the session consistent
-//! (pre-delta reads served, further mutation refused).
+//! self-healing fault path: a worker killed, corrupted or stalled
+//! mid-delta is respawned, restored from its checkpoint and replayed —
+//! post-recovery reads stay bit-identical to a fault-free unsharded
+//! session, no request ever blocks without a deadline, and poisoning
+//! only happens once the retry budget is exhausted.
 
 use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
 
 use afd_engine::{
     AfdEngine, DeltaRequest, EngineConfig, RestoreRequest, SnapshotRequest, StreamBackend,
@@ -20,7 +23,9 @@ use afd_engine::{
 };
 use afd_relation::{AttrId, AttrSet, Fd, Schema, Value};
 use afd_stream::{
-    ProcessShard, RowDelta, RowId, ShardedSession, StreamError, StreamSession, WorkerCommand,
+    ProcessShard, RecoveryConfig, RowDelta, RowId, ShardBackend as _, ShardedSession, StreamError,
+    StreamSession, TransportErrorKind, WorkerCommand, WorkerFault, WorkerFaultKind,
+    AFD_WORKER_FAULTS_ENV,
 };
 use proptest::prelude::*;
 
@@ -180,35 +185,316 @@ proptest! {
     }
 }
 
+/// Recovery policy for fault tests: tight checkpoints, no backoff
+/// sleeps, a deadline short enough that stalled workers fail fast.
+fn fast_recovery(timeout_ms: u64) -> RecoveryConfig {
+    RecoveryConfig {
+        checkpoint_every: 2,
+        retry_budget: 3,
+        backoff_ms: 0,
+        request_timeout_ms: timeout_ms,
+    }
+}
+
+/// An unsharded fault-free twin fed the same history, for bit-identity
+/// assertions.
+fn twin_with(deltas: &[RowDelta]) -> (StreamSession, usize) {
+    let mut single = StreamSession::new(schema3());
+    let cid = single.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+    for d in deltas {
+        single.apply(d).unwrap();
+    }
+    (single, cid)
+}
+
 #[test]
-fn killed_worker_mid_delta_is_a_typed_transport_error() {
+fn killed_worker_mid_delta_is_respawned_and_replayed() {
     let key = AttrSet::single(AttrId(0));
     let mut s = ShardedSession::spawn(schema3(), key, 2, &worker()).expect("workers spawn");
+    assert!(s.recovery_enabled(), "process shards support recovery");
+    let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+    let seed = RowDelta::insert_only(fixture_rows());
+    s.apply(&seed).unwrap();
+
+    // Kill worker 1 outright — the crash the supervisor must heal.
+    s.backend_mut(1).kill();
+    let follow_up = RowDelta {
+        inserts: vec![row(1, 1, 1), row(2, 2, 2)],
+        deletes: vec![3, 11],
+    };
+    s.apply(&follow_up).unwrap();
+
+    // The worker was respawned, its checkpoint restored and the
+    // in-flight delta retried: reads are bit-identical to a fault-free
+    // unsharded session over the same history.
+    let (single, scid) = twin_with(&[seed, follow_up]);
+    assert!(s.scores(cid).bits_eq(&single.scores(scid)));
+    let report = s.recovery_report();
+    assert!(report.total_respawns() >= 1, "{report:?}");
+    assert_eq!(report.shards[0].respawns, 0, "shard 0 never failed");
+
+    // Later mutation (including deletes of pre-fault rows) and the
+    // verified compaction keep working on the healed topology.
+    let late = RowDelta::delete_only([0]);
+    s.apply(&late).unwrap();
+    s.compact().expect("post-recovery compaction verifies");
+    let (mut single, scid) = twin_with(&[
+        RowDelta::insert_only(fixture_rows()),
+        RowDelta {
+            inserts: vec![row(1, 1, 1), row(2, 2, 2)],
+            deletes: vec![3, 11],
+        },
+        late,
+    ]);
+    single.compact().unwrap();
+    assert!(s.scores(cid).bits_eq(&single.scores(scid)));
+    let snap = s.snapshot().unwrap();
+    let want = single.relation().snapshot();
+    assert_eq!(snap.n_rows(), want.n_rows());
+    for r in 0..want.n_rows() {
+        assert_eq!(snap.row(r), want.row(r), "row {r} diverged post-recovery");
+    }
+    assert!(s.shutdown().clean());
+}
+
+#[test]
+fn every_fault_kind_recovers_bit_identically_in_real_workers() {
+    // One real 2-worker session per fault kind; shard 1's worker carries
+    // the injected fault via the environment hook (stripped on respawn).
+    // Site 4 lands mid-stream: init(1), subscribe(2), then applies.
+    let faults = [
+        WorkerFault {
+            site: 4,
+            kind: WorkerFaultKind::Kill,
+        },
+        WorkerFault {
+            site: 4,
+            kind: WorkerFaultKind::Truncate,
+        },
+        WorkerFault {
+            site: 4,
+            kind: WorkerFaultKind::Garbage,
+        },
+        WorkerFault {
+            site: 4,
+            kind: WorkerFaultKind::Stall { millis: 5_000 },
+        },
+    ];
+    for fault in faults {
+        // A stalled worker must fail via the deadline, not hang the test.
+        let timeout_ms = match fault.kind {
+            WorkerFaultKind::Stall { .. } => 300,
+            _ => 10_000,
+        };
+        let schema = schema3();
+        let backends = vec![
+            ProcessShard::spawn(&worker(), &schema).expect("worker 0 spawns"),
+            ProcessShard::spawn(
+                &worker().with_env(AFD_WORKER_FAULTS_ENV, fault.to_env()),
+                &schema,
+            )
+            .expect("worker 1 spawns"),
+        ];
+        let mut s = ShardedSession::with_backends(schema, AttrSet::single(AttrId(0)), backends)
+            .expect("valid topology")
+            .with_recovery(fast_recovery(timeout_ms))
+            .expect("valid recovery config");
+        let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        let deltas = [
+            RowDelta::insert_only(fixture_rows()),
+            RowDelta {
+                inserts: vec![row(5, 5, 0), row(6, 6, 1)],
+                deletes: vec![2],
+            },
+            RowDelta {
+                inserts: vec![row(7, 7, 2)],
+                deletes: vec![8, 13],
+            },
+        ];
+        for d in &deltas {
+            s.apply(d).unwrap_or_else(|e| panic!("{fault:?}: {e}"));
+        }
+        let (single, scid) = twin_with(&deltas);
+        assert!(
+            s.scores(cid).bits_eq(&single.scores(scid)),
+            "{fault:?} diverged"
+        );
+        let report = s.recovery_report();
+        assert!(report.total_respawns() >= 1, "{fault:?} never fired");
+        assert_eq!(report.shards[0].respawns, 0, "wrong shard blamed");
+    }
+}
+
+#[test]
+fn hung_worker_request_fails_at_the_deadline_not_never() {
+    // A worker stalling far past the deadline: the coordinator's reader
+    // thread times the request out — no request can block unboundedly.
+    let stall = WorkerFault {
+        site: 2, // the first post-init request
+        kind: WorkerFaultKind::Stall { millis: 60_000 },
+    };
+    let mut shard = ProcessShard::spawn(
+        &worker().with_env(AFD_WORKER_FAULTS_ENV, stall.to_env()),
+        &schema3(),
+    )
+    .expect("worker spawns");
+    shard.configure(0, Duration::from_millis(200));
+    let start = Instant::now();
+    let err = shard
+        .subscribe(&Fd::linear(AttrId(0), AttrId(1)))
+        .unwrap_err();
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "deadline did not bound the request"
+    );
+    match err {
+        StreamError::Transport(te) => {
+            assert!(
+                matches!(te.kind, TransportErrorKind::Timeout { millis: 200 }),
+                "{te:?}"
+            );
+            assert_eq!(te.shard, Some(0));
+        }
+        other => panic!("expected a transport timeout, got {other}"),
+    }
+}
+
+#[test]
+fn transport_errors_carry_the_worker_stderr_tail() {
+    // The injected-fault worker announces itself on stderr right before
+    // misbehaving; the coordinator's ring buffer attaches that tail to
+    // the typed error.
+    let garbage = WorkerFault {
+        site: 2,
+        kind: WorkerFaultKind::Garbage,
+    };
+    let mut shard = ProcessShard::spawn(
+        &worker().with_env(AFD_WORKER_FAULTS_ENV, garbage.to_env()),
+        &schema3(),
+    )
+    .expect("worker spawns");
+    let err = shard
+        .subscribe(&Fd::linear(AttrId(0), AttrId(1)))
+        .unwrap_err();
+    match err {
+        StreamError::Transport(te) => {
+            assert!(
+                te.stderr.iter().any(|l| l.contains("injected fault")),
+                "stderr tail missing: {te:?}"
+            );
+        }
+        other => panic!("expected a transport error, got {other}"),
+    }
+}
+
+#[test]
+fn sticky_process_fault_exhausts_retries_then_poisons() {
+    // A worker binary that dies at the same site every incarnation would
+    // re-read the fault env — the supervisor strips it on respawn, so
+    // this needs the kill to recur another way: kill the *respawned*
+    // worker too, via a budget-1 policy and a second manual kill.
+    let key = AttrSet::single(AttrId(0));
+    let mut s = ShardedSession::spawn(schema3(), key, 2, &worker())
+        .expect("workers spawn")
+        .with_recovery(RecoveryConfig {
+            retry_budget: 1,
+            backoff_ms: 0,
+            ..RecoveryConfig::default()
+        })
+        .expect("valid recovery config");
     let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
     s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
-    let before = s.scores(cid);
-    let n_live = s.n_live();
 
-    // Kill worker 1 outright — the crash the transport must survive.
+    // First kill: the single-attempt budget heals it.
     s.backend_mut(1).kill();
-    let err = s
-        .apply(&RowDelta::insert_only([row(1, 1, 1), row(2, 2, 2)]))
-        .unwrap_err();
+    s.apply(&RowDelta::insert_only([row(1, 1, 1)])).unwrap();
+    assert_eq!(s.recovery_report().shards[1].respawns, 1);
+    let last_good = s.scores(cid);
+
+    // Exhaust the budget: kill again and make the respawned worker's
+    // first serve fail too by pointing respawns at a broken program.
+    s.backend_mut(1).kill();
+    s.backend_mut(1)
+        .set_command(WorkerCommand::new("/nonexistent-afd-worker"));
+    let err = s.apply(&RowDelta::insert_only([row(2, 2, 2)])).unwrap_err();
     assert!(matches!(err, StreamError::Transport(_)), "{err}");
 
-    // The session is left consistent: reads serve the pre-delta state...
-    assert!(s.scores(cid).bits_eq(&before));
-    // ...and every further mutation is refused with a typed error
-    // instead of tombstoning wrong rows (the router had already routed).
+    // Poisoned: reads serve the last consistent state, mutation refused.
+    assert!(s.scores(cid).bits_eq(&last_good));
     assert!(matches!(
         s.apply(&RowDelta::delete_only([0])),
-        Err(StreamError::Transport(_))
+        Err(StreamError::Poisoned(_))
     ));
-    assert!(matches!(s.compact(), Err(StreamError::Transport(_))));
-    assert!(s.scores(cid).bits_eq(&before));
-    // The surviving worker's shard is still the size it was before the
-    // poisoned delta (nothing was half-applied to it and then served).
-    assert!(s.shard_sizes()[0] <= n_live);
+}
+
+#[test]
+fn shutdown_reports_stragglers_for_dead_workers() {
+    let key = AttrSet::single(AttrId(0));
+    let mut s = ShardedSession::spawn(schema3(), key, 2, &worker()).expect("workers spawn");
+    s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+    s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
+    // Worker 1 is already dead at shutdown time: it cannot acknowledge.
+    s.backend_mut(1).kill();
+    let report = s.shutdown();
+    assert_eq!(report.shards, 2);
+    assert_eq!(report.stragglers, vec![1]);
+    assert!(!report.clean());
+}
+
+#[test]
+fn engine_process_backend_recovers_and_reports() {
+    // Engine-level: every spawned worker carries a kill fault (the env
+    // hook applies to the shared WorkerCommand), the engine's supervisor
+    // heals each one as it fires, and the report counts the respawns.
+    let base = afd_relation::Relation::from_pairs(
+        (0..64).map(|i| (i % 8, if i == 5 { 99 } else { (i % 8) * 3 })),
+    );
+    let fd = Fd::linear(AttrId(0), AttrId(1));
+    let kill = WorkerFault {
+        site: 4,
+        kind: WorkerFaultKind::Kill,
+    };
+    let mut faulty = AfdEngine::from_relation(base.clone())
+        .with_config(EngineConfig {
+            shards: 2,
+            shard_key: Some(AttrSet::single(AttrId(0))),
+            backend: StreamBackend::Process(
+                worker().with_env(AFD_WORKER_FAULTS_ENV, kill.to_env()),
+            ),
+            recovery: RecoveryConfig {
+                checkpoint_every: 2,
+                backoff_ms: 0,
+                ..RecoveryConfig::default()
+            },
+            ..EngineConfig::default()
+        })
+        .unwrap();
+    let mut clean = AfdEngine::from_relation(base)
+        .with_config(EngineConfig {
+            shards: 2,
+            shard_key: Some(AttrSet::single(AttrId(0))),
+            ..EngineConfig::default()
+        })
+        .unwrap();
+    let cf = faulty
+        .subscribe(&SubscribeRequest::new(fd.clone()))
+        .unwrap();
+    let cc = clean.subscribe(&SubscribeRequest::new(fd)).unwrap();
+    for step in 0..4 {
+        let delta = RowDelta {
+            inserts: vec![vec![Value::Int(step), Value::Int(step * 3)]],
+            deletes: vec![step as RowId],
+        };
+        faulty.delta(&DeltaRequest::new(delta.clone())).unwrap();
+        clean.delta(&DeltaRequest::new(delta)).unwrap();
+    }
+    assert!(faulty
+        .scores(cf.candidate)
+        .unwrap()
+        .bits_eq(&clean.scores(cc.candidate).unwrap()));
+    let report = faulty.recovery_report();
+    assert!(report.total_respawns() >= 1, "{report:?}");
+    assert!(faulty.shutdown().clean());
 }
 
 #[test]

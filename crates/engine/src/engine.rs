@@ -9,8 +9,8 @@ use afd_relation::{
     linear_candidates, read_csv_typed, violated_candidates, AttrSet, CsvKind, Fd, Relation, Schema,
 };
 use afd_stream::{
-    AnyShard, CompactionReport, InProcShard, ProcessShard, SessionSnapshot, ShardedSession,
-    StreamScores, WorkerCommand,
+    AnyShard, CompactionReport, InProcShard, ProcessShard, RecoveryConfig, RecoveryReport,
+    SessionSnapshot, ShardedSession, ShutdownReport, StreamScores, WorkerCommand,
 };
 
 use crate::error::AfdError;
@@ -56,6 +56,12 @@ pub struct EngineConfig {
     /// Shard topology: in-process sessions or `afd shard-worker` child
     /// processes.
     pub backend: StreamBackend,
+    /// Supervised-recovery policy for the streaming session: checkpoint
+    /// cadence, retry budget, backoff and the per-request deadline.
+    /// Validated by [`AfdEngine::with_config`] — a zero checkpoint
+    /// interval, retry budget or deadline is a typed
+    /// [`AfdError::Config`], never silently clamped.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +72,7 @@ impl Default for EngineConfig {
             shard_key: None,
             compact_every: None,
             backend: StreamBackend::InProcess,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -167,6 +174,9 @@ impl AfdEngine {
                 )));
             }
         }
+        cfg.recovery
+            .validate()
+            .map_err(|e| AfdError::Config(e.to_string()))?;
         self.cfg = cfg;
         Ok(self)
     }
@@ -358,6 +368,7 @@ impl AfdEngine {
         };
         let mut session = ShardedSession::with_backends(schema, key, backends)?
             .with_threads(threads)
+            .with_recovery(self.cfg.recovery.clone())?
             .seeded(&self.base)?;
         if let Some(every) = self.cfg.compact_every {
             session = session.with_compaction_every(every);
@@ -535,6 +546,27 @@ impl AfdEngine {
                 candidates_checked: 0,
                 n_live: self.base.n_rows(),
             }),
+        }
+    }
+
+    /// What supervision did on behalf of the streaming session: worker
+    /// respawns and replayed deltas per shard. All-zero (or empty before
+    /// streaming starts) when no fault was ever observed.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.session
+            .as_ref()
+            .map(ShardedSession::recovery_report)
+            .unwrap_or_default()
+    }
+
+    /// Ends the engine gracefully: every shard worker is asked to exit
+    /// and the report names the stragglers that did not acknowledge
+    /// within the request deadline (their processes are still killed on
+    /// drop). A trivial clean report when streaming never started.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        match self.session.take() {
+            Some(session) => session.shutdown(),
+            None => ShutdownReport::default(),
         }
     }
 }
@@ -801,6 +833,73 @@ mod tests {
         // The default remains a single unsharded session.
         assert_eq!(EngineConfig::default().shards, 1);
         assert_eq!(AfdEngine::from_relation(noisy()).n_shards(), 1);
+    }
+
+    #[test]
+    fn zero_recovery_knobs_are_config_errors() {
+        // Like `shards: 0`: a zero checkpoint interval or retry budget
+        // would silently disable recovery semantics, so the boundary
+        // rejects them loudly.
+        let zero_ckpt = EngineConfig {
+            recovery: afd_stream::RecoveryConfig {
+                checkpoint_every: 0,
+                ..Default::default()
+            },
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            AfdEngine::from_relation(noisy()).with_config(zero_ckpt),
+            Err(AfdError::Config(msg)) if msg.contains("checkpoint")
+        ));
+        let zero_budget = EngineConfig {
+            recovery: afd_stream::RecoveryConfig {
+                retry_budget: 0,
+                ..Default::default()
+            },
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            AfdEngine::from_relation(noisy()).with_config(zero_budget),
+            Err(AfdError::Config(msg)) if msg.contains("retry budget")
+        ));
+        let zero_deadline = EngineConfig {
+            recovery: afd_stream::RecoveryConfig {
+                request_timeout_ms: 0,
+                ..Default::default()
+            },
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            AfdEngine::from_relation(noisy()).with_config(zero_deadline),
+            Err(AfdError::Config(msg)) if msg.contains("timeout")
+        ));
+    }
+
+    #[test]
+    fn recovery_report_and_shutdown_without_faults() {
+        let mut engine = AfdEngine::from_relation(noisy())
+            .with_config(EngineConfig {
+                shards: 2,
+                shard_key: Some(AttrSet::single(AttrId(0))),
+                ..EngineConfig::default()
+            })
+            .unwrap();
+        // Before streaming: empty report, trivially clean shutdown.
+        assert_eq!(engine.recovery_report().total_respawns(), 0);
+        engine
+            .subscribe(&SubscribeRequest::new(Fd::linear(AttrId(0), AttrId(1))))
+            .unwrap();
+        engine
+            .delta(&DeltaRequest::new(RowDelta::insert_only([vec![
+                Value::Int(1),
+                Value::Int(2),
+            ]])))
+            .unwrap();
+        let report = engine.recovery_report();
+        assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.total_respawns(), 0);
+        assert_eq!(report.total_deltas_replayed(), 0);
+        assert!(engine.shutdown().clean());
     }
 
     #[test]

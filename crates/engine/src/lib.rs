@@ -61,6 +61,7 @@ pub use streaming::{stream_run, StreamRun, StreamStep};
 pub use afd_discovery::Discovered;
 pub use afd_relation::{linear_candidates, violated_candidates, CsvKind};
 pub use afd_stream::{
-    ChurnPlanner, CompactionReport, RowDelta, ScoreDiff, SessionSnapshot, StreamScores,
-    WorkerCommand,
+    ChurnPlanner, CompactionReport, RecoveryConfig, RecoveryReport, RowDelta, ScoreDiff,
+    SessionSnapshot, ShardRecoveryStats, ShutdownReport, StreamScores, TransportError,
+    TransportErrorKind, WorkerCommand,
 };

@@ -16,22 +16,56 @@
 //!   (every maintained aggregate is an integer, so the codec round-trip
 //!   is exact).
 //!
-//! A dead or corrupted worker never panics the coordinator: transport
-//! failures surface as [`StreamError::Transport`] and the session
-//! poisons itself (reads keep serving the last consistent state,
-//! mutation is refused).
+//! # Fault model and the recovery lifecycle
+//!
+//! A dead, hung, or corrupted worker never panics or blocks the
+//! coordinator:
+//!
+//! * Every [`ProcessShard`] request carries a **deadline**: responses
+//!   are read by a dedicated reader thread and handed over a channel,
+//!   so a worker that stops answering surfaces as a typed
+//!   [`TransportError`] ([`TransportErrorKind::Timeout`]) instead of a
+//!   coordinator stuck in `read(2)` forever.
+//! * The worker's **stderr is captured** (piped, ring-buffered); its
+//!   last lines ride along on every [`TransportError`], so a worker
+//!   panic is diagnosable from the coordinator's error.
+//! * Backends that report [`ShardBackend::supports_recovery`] can be
+//!   [`respawn`](ShardBackend::respawn)ed: the supervisor in
+//!   [`crate::ShardedSession`] tears the incarnation down, spawns a
+//!   fresh one, restores the shard's last checkpoint, replays the
+//!   post-checkpoint delta log, and retries the in-flight request —
+//!   see [`crate::RecoveryConfig`] for the cadence/budget knobs.
+//! * Poisoning still happens, but only as the *last* resort: when the
+//!   retry budget is exhausted, when a backend cannot be respawned, or
+//!   when a non-transport invariant breaks mid-fan-out. A poisoned
+//!   session keeps serving its last consistent reads and refuses
+//!   mutation with [`StreamError::Poisoned`].
 
-use std::io::{BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::process::{Child, ChildStderr, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use afd_relation::{Fd, Relation, Schema, Value};
-use afd_wire::{encode_framed, read_frame_from, Decode, StreamFrame};
+use afd_wire::{encode_framed, read_frame_from, Decode, FrameReadError, StreamFrame};
 
-use crate::delta::{RowDelta, StreamError};
+use crate::delta::{RowDelta, StreamError, TransportError, TransportErrorKind};
+use crate::fault::AFD_WORKER_FAULTS_ENV;
 use crate::session::{CompactionReport, StreamSession};
 use crate::table::IncTable;
 use crate::wire::{ShardState, WorkerRequestRef, WorkerResponse, KIND_REQUEST, KIND_RESPONSE};
+
+/// Default per-request deadline for process-backed shards; override via
+/// [`ShardBackend::configure`] (the engine plumbs
+/// [`crate::RecoveryConfig::request_timeout_ms`] through).
+pub const DEFAULT_REQUEST_TIMEOUT: Duration = Duration::from_millis(30_000);
+
+/// How many trailing worker stderr lines the coordinator retains.
+const STDERR_TAIL_LINES: usize = 12;
 
 /// One shard of a [`crate::ShardedSession`], wherever it lives.
 ///
@@ -77,6 +111,45 @@ pub trait ShardBackend: Send {
     /// # Errors
     /// [`StreamError::Diverged`] / [`StreamError::Transport`].
     fn compact(&mut self) -> Result<CompactionReport, StreamError>;
+
+    /// Coordinator-assigned identity and request deadline. Process
+    /// backends use both (error attribution and the recv timeout);
+    /// in-process shards ignore the call.
+    fn configure(&mut self, shard_index: u32, deadline: Duration) {
+        let _ = (shard_index, deadline);
+    }
+
+    /// True when the supervisor may tear this backend down and rebuild
+    /// it (a fresh, *empty* incarnation restored via checkpoint +
+    /// replay). Defaults to `false`: failures poison the session as
+    /// before.
+    fn supports_recovery(&self) -> bool {
+        false
+    }
+
+    /// Replaces the backend with a fresh, empty incarnation (for
+    /// [`ProcessShard`]: kill the old child, spawn and re-init a new
+    /// one). The caller owns restoring the shard's state afterwards.
+    ///
+    /// # Errors
+    /// [`StreamError::Transport`] when respawning is unsupported or the
+    /// new incarnation cannot be brought up.
+    fn respawn(&mut self) -> Result<(), StreamError> {
+        Err(StreamError::Transport(TransportError::spawn(
+            "backend does not support respawn".to_string(),
+        )))
+    }
+
+    /// Asks the backend to exit cleanly within the request deadline.
+    /// In-process shards have nothing to do; process shards send a
+    /// `Shutdown` request and await the worker's exit.
+    ///
+    /// # Errors
+    /// [`StreamError::Transport`] when the worker did not acknowledge
+    /// or exit in time (it is still killed on drop).
+    fn shutdown(&mut self) -> Result<(), StreamError> {
+        Ok(())
+    }
 }
 
 // ------------------------------------------------------------ in-process
@@ -134,12 +207,15 @@ impl ShardBackend for InProcShard {
 
 // ---------------------------------------------------------- out-of-process
 
-/// How to launch a shard-worker process: the program plus its leading
-/// arguments (defaults to the `afd` CLI's `shard-worker` subcommand).
+/// How to launch a shard-worker process: the program, its leading
+/// arguments (defaults to the `afd` CLI's `shard-worker` subcommand),
+/// and extra environment variables (the fault-injection harness rides
+/// in on [`AFD_WORKER_FAULTS_ENV`]).
 #[derive(Debug, Clone)]
 pub struct WorkerCommand {
     program: PathBuf,
     args: Vec<String>,
+    envs: Vec<(String, String)>,
 }
 
 impl WorkerCommand {
@@ -148,6 +224,7 @@ impl WorkerCommand {
         WorkerCommand {
             program: program.into(),
             args: vec!["shard-worker".into()],
+            envs: Vec::new(),
         }
     }
 
@@ -159,6 +236,23 @@ impl WorkerCommand {
         self
     }
 
+    /// Adds an environment variable for the worker process (replacing
+    /// an earlier binding of the same key).
+    #[must_use]
+    pub fn with_env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        let key = key.into();
+        self.envs.retain(|(k, _)| *k != key);
+        self.envs.push((key, value.into()));
+        self
+    }
+
+    /// Drops an environment binding. The supervisor strips
+    /// [`AFD_WORKER_FAULTS_ENV`] on respawn so an injected fault fires
+    /// at most once per plan, not once per incarnation.
+    pub fn remove_env(&mut self, key: &str) {
+        self.envs.retain(|(k, _)| k != key);
+    }
+
     /// The worker program.
     pub fn program(&self) -> &Path {
         &self.program
@@ -167,6 +261,11 @@ impl WorkerCommand {
     /// The worker's arguments.
     pub fn args(&self) -> &[String] {
         &self.args
+    }
+
+    /// The worker's extra environment bindings.
+    pub fn envs(&self) -> &[(String, String)] {
+        &self.envs
     }
 
     /// Locates a binary named `name` next to (or a couple of directories
@@ -189,18 +288,147 @@ impl WorkerCommand {
     }
 }
 
+/// One live worker incarnation: the child process plus the threads that
+/// shuttle its stdout frames and stderr lines back to the coordinator.
+///
+/// Owning I/O in a separate struct makes respawn a `mem::replace`: the
+/// old incarnation's drop kills the child and joins both threads.
+#[derive(Debug)]
+struct WorkerIo {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    frames: mpsc::Receiver<Result<(u8, Vec<u8>), TransportErrorKind>>,
+    reader: Option<JoinHandle<()>>,
+    stderr_tail: Arc<Mutex<VecDeque<String>>>,
+    stderr_reader: Option<JoinHandle<()>>,
+}
+
+impl WorkerIo {
+    fn launch(cmd: &WorkerCommand) -> Result<Self, TransportError> {
+        let mut child = Command::new(cmd.program())
+            .args(cmd.args())
+            .envs(cmd.envs().iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| {
+                TransportError::spawn(format!("spawn {}: {e}", cmd.program().display()))
+            })?;
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let stderr = child.stderr.take().expect("stderr piped");
+        let (tx, rx) = mpsc::channel();
+        let reader = std::thread::spawn(move || reader_loop(stdout, &tx));
+        let tail = Arc::new(Mutex::new(VecDeque::new()));
+        let tail_writer = Arc::clone(&tail);
+        let stderr_reader = std::thread::spawn(move || stderr_loop(stderr, &tail_writer));
+        Ok(WorkerIo {
+            child,
+            stdin: Some(stdin),
+            frames: rx,
+            reader: Some(reader),
+            stderr_tail: tail,
+            stderr_reader: Some(stderr_reader),
+        })
+    }
+
+    /// The captured stderr tail. When the failure suggests the worker
+    /// died (`wait_for_exit`), briefly poll for its exit and join the
+    /// stderr thread first, so panic messages that raced the error are
+    /// included deterministically.
+    fn stderr_snapshot(&mut self, wait_for_exit: bool) -> Vec<String> {
+        if wait_for_exit {
+            for _ in 0..25 {
+                match self.child.try_wait() {
+                    Ok(Some(_)) => {
+                        if let Some(h) = self.stderr_reader.take() {
+                            let _ = h.join();
+                        }
+                        break;
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                    Err(_) => break,
+                }
+            }
+        }
+        self.stderr_tail
+            .lock()
+            .map(|tail| tail.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for WorkerIo {
+    fn drop(&mut self) {
+        drop(self.stdin.take());
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.stderr_reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn reader_loop(
+    mut stdout: BufReader<ChildStdout>,
+    tx: &mpsc::Sender<Result<(u8, Vec<u8>), TransportErrorKind>>,
+) {
+    loop {
+        let item = match read_frame_from(&mut stdout) {
+            Ok(StreamFrame::Frame(kind, payload)) => Ok((kind, payload)),
+            Ok(StreamFrame::Eof) => Err(TransportErrorKind::Read(
+                "worker closed its pipe (crashed, killed, or exited)".into(),
+            )),
+            Err(FrameReadError::Io(e)) => {
+                Err(TransportErrorKind::Read(format!("read from worker: {e}")))
+            }
+            Err(FrameReadError::Decode(e)) => {
+                Err(TransportErrorKind::Decode(format!("worker frame: {e}")))
+            }
+        };
+        let done = item.is_err();
+        if tx.send(item).is_err() || done {
+            return;
+        }
+    }
+}
+
+fn stderr_loop(stderr: ChildStderr, tail: &Arc<Mutex<VecDeque<String>>>) {
+    for line in BufReader::new(stderr).lines() {
+        let Ok(line) = line else { return };
+        if let Ok(mut tail) = tail.lock() {
+            if tail.len() == STDERR_TAIL_LINES {
+                tail.pop_front();
+            }
+            tail.push_back(line);
+        }
+    }
+}
+
 /// A shard living in an `afd shard-worker` child process, driven over
 /// its stdin/stdout with checksummed wire frames.
 ///
-/// The protocol is strict request/response. Every mutating response
-/// carries the worker's full per-candidate state ([`ShardState`]); the
-/// coordinator reads [`ShardBackend::table`] &co from that cache, so
-/// score merges never block on the child between deltas.
+/// The protocol is strict request/response, but responses arrive via a
+/// dedicated reader thread so every request carries a deadline
+/// ([`ShardBackend::configure`]); a hung worker surfaces as
+/// [`TransportErrorKind::Timeout`] instead of blocking the coordinator.
+/// Every mutating response carries the worker's full per-candidate
+/// state ([`ShardState`]); the coordinator reads
+/// [`ShardBackend::table`] &co from that cache, so score merges never
+/// block on the child between deltas. The spawn recipe, schema, and
+/// deadline are retained so the supervisor can
+/// [`respawn`](ShardBackend::respawn) a failed incarnation.
 #[derive(Debug)]
 pub struct ProcessShard {
-    child: Child,
-    stdin: Option<ChildStdin>,
-    stdout: BufReader<ChildStdout>,
+    cmd: WorkerCommand,
+    schema: Schema,
+    shard_index: Option<u32>,
+    deadline: Duration,
+    io: WorkerIo,
     state: ShardState,
 }
 
@@ -209,20 +437,15 @@ impl ProcessShard {
     ///
     /// # Errors
     /// [`StreamError::Transport`] when the program cannot be spawned or
-    /// the Init handshake fails.
+    /// the Init handshake fails (or times out).
     pub fn spawn(cmd: &WorkerCommand, schema: &Schema) -> Result<Self, StreamError> {
-        let mut child = Command::new(&cmd.program)
-            .args(&cmd.args)
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .spawn()
-            .map_err(|e| StreamError::Transport(format!("spawn {}: {e}", cmd.program.display())))?;
-        let stdin = child.stdin.take().expect("stdin piped");
-        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let io = WorkerIo::launch(cmd).map_err(StreamError::Transport)?;
         let mut shard = ProcessShard {
-            child,
-            stdin: Some(stdin),
-            stdout,
+            cmd: cmd.clone(),
+            schema: schema.clone(),
+            shard_index: None,
+            deadline: DEFAULT_REQUEST_TIMEOUT,
+            io,
             state: ShardState {
                 n_live: 0,
                 candidates: Vec::new(),
@@ -230,77 +453,108 @@ impl ProcessShard {
         };
         match shard.request(&WorkerRequestRef::Init(schema))? {
             WorkerResponse::Ok => Ok(shard),
-            other => Err(unexpected("Init", &other)),
+            other => Err(shard.unexpected("Init", &other)),
         }
     }
 
     /// The worker's process id (fault-injection tests kill it by pid).
     pub fn pid(&self) -> u32 {
-        self.child.id()
+        self.io.child.id()
     }
 
     /// Kills the worker outright — the fault every transport error path
     /// must survive. Used by tests; a killed shard's next request
-    /// returns [`StreamError::Transport`].
+    /// returns [`StreamError::Transport`] (and a recovery-enabled
+    /// session respawns it).
     pub fn kill(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
+        let _ = self.io.child.kill();
+        let _ = self.io.child.wait();
+    }
+
+    /// Replaces the command future respawns use. The running worker is
+    /// untouched; fault tests point this at a broken program to make
+    /// every recovery attempt fail and exhaust the retry budget.
+    pub fn set_command(&mut self, cmd: WorkerCommand) {
+        self.cmd = cmd;
+    }
+
+    /// Builds the typed transport error for a failed protocol step:
+    /// shard attribution plus the worker's stderr tail.
+    fn fail(&mut self, kind: TransportErrorKind) -> StreamError {
+        let worker_died = matches!(
+            kind,
+            TransportErrorKind::Read(_) | TransportErrorKind::Write(_)
+        );
+        let stderr = self.io.stderr_snapshot(worker_died);
+        let mut err = TransportError::of_kind(kind).with_stderr(stderr);
+        err.shard = self.shard_index;
+        StreamError::Transport(err)
+    }
+
+    fn unexpected(&mut self, req: &str, resp: &WorkerResponse) -> StreamError {
+        match resp {
+            WorkerResponse::Err(e) => e.clone(),
+            other => self.fail(TransportErrorKind::Decode(format!(
+                "unexpected worker response to {req}: {other:?}"
+            ))),
+        }
     }
 
     fn request(&mut self, req: &WorkerRequestRef<'_>) -> Result<WorkerResponse, StreamError> {
-        let frame = encode_framed(KIND_REQUEST, req)
-            .map_err(|e| StreamError::Transport(format!("request encode: {e}")))?;
-        let stdin = self
-            .stdin
-            .as_mut()
-            .ok_or_else(|| StreamError::Transport("worker stdin already closed".into()))?;
-        stdin
-            .write_all(&frame)
-            .and_then(|()| stdin.flush())
-            .map_err(|e| StreamError::Transport(format!("write to worker: {e}")))?;
-        match read_frame_from(&mut self.stdout) {
-            Ok(StreamFrame::Frame(KIND_RESPONSE, payload)) => {
-                WorkerResponse::decode_exact(&payload)
-                    .map_err(|e| StreamError::Transport(format!("response decode: {e}")))
+        let frame = match encode_framed(KIND_REQUEST, req) {
+            Ok(frame) => frame,
+            Err(e) => {
+                return Err(self.fail(TransportErrorKind::Decode(format!("request encode: {e}"))))
             }
-            Ok(StreamFrame::Frame(kind, _)) => Err(StreamError::Transport(format!(
+        };
+        let wrote = match self.io.stdin.as_mut() {
+            None => Err("worker stdin already closed".to_string()),
+            Some(stdin) => stdin
+                .write_all(&frame)
+                .and_then(|()| stdin.flush())
+                .map_err(|e| format!("write to worker: {e}")),
+        };
+        if let Err(msg) = wrote {
+            return Err(self.fail(TransportErrorKind::Write(msg)));
+        }
+        match self.io.frames.recv_timeout(self.deadline) {
+            Ok(Ok((KIND_RESPONSE, payload))) => {
+                WorkerResponse::decode_exact(&payload).map_err(|e| {
+                    self.fail(TransportErrorKind::Decode(format!("response decode: {e}")))
+                })
+            }
+            Ok(Ok((kind, _))) => Err(self.fail(TransportErrorKind::Decode(format!(
                 "worker sent unexpected frame kind {kind}"
+            )))),
+            Ok(Err(kind)) => Err(self.fail(kind)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(self.fail(TransportErrorKind::Timeout {
+                millis: self.deadline.as_millis() as u64,
+            })),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(self.fail(TransportErrorKind::Read(
+                "worker reader thread ended (worker gone)".into(),
             ))),
-            Ok(StreamFrame::Eof) => Err(StreamError::Transport(
-                "worker closed its pipe mid-request (crashed or killed)".into(),
-            )),
-            Err(e) => Err(StreamError::Transport(e.to_string())),
         }
     }
-}
 
-fn unexpected(req: &str, resp: &WorkerResponse) -> StreamError {
-    match resp {
-        WorkerResponse::Err(e) => e.clone(),
-        other => StreamError::Transport(format!("unexpected worker response to {req}: {other:?}")),
-    }
-}
-
-impl ProcessShard {
     /// Accepts a decoded worker state only after bounds-checking its
     /// structure — the coordinator indexes into it, and this module's
     /// fault model says a corrupted worker must surface as a typed
     /// error, never a coordinator panic.
     fn accept_state(&mut self, state: ShardState, expected: usize) -> Result<(), StreamError> {
         if state.candidates.len() != expected {
-            return Err(StreamError::Transport(format!(
+            return Err(self.fail(TransportErrorKind::Decode(format!(
                 "worker state carries {} candidate(s), coordinator tracks {expected}",
                 state.candidates.len()
-            )));
+            ))));
         }
         for (cid, cand) in state.candidates.iter().enumerate() {
             if let Some(max) = cand.table.max_y_id() {
                 if max as usize >= cand.y_keys.len() {
-                    return Err(StreamError::Transport(format!(
+                    return Err(self.fail(TransportErrorKind::Decode(format!(
                         "worker state for candidate {cid} references Y id {max} beyond its {} \
                          Y key(s)",
                         cand.y_keys.len()
-                    )));
+                    ))));
                 }
             }
         }
@@ -317,7 +571,7 @@ impl ShardBackend for ProcessShard {
                 self.accept_state(state, expected)?;
                 Ok(cid as usize)
             }
-            other => Err(unexpected("Subscribe", &other)),
+            other => Err(self.unexpected("Subscribe", &other)),
         }
     }
 
@@ -325,7 +579,7 @@ impl ShardBackend for ProcessShard {
         let expected = self.state.candidates.len();
         match self.request(&WorkerRequestRef::Apply(delta))? {
             WorkerResponse::Applied(state) => self.accept_state(state, expected),
-            other => Err(unexpected("Apply", &other)),
+            other => Err(self.unexpected("Apply", &other)),
         }
     }
 
@@ -348,7 +602,7 @@ impl ShardBackend for ProcessShard {
     fn snapshot(&mut self) -> Result<Relation, StreamError> {
         match self.request(&WorkerRequestRef::Snapshot)? {
             WorkerResponse::Snapshot(rel) => Ok(rel),
-            other => Err(unexpected("Snapshot", &other)),
+            other => Err(self.unexpected("Snapshot", &other)),
         }
     }
 
@@ -359,23 +613,83 @@ impl ShardBackend for ProcessShard {
                 self.accept_state(state, expected)?;
                 Ok(report)
             }
-            other => Err(unexpected("Compact", &other)),
+            other => Err(self.unexpected("Compact", &other)),
+        }
+    }
+
+    fn configure(&mut self, shard_index: u32, deadline: Duration) {
+        self.shard_index = Some(shard_index);
+        self.deadline = deadline;
+    }
+
+    fn supports_recovery(&self) -> bool {
+        true
+    }
+
+    fn respawn(&mut self) -> Result<(), StreamError> {
+        // Strip the fault-injection hook so an injected fault fires at
+        // most once per plan, not once per incarnation.
+        self.cmd.remove_env(AFD_WORKER_FAULTS_ENV);
+        let io = WorkerIo::launch(&self.cmd).map_err(|mut te| {
+            te.shard = self.shard_index;
+            StreamError::Transport(te)
+        })?;
+        // The old incarnation's drop kills its child and joins threads.
+        let _old = std::mem::replace(&mut self.io, io);
+        drop(_old);
+        self.state = ShardState {
+            n_live: 0,
+            candidates: Vec::new(),
+        };
+        let schema = self.schema.clone();
+        match self.request(&WorkerRequestRef::Init(&schema))? {
+            WorkerResponse::Ok => Ok(()),
+            other => Err(self.unexpected("Init", &other)),
+        }
+    }
+
+    fn shutdown(&mut self) -> Result<(), StreamError> {
+        match self.request(&WorkerRequestRef::Shutdown) {
+            Ok(WorkerResponse::Ok) => {}
+            Ok(other) => {
+                let e = self.unexpected("Shutdown", &other);
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        }
+        drop(self.io.stdin.take());
+        let start = Instant::now();
+        loop {
+            match self.io.child.try_wait() {
+                Ok(Some(_)) => return Ok(()),
+                Ok(None) if start.elapsed() < self.deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Ok(None) => {
+                    return Err(self.fail(TransportErrorKind::Timeout {
+                        millis: self.deadline.as_millis() as u64,
+                    }))
+                }
+                Err(e) => {
+                    return Err(self.fail(TransportErrorKind::Read(format!(
+                        "wait for worker exit: {e}"
+                    ))))
+                }
+            }
         }
     }
 }
 
 impl Drop for ProcessShard {
     fn drop(&mut self) {
-        // Best-effort graceful shutdown: ask, close the pipe (the worker
-        // exits on EOF anyway), then make sure no zombie remains.
-        if let Some(mut stdin) = self.stdin.take() {
+        // Best-effort graceful exit: ask, close the pipe (the worker
+        // exits on EOF anyway); WorkerIo's drop reaps the process.
+        if let Some(mut stdin) = self.io.stdin.take() {
             if let Ok(frame) = encode_framed(KIND_REQUEST, &WorkerRequestRef::Shutdown) {
                 let _ = stdin.write_all(&frame);
                 let _ = stdin.flush();
             }
         }
-        let _ = self.child.kill();
-        let _ = self.child.wait();
     }
 }
 
@@ -447,6 +761,34 @@ impl ShardBackend for AnyShard {
             AnyShard::Process(s) => s.compact(),
         }
     }
+
+    fn configure(&mut self, shard_index: u32, deadline: Duration) {
+        match self {
+            AnyShard::InProc(s) => s.configure(shard_index, deadline),
+            AnyShard::Process(s) => s.configure(shard_index, deadline),
+        }
+    }
+
+    fn supports_recovery(&self) -> bool {
+        match self {
+            AnyShard::InProc(s) => s.supports_recovery(),
+            AnyShard::Process(s) => s.supports_recovery(),
+        }
+    }
+
+    fn respawn(&mut self) -> Result<(), StreamError> {
+        match self {
+            AnyShard::InProc(s) => s.respawn(),
+            AnyShard::Process(s) => s.respawn(),
+        }
+    }
+
+    fn shutdown(&mut self) -> Result<(), StreamError> {
+        match self {
+            AnyShard::InProc(s) => s.shutdown(),
+            AnyShard::Process(s) => s.shutdown(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -474,20 +816,45 @@ mod tests {
         assert_eq!(snap.n_rows(), 2);
         let report = shard.compact().unwrap();
         assert_eq!(report.n_live, 2);
+        // In-process shards neither recover nor need shutting down.
+        assert!(!shard.supports_recovery());
+        assert!(shard.respawn().is_err());
+        assert!(shard.shutdown().is_ok());
     }
 
     #[test]
     fn spawn_failure_is_typed() {
         let cmd = WorkerCommand::new("/definitely/not/a/binary");
         let schema = Schema::new(["X", "Y"]).unwrap();
-        assert!(matches!(
-            ProcessShard::spawn(&cmd, &schema),
-            Err(StreamError::Transport(_))
-        ));
+        match ProcessShard::spawn(&cmd, &schema) {
+            Err(StreamError::Transport(te)) => {
+                assert!(matches!(te.kind, TransportErrorKind::Spawn(_)));
+            }
+            other => panic!("expected spawn transport error, got {other:?}"),
+        }
     }
 
     #[test]
     fn sibling_binary_misses_cleanly() {
         assert!(WorkerCommand::sibling_binary("no-such-binary-here").is_none());
+    }
+
+    #[test]
+    fn worker_command_env_bindings() {
+        let mut cmd = WorkerCommand::new("afd")
+            .with_env("A", "1")
+            .with_env("A", "2")
+            .with_env("B", "3");
+        assert_eq!(
+            cmd.envs(),
+            &[
+                ("A".to_string(), "2".to_string()),
+                ("B".to_string(), "3".to_string())
+            ]
+        );
+        cmd.remove_env("A");
+        assert_eq!(cmd.envs(), &[("B".to_string(), "3".to_string())]);
+        cmd.remove_env("not-there");
+        assert_eq!(cmd.envs().len(), 1);
     }
 }

@@ -123,6 +123,124 @@ impl<'a> ChurnPlanner<'a> {
     }
 }
 
+/// A structured transport failure of a process-backed shard: *which*
+/// shard, *which* protocol step, and the worker's last stderr lines.
+///
+/// This replaces the old free-form `Transport(String)`: the supervisor
+/// dispatches on the kind (every kind feeds the same respawn/replay
+/// recovery path), and the captured stderr tail makes a worker panic
+/// diagnosable from the coordinator's error instead of being lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError {
+    /// Shard index the failure struck, when raised in a sharded context
+    /// (`None` worker-side or before a shard identity is assigned).
+    pub shard: Option<u32>,
+    /// The protocol step that failed.
+    pub kind: TransportErrorKind,
+    /// The worker's last captured stderr lines (oldest first), empty
+    /// when nothing was captured or the backend has no stderr.
+    pub stderr: Vec<String>,
+}
+
+/// The protocol step a [`TransportError`] failed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportErrorKind {
+    /// The worker process could not be spawned (or respawned).
+    Spawn(String),
+    /// Writing a request frame to the worker's stdin failed.
+    Write(String),
+    /// Reading a response failed: the pipe closed mid-frame or errored
+    /// (a killed or crashed worker surfaces here).
+    Read(String),
+    /// The worker did not answer within the request deadline — a hung
+    /// worker is indistinguishable from a dead one past this point.
+    Timeout {
+        /// The deadline that elapsed, in milliseconds.
+        millis: u64,
+    },
+    /// The bytes arrived but failed frame/codec verification (corrupt
+    /// frame, unexpected frame kind, undecodable response).
+    Decode(String),
+}
+
+impl TransportError {
+    /// A bare error of the given kind (no shard attribution, no
+    /// stderr).
+    pub fn of_kind(kind: TransportErrorKind) -> Self {
+        TransportError {
+            shard: None,
+            kind,
+            stderr: Vec::new(),
+        }
+    }
+
+    /// A spawn-step failure.
+    pub fn spawn(msg: impl Into<String>) -> Self {
+        Self::of_kind(TransportErrorKind::Spawn(msg.into()))
+    }
+
+    /// A write-step failure.
+    pub fn write(msg: impl Into<String>) -> Self {
+        Self::of_kind(TransportErrorKind::Write(msg.into()))
+    }
+
+    /// A read-step failure.
+    pub fn read(msg: impl Into<String>) -> Self {
+        Self::of_kind(TransportErrorKind::Read(msg.into()))
+    }
+
+    /// A deadline expiry after `millis` milliseconds.
+    pub fn timeout(millis: u64) -> Self {
+        Self::of_kind(TransportErrorKind::Timeout { millis })
+    }
+
+    /// A frame/codec verification failure.
+    pub fn decode(msg: impl Into<String>) -> Self {
+        Self::of_kind(TransportErrorKind::Decode(msg.into()))
+    }
+
+    /// Attributes the error to a shard index.
+    #[must_use]
+    pub fn with_shard(mut self, shard: u32) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Attaches the worker's captured stderr tail.
+    #[must_use]
+    pub fn with_stderr(mut self, lines: Vec<String>) -> Self {
+        self.stderr = lines;
+        self
+    }
+}
+
+impl std::fmt::Display for TransportErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportErrorKind::Spawn(msg) => write!(f, "spawn: {msg}"),
+            TransportErrorKind::Write(msg) => write!(f, "write: {msg}"),
+            TransportErrorKind::Read(msg) => write!(f, "read: {msg}"),
+            TransportErrorKind::Timeout { millis } => {
+                write!(f, "request deadline exceeded after {millis} ms")
+            }
+            TransportErrorKind::Decode(msg) => write!(f, "decode: {msg}"),
+        }
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.shard {
+            Some(s) => write!(f, "shard {s}: {}", self.kind)?,
+            None => write!(f, "{}", self.kind)?,
+        }
+        if !self.stderr.is_empty() {
+            write!(f, "; worker stderr tail: {}", self.stderr.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
 /// Errors of the incremental engine.
 ///
 /// `apply` validates a whole delta before mutating anything, so a returned
@@ -151,11 +269,16 @@ pub enum StreamError {
     /// Compaction found a divergence between the incremental state and a
     /// batch rebuild — an engine bug surfaced loudly rather than served.
     Diverged(String),
-    /// A process-backed shard's transport failed: the worker died, its
-    /// pipe closed mid-frame, or its bytes failed frame/codec
-    /// verification. The coordinator's last synced state stays readable;
-    /// mutation is refused until the session is rebuilt.
-    Transport(String),
+    /// A process-backed shard's transport failed: the worker died or
+    /// hung, its pipe closed mid-frame, or its bytes failed frame/codec
+    /// verification. Recovery-enabled sessions respawn and replay the
+    /// shard transparently; this error surfaces only once the retry
+    /// budget is exhausted (or the backend cannot be respawned).
+    Transport(TransportError),
+    /// The session was poisoned by an earlier unrecoverable failure:
+    /// score reads still serve the last consistent state, but mutation
+    /// is refused until the session is rebuilt (e.g. from a snapshot).
+    Poisoned(String),
     /// An underlying relation error.
     Relation(String),
 }
@@ -173,7 +296,12 @@ impl std::fmt::Display for StreamError {
             StreamError::Diverged(what) => {
                 write!(f, "incremental state diverged from batch rebuild: {what}")
             }
-            StreamError::Transport(msg) => write!(f, "shard worker transport: {msg}"),
+            StreamError::Transport(e) => write!(f, "shard worker transport: {e}"),
+            StreamError::Poisoned(why) => write!(
+                f,
+                "session poisoned ({why}); reads serve the last consistent \
+                 state, rebuild the session to resume mutation"
+            ),
             StreamError::Relation(e) => write!(f, "relation error: {e}"),
         }
     }
@@ -236,5 +364,33 @@ mod tests {
         assert!(StreamError::ShardConfig("no key".into())
             .to_string()
             .contains("no key"));
+        assert!(StreamError::Poisoned("retry budget exhausted".into())
+            .to_string()
+            .contains("retry budget exhausted"));
+    }
+
+    #[test]
+    fn transport_errors_render_shard_kind_and_stderr() {
+        let e = TransportError::timeout(250).with_shard(3);
+        let s = e.to_string();
+        assert!(s.contains("shard 3"), "{s}");
+        assert!(s.contains("250 ms"), "{s}");
+
+        let e = TransportError::read("pipe closed")
+            .with_shard(1)
+            .with_stderr(vec!["thread panicked".into()]);
+        let s = StreamError::Transport(e).to_string();
+        assert!(s.contains("read: pipe closed"), "{s}");
+        assert!(s.contains("thread panicked"), "{s}");
+
+        assert!(TransportError::spawn("no such file")
+            .to_string()
+            .contains("spawn: no such file"));
+        assert!(TransportError::write("broken pipe")
+            .to_string()
+            .contains("write: broken pipe"));
+        assert!(TransportError::decode("bad magic")
+            .to_string()
+            .contains("decode: bad magic"));
     }
 }

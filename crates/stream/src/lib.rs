@@ -57,13 +57,41 @@
 //!   process-spawning proptests for N ∈ {1, 2, 4} (`crates/cli`
 //!   integration tests).
 //!
-//! Failure is typed, never silent: a killed worker or a corrupt frame
-//! surfaces as [`StreamError::Transport`] and the session *poisons* —
-//! score reads keep serving the last consistent state, every further
-//! mutation is refused. Whole sessions persist as framed
-//! [`SessionSnapshot`]s (live rows in global order, columnar; shard
-//! topology; subscriptions) — restoring is equivalent to resuming right
-//! after a compaction, with bit-identical scores.
+//! ## Fault model: supervised recovery, deadlines, fault injection
+//!
+//! Failure is typed, never silent — and for process workers it is
+//! **recovered**, not just reported. The coordinator keeps, per shard, a
+//! framed [`SessionSnapshot`] checkpoint (refreshed every
+//! [`RecoveryConfig::checkpoint_every`] applies) plus the encoded
+//! [`RowDelta`] log since it. When a request fails with a structured
+//! [`TransportError`] (spawn / write / read / timeout / decode, plus the
+//! shard index and the worker's last stderr lines), the supervisor
+//! respawns the worker, restores the checkpoint, replays the log and
+//! retries the in-flight request — both wire forms are canonical, so the
+//! recovered state is bit-identical by construction. Every request
+//! carries a deadline ([`RecoveryConfig::request_timeout_ms`], enforced
+//! by a per-worker reader thread), so a *hung* worker becomes a timeout
+//! feeding the same path; [`ShardedSession::recovery_report`] counts
+//! respawns and replayed deltas. Only after
+//! [`RecoveryConfig::retry_budget`] failed attempts (with exponential
+//! backoff) — or for backends that cannot respawn — does the session
+//! *poison* ([`StreamError::Poisoned`]): score reads keep serving the
+//! last consistent state, every further mutation is refused.
+//! [`ShardedSession::shutdown`] ends a session gracefully and reports
+//! stragglers.
+//!
+//! The fault paths are themselves deterministic and testable: a seeded
+//! [`FaultPlan`] picks a shard, a protocol step and a fault kind
+//! ([`WorkerFault`]: kill / truncate a frame / emit garbage / stall past
+//! the deadline), interpreted either by the in-process [`ChaosShard`]
+//! test backend or by real workers via the [`AFD_WORKER_FAULTS_ENV`]
+//! environment hook — proptests pin that any single fault at any step
+//! recovers bit-identically to a fault-free run.
+//!
+//! Whole sessions persist as framed [`SessionSnapshot`]s (live rows in
+//! global order, columnar; shard topology; subscriptions) — restoring is
+//! equivalent to resuming right after a compaction, with bit-identical
+//! scores.
 //!
 //! Coordinator snapshots are **code-level**: [`ShardedSession::snapshot`]
 //! unifies the shard dictionaries once (O(Σ distinct values)) and copies
@@ -92,18 +120,24 @@
 
 pub mod backend;
 pub mod delta;
+pub mod fault;
+pub mod recovery;
 pub mod session;
 pub mod shard;
 pub mod table;
 pub mod wire;
 pub mod worker;
 
-pub use backend::{AnyShard, InProcShard, ProcessShard, ShardBackend, WorkerCommand};
-pub use delta::{ChurnPlanner, RowDelta, RowId, StreamError};
+pub use backend::{
+    AnyShard, InProcShard, ProcessShard, ShardBackend, WorkerCommand, DEFAULT_REQUEST_TIMEOUT,
+};
+pub use delta::{ChurnPlanner, RowDelta, RowId, StreamError, TransportError, TransportErrorKind};
+pub use fault::{ChaosShard, FaultPlan, WorkerFault, WorkerFaultKind, AFD_WORKER_FAULTS_ENV};
+pub use recovery::{RecoveryConfig, RecoveryReport, ShardRecoveryStats, ShutdownReport};
 pub use session::{
     plis_equal, tables_equal, CompactionReport, IncrementalRelation, ScoreDiff, StreamSession,
 };
 pub use shard::{DeltaRouter, ShardedSession};
 pub use table::{IncTable, StreamScores};
 pub use wire::SessionSnapshot;
-pub use worker::run_worker;
+pub use worker::{run_worker, run_worker_with_fault};

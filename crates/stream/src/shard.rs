@@ -25,14 +25,18 @@
 //! the snapshot, exactly as the ROADMAP prescribed.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use afd_parallel::par_map_mut;
 use afd_relation::{AttrId, AttrSet, Column, Dictionary, Fd, Relation, Schema, Value, NULL_CODE};
+use afd_wire::{Decode as _, Encode as _};
 
 use crate::backend::{InProcShard, ProcessShard, ShardBackend, WorkerCommand};
-use crate::delta::{RowDelta, RowId, StreamError};
+use crate::delta::{RowDelta, RowId, StreamError, TransportError};
+use crate::recovery::{RecoveryConfig, RecoveryReport, ShardRecoveryStats, ShutdownReport};
 use crate::session::{CompactionReport, ScoreDiff};
 use crate::table::{IncTable, StreamScores};
+use crate::wire::SessionSnapshot;
 
 /// Stable 64-bit FNV-1a over a row's shard-key values. Deterministic
 /// across processes (unlike `DefaultHasher` guarantees), so a persisted
@@ -218,6 +222,167 @@ impl DeltaRouter {
     }
 }
 
+/// Sentinel for "row already dead" entries in aliases and remaps.
+const DEAD: RowId = RowId::MAX;
+
+/// Per-shard supervision state: the checkpoint + delta log that make a
+/// crashed worker recoverable, and the id-space translation that keeps
+/// the router talking to a restored worker.
+///
+/// The router numbers a shard's local slots over the shard's **full
+/// insertion history** (tombstones included). A restored worker instead
+/// numbers rows densely over what recovery re-fed it (the checkpoint's
+/// live rows, then the replayed log). `alias` is the bridge: router
+/// local slot -> current worker row id.
+#[derive(Debug, Clone)]
+struct ShardSupervisor {
+    /// Router local slot -> worker row id ([`DEAD`] once deleted).
+    alias: Vec<RowId>,
+    /// Liveness by worker row id.
+    w_live: Vec<bool>,
+    /// Next worker row id the current incarnation will assign.
+    w_next: RowId,
+    /// Framed [`SessionSnapshot`] of the live rows at the last checkpoint.
+    ckpt_bytes: Vec<u8>,
+    /// Worker id-space length when the checkpoint was taken.
+    ckpt_w_len: RowId,
+    /// Live rows in the checkpoint (a restored worker numbers them
+    /// `0..ckpt_n_live` in arrival order).
+    ckpt_n_live: RowId,
+    /// Pre-checkpoint worker id -> restored worker id ([`DEAD`] for rows
+    /// dead at checkpoint time).
+    ckpt_remap: Vec<RowId>,
+    /// Encoded worker-id-space [`RowDelta`] slices applied since the
+    /// checkpoint, in order — the replay tail.
+    log: Vec<Vec<u8>>,
+    stats: ShardRecoveryStats,
+}
+
+impl ShardSupervisor {
+    fn new(empty_ckpt: Vec<u8>) -> Self {
+        ShardSupervisor {
+            alias: Vec::new(),
+            w_live: Vec::new(),
+            w_next: 0,
+            ckpt_bytes: empty_ckpt,
+            ckpt_w_len: 0,
+            ckpt_n_live: 0,
+            ckpt_remap: Vec::new(),
+            log: Vec::new(),
+            stats: ShardRecoveryStats::default(),
+        }
+    }
+
+    /// Maps a pre-recovery worker id into the restored worker's id space:
+    /// checkpoint rows renumber to their live-rank, post-checkpoint rows
+    /// follow densely.
+    fn translate_old(&self, id: RowId) -> RowId {
+        if id < self.ckpt_w_len {
+            self.ckpt_remap[id as usize]
+        } else {
+            self.ckpt_n_live + (id - self.ckpt_w_len)
+        }
+    }
+
+    /// Records a successfully applied worker-space slice: appends it to
+    /// the replay log and advances the alias/liveness bookkeeping.
+    fn commit(&mut self, translated: &RowDelta) {
+        if !translated.is_empty() {
+            self.log.push(translated.encode_to_vec());
+        }
+        for &d in &translated.deletes {
+            self.w_live[d as usize] = false;
+        }
+        for _ in &translated.inserts {
+            self.alias.push(self.w_next);
+            self.w_live.push(true);
+            self.w_next += 1;
+        }
+    }
+
+    /// Installs `bytes` (a framed snapshot of the worker's current live
+    /// rows) as the new checkpoint and truncates the replay log.
+    fn install_checkpoint(&mut self, bytes: Vec<u8>) {
+        let mut remap = vec![DEAD; self.w_next as usize];
+        let mut rank: RowId = 0;
+        for (id, &live) in self.w_live.iter().enumerate() {
+            if live {
+                remap[id] = rank;
+                rank += 1;
+            }
+        }
+        self.ckpt_bytes = bytes;
+        self.ckpt_w_len = self.w_next;
+        self.ckpt_n_live = rank;
+        self.ckpt_remap = remap;
+        self.log.clear();
+    }
+
+    /// Rewrites alias/liveness into the restored worker's id space after
+    /// a successful checkpoint+replay restore.
+    fn rebase(&mut self) {
+        let new_len = (self.ckpt_n_live + (self.w_next - self.ckpt_w_len)) as usize;
+        let mut new_live = vec![false; new_len];
+        for (old, &live) in self.w_live.iter().enumerate() {
+            let nid = self.translate_old(old as RowId);
+            if nid != DEAD {
+                new_live[nid as usize] = live;
+            }
+        }
+        for i in 0..self.alias.len() {
+            let a = self.alias[i];
+            if a != DEAD {
+                self.alias[i] = self.translate_old(a);
+            }
+        }
+        self.w_live = new_live;
+        self.w_next = new_len as RowId;
+    }
+}
+
+/// Translates a router-local delta slice into shard `sup`'s current
+/// worker id space (deletes go through the alias; inserts are verbatim).
+fn to_worker_space(sup: &ShardSupervisor, local: &RowDelta) -> RowDelta {
+    RowDelta {
+        inserts: local.inserts.clone(),
+        deletes: local
+            .deletes
+            .iter()
+            .map(|&d| sup.alias[d as usize])
+            .collect(),
+    }
+}
+
+/// A checkpoint encode/decode failure, surfaced on the transport error
+/// channel so it feeds the same recovery/poisoning paths as a worker
+/// failure.
+fn ckpt_codec_err(what: &str, shard: Option<u32>, e: &dyn std::fmt::Display) -> StreamError {
+    let mut te = TransportError::decode(format!("checkpoint {what}: {e}"));
+    te.shard = shard;
+    StreamError::Transport(te)
+}
+
+/// The in-flight request a recovery retries after restoring a shard.
+enum RetryOp<'a> {
+    /// Re-apply a router-local slice (re-translated post-restore).
+    Apply(&'a RowDelta),
+    Subscribe(&'a Fd),
+    Snapshot,
+    Compact,
+    /// Recompact the restored (pre-compaction) state, then snapshot —
+    /// retries a failure in the post-compaction checkpoint step, where
+    /// recovery necessarily lands the worker *before* its compaction.
+    CompactedSnapshot,
+}
+
+/// What a successfully retried [`RetryOp`] produced.
+enum RetryOut {
+    Done,
+    Subscribed(usize),
+    Snapshot(Relation),
+    Compacted(CompactionReport),
+}
+
 /// Per-candidate coordinator state: the global Y-id space shared by all
 /// shards (column totals are the one aggregate that spans shards).
 #[derive(Debug, Clone)]
@@ -260,15 +425,20 @@ pub struct ShardedSession<B: ShardBackend = InProcShard> {
     threads: usize,
     deltas_applied: u64,
     compact_every: Option<u64>,
-    /// Why the session refuses further mutation, when it does:
-    /// * a compaction failed after at least one shard had already
-    ///   compacted (shard-local row ids renumbered but the router did
-    ///   not), or
-    /// * a shard backend failed mid-fan-out (a worker died or sent
-    ///   corrupt bytes), leaving the router ahead of the shards.
+    /// Recovery knobs (checkpoint cadence, retry budget, deadlines).
+    recovery: RecoveryConfig,
+    /// One supervisor per shard when every backend
+    /// [`ShardBackend::supports_recovery`] — `None` means transport
+    /// failures poison immediately (the pre-recovery behaviour, still
+    /// the fate of non-respawnable backends).
+    supervisors: Option<Vec<ShardSupervisor>>,
+    /// Why the session refuses further mutation, when it does: a shard
+    /// failed and could not be recovered (retry budget exhausted, or a
+    /// non-recoverable backend).
     ///
     /// Score reads keep serving the last consistent (pre-failure) state;
-    /// `apply`/`compact` return errors instead of corrupting rows.
+    /// `apply`/`compact` return [`StreamError::Poisoned`] instead of
+    /// corrupting rows.
     poisoned: Option<String>,
 }
 
@@ -356,9 +526,33 @@ impl<B: ShardBackend> ShardedSession<B> {
     pub fn with_backends(
         schema: Schema,
         shard_key: AttrSet,
-        shards: Vec<B>,
+        mut shards: Vec<B>,
     ) -> Result<Self, StreamError> {
         let router = DeltaRouter::new(shard_key, schema.arity(), shards.len())?;
+        let recovery = RecoveryConfig::default();
+        let deadline = Duration::from_millis(recovery.request_timeout_ms);
+        for (i, shard) in shards.iter_mut().enumerate() {
+            shard.configure(i as u32, deadline);
+        }
+        let supervisors = if shards.iter().all(ShardBackend::supports_recovery) {
+            let empty = SessionSnapshot {
+                rows: Relation::empty(schema.clone()),
+                shard_key: router.shard_key().clone(),
+                n_shards: shards.len() as u32,
+                subscriptions: Vec::new(),
+                compact_every: None,
+            }
+            .to_bytes()
+            .map_err(|e| ckpt_codec_err("encode", None, &e))?;
+            Some(
+                shards
+                    .iter()
+                    .map(|_| ShardSupervisor::new(empty.clone()))
+                    .collect(),
+            )
+        } else {
+            None
+        };
         Ok(ShardedSession {
             schema,
             shards,
@@ -367,6 +561,8 @@ impl<B: ShardBackend> ShardedSession<B> {
             threads: 1,
             deltas_applied: 0,
             compact_every: None,
+            recovery,
+            supervisors,
             poisoned: None,
         })
     }
@@ -382,7 +578,63 @@ impl<B: ShardBackend> ShardedSession<B> {
         let seed = RowDelta::insert_only((0..rel.n_rows()).map(|r| rel.row(r)));
         self.apply(&seed)?;
         self.deltas_applied = 0;
+        // Fold the seed into the checkpoints so recovery never replays it
+        // as a log entry.
+        if self.supervisors.is_some() {
+            self.refresh_checkpoints()?;
+        }
         Ok(self)
+    }
+
+    /// Replaces the recovery configuration (checkpoint cadence, retry
+    /// budget, backoff, request deadline) and pushes the new deadline to
+    /// every shard backend.
+    ///
+    /// # Errors
+    /// [`StreamError::ShardConfig`] when `cfg` fails
+    /// [`RecoveryConfig::validate`].
+    pub fn with_recovery(mut self, cfg: RecoveryConfig) -> Result<Self, StreamError> {
+        cfg.validate()?;
+        let deadline = Duration::from_millis(cfg.request_timeout_ms);
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.configure(i as u32, deadline);
+        }
+        self.recovery = cfg;
+        Ok(self)
+    }
+
+    /// Whether transport failures are recovered (respawn + checkpoint +
+    /// replay) rather than poisoning immediately — true iff every
+    /// backend [`ShardBackend::supports_recovery`].
+    pub fn recovery_enabled(&self) -> bool {
+        self.supervisors.is_some()
+    }
+
+    /// Per-shard recovery counters (all zero for non-recoverable
+    /// backends, or when nothing ever failed).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        RecoveryReport {
+            shards: match &self.supervisors {
+                Some(sups) => sups.iter().map(|s| s.stats).collect(),
+                None => vec![ShardRecoveryStats::default(); self.shards.len()],
+            },
+        }
+    }
+
+    /// Gracefully shuts every shard down (workers get a Shutdown request
+    /// and a bounded exit wait), reporting the shards that would not die
+    /// cleanly. Stragglers are still force-killed when the session drops.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        let mut stragglers = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if shard.shutdown().is_err() {
+                stragglers.push(i as u32);
+            }
+        }
+        ShutdownReport {
+            shards: self.shards.len(),
+            stragglers,
+        }
     }
 
     /// Fans per-shard applies over up to `threads` scoped workers
@@ -453,11 +705,7 @@ impl<B: ShardBackend> ShardedSession<B> {
 
     fn check_poisoned(&self) -> Result<(), StreamError> {
         match &self.poisoned {
-            Some(why) => Err(StreamError::Transport(format!(
-                "session poisoned ({why}); score reads still serve the last \
-                 consistent state — rebuild the session (e.g. from a wire \
-                 snapshot) to resume mutation"
-            ))),
+            Some(why) => Err(StreamError::Poisoned(why.clone())),
             None => Ok(()),
         }
     }
@@ -488,9 +736,25 @@ impl<B: ShardBackend> ShardedSession<B> {
                 self.router.shard_key().ids()
             )));
         }
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            match shard.subscribe(&fd) {
+        for i in 0..self.shards.len() {
+            match self.shards[i].subscribe(&fd) {
                 Ok(cid) => debug_assert_eq!(cid, self.candidates.len(), "lockstep subscribes"),
+                Err(StreamError::Transport(te)) if self.supervisors.is_some() => {
+                    // Recovery re-subscribes the existing candidates, then
+                    // the retry subscribes the new FD — lockstep restored.
+                    match self.recover_and_retry(i, RetryOp::Subscribe(&fd), te) {
+                        Ok(RetryOut::Subscribed(cid)) => {
+                            debug_assert_eq!(cid, self.candidates.len(), "lockstep subscribes");
+                        }
+                        Ok(_) => unreachable!("subscribe retry yields a subscription"),
+                        Err(e) => {
+                            self.poisoned = Some(format!(
+                                "subscribe fan-out failed on shard {i} after recovery attempts: {e}"
+                            ));
+                            return Err(e);
+                        }
+                    }
+                }
                 Err(e) => {
                     // Validation passed above, so this is a backend (i.e.
                     // transport) failure; earlier shards may already have
@@ -577,30 +841,62 @@ impl<B: ShardBackend> ShardedSession<B> {
     /// Validation happens in the router before anything mutates, so a
     /// validation `Err` leaves the session unchanged (same contract and
     /// same error values as the unsharded session). A **backend**
-    /// failure mid-fan-out (a killed worker, a corrupt frame) poisons
-    /// the session instead: score reads keep serving the pre-delta
-    /// state, and every further mutation is refused with a typed
-    /// [`StreamError::Transport`].
+    /// failure mid-fan-out (a killed worker, a corrupt frame, a request
+    /// past its deadline) enters recovery on recoverable backends — the
+    /// dead shard is respawned, its checkpoint restored, the delta log
+    /// replayed and the in-flight slice retried; only a shard that stays
+    /// down past [`RecoveryConfig::retry_budget`] (or a non-recoverable
+    /// backend) poisons the session, after which score reads keep
+    /// serving the pre-delta state and every further mutation is refused
+    /// with [`StreamError::Poisoned`].
     ///
     /// # Errors
     /// [`StreamError::Arity`] / [`StreamError::UnknownRow`] /
     /// [`StreamError::AlreadyDeleted`] on invalid deltas,
-    /// [`StreamError::Transport`] on backend failure, and
+    /// [`StreamError::Transport`] on unrecovered backend failure, and
     /// [`StreamError::Diverged`] if due auto-compaction finds a
     /// shard diverging from its batch rebuild.
     pub fn apply(&mut self, delta: &RowDelta) -> Result<Vec<ScoreDiff>, StreamError> {
         self.check_poisoned()?;
         let locals = self.router.route(delta)?;
-        let results = par_map_mut(&mut self.shards, self.threads, |s, shard| {
-            shard.apply(&locals[s])
+        // Supervised sessions speak to workers in worker-id space; the
+        // translated slices are also what the replay log records.
+        let translated: Option<Vec<RowDelta>> = self.supervisors.as_ref().map(|sups| {
+            locals
+                .iter()
+                .enumerate()
+                .map(|(s, local)| to_worker_space(&sups[s], local))
+                .collect()
         });
-        if let Some(err) = results.into_iter().find_map(Result::err) {
-            // The router already re-placed the delta and some shards may
-            // have absorbed their slice — the coordinator's candidate
-            // scores still reflect the pre-delta state, so reads stay
-            // consistent; mutation is refused from here on.
-            self.poisoned = Some(format!("delta fan-out failed: {err}"));
-            return Err(err);
+        let slices: &[RowDelta] = translated.as_deref().unwrap_or(&locals);
+        let results = par_map_mut(&mut self.shards, self.threads, |s, shard| {
+            shard.apply(&slices[s])
+        });
+        for (s, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(()) => {
+                    if let Some(sups) = &mut self.supervisors {
+                        sups[s].commit(&slices[s]);
+                    }
+                }
+                Err(StreamError::Transport(te)) if self.supervisors.is_some() => {
+                    if let Err(e) = self.recover_and_retry(s, RetryOp::Apply(&locals[s]), te) {
+                        self.poisoned = Some(format!(
+                            "delta fan-out failed on shard {s} after recovery attempts: {e}"
+                        ));
+                        return Err(e);
+                    }
+                }
+                Err(err) => {
+                    // The router already re-placed the delta and some
+                    // shards may have absorbed their slice — the
+                    // coordinator's candidate scores still reflect the
+                    // pre-delta state, so reads stay consistent; mutation
+                    // is refused from here on.
+                    self.poisoned = Some(format!("delta fan-out failed: {err}"));
+                    return Err(err);
+                }
+            }
         }
         let diffs = (0..self.candidates.len())
             .map(|cid| {
@@ -616,12 +912,206 @@ impl<B: ShardBackend> ShardedSession<B> {
             })
             .collect();
         self.deltas_applied += 1;
+        if self.supervisors.is_some()
+            && self
+                .deltas_applied
+                .is_multiple_of(self.recovery.checkpoint_every)
+        {
+            self.refresh_checkpoints()?;
+        }
         if let Some(every) = self.compact_every {
             if self.deltas_applied.is_multiple_of(every) {
                 self.compact()?;
             }
         }
         Ok(diffs)
+    }
+
+    /// Takes a fresh per-shard checkpoint (framed snapshot of the live
+    /// rows) and truncates the replay logs — the every-K-applies step
+    /// bounding how much a recovery has to replay. Only called on
+    /// supervised sessions.
+    fn refresh_checkpoints(&mut self) -> Result<(), StreamError> {
+        for s in 0..self.shards.len() {
+            let rel = match self.shards[s].snapshot() {
+                Ok(rel) => rel,
+                Err(StreamError::Transport(te)) => {
+                    match self.recover_and_retry(s, RetryOp::Snapshot, te) {
+                        Ok(RetryOut::Snapshot(rel)) => rel,
+                        Ok(_) => unreachable!("snapshot retry yields a snapshot"),
+                        Err(e) => {
+                            self.poisoned = Some(format!(
+                                "checkpoint refresh failed on shard {s} after recovery \
+                                 attempts: {e}"
+                            ));
+                            return Err(e);
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.poisoned = Some(format!("checkpoint refresh failed on shard {s}: {e}"));
+                    return Err(e);
+                }
+            };
+            let bytes = match self.encode_ckpt(rel, s) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    self.poisoned = Some(format!("checkpoint refresh failed on shard {s}: {e}"));
+                    return Err(e);
+                }
+            };
+            self.supervisors.as_mut().expect("supervised")[s].install_checkpoint(bytes);
+        }
+        Ok(())
+    }
+
+    /// Frames `rel` as the shard's checkpoint [`SessionSnapshot`].
+    fn encode_ckpt(&self, rel: Relation, shard: usize) -> Result<Vec<u8>, StreamError> {
+        SessionSnapshot {
+            rows: rel,
+            shard_key: self.router.shard_key().clone(),
+            n_shards: self.shards.len() as u32,
+            subscriptions: self.candidates.iter().map(|c| c.fd.clone()).collect(),
+            compact_every: self.compact_every,
+        }
+        .to_bytes()
+        .map_err(|e| ckpt_codec_err("encode", Some(shard as u32), &e))
+    }
+
+    /// Runs the full recovery loop for shard `s` after a transport
+    /// failure: backoff, respawn, restore (re-subscribe, checkpoint
+    /// seed, log replay), then retry the in-flight `op`. Every step may
+    /// fail again; the loop spends at most
+    /// [`RecoveryConfig::retry_budget`] attempts before giving up with
+    /// the last error (the caller poisons). A successful recovery
+    /// rebuilds the global Y space — a restored worker's side-id
+    /// numbering can differ (scores never observe Y identity, so merged
+    /// reads stay bit-identical).
+    fn recover_and_retry(
+        &mut self,
+        s: usize,
+        op: RetryOp<'_>,
+        first: TransportError,
+    ) -> Result<RetryOut, StreamError> {
+        let budget = self.recovery.retry_budget;
+        let base = self.recovery.backoff_ms;
+        let mut last_err = StreamError::Transport(first);
+        for attempt in 0..budget {
+            if base > 0 {
+                let shift = attempt.min(6);
+                std::thread::sleep(Duration::from_millis(base.saturating_mul(1 << shift)));
+            }
+            if let Err(e) = self.try_recover(s) {
+                last_err = e;
+                continue;
+            }
+            match self.run_op(s, &op) {
+                Ok(out) => {
+                    self.rebuild_y_space();
+                    return Ok(out);
+                }
+                Err(StreamError::Transport(te)) => last_err = StreamError::Transport(te),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// One restore attempt for shard `s`: respawn a fresh worker,
+    /// re-subscribe the current candidates, seed the checkpoint rows,
+    /// replay the post-checkpoint log (translated into the restored id
+    /// space) and take a fresh checkpoint. All fallible steps run before
+    /// any supervisor bookkeeping mutates, so a failed attempt leaves
+    /// the checkpoint/alias state consistent for the next try (only the
+    /// respawn/replay counters advance).
+    fn try_recover(&mut self, s: usize) -> Result<(), StreamError> {
+        self.shards[s].respawn()?;
+        self.supervisors.as_mut().expect("supervised")[s]
+            .stats
+            .respawns += 1;
+        let fds: Vec<Fd> = self.candidates.iter().map(|c| c.fd.clone()).collect();
+        for fd in &fds {
+            self.shards[s].subscribe(fd)?;
+        }
+        let (ckpt_rows, log) = {
+            let sup = &self.supervisors.as_ref().expect("supervised")[s];
+            let snap = SessionSnapshot::from_bytes(&sup.ckpt_bytes)
+                .map_err(|e| ckpt_codec_err("decode", Some(s as u32), &e))?;
+            (snap.rows, sup.log.clone())
+        };
+        if ckpt_rows.n_rows() > 0 {
+            let seed = RowDelta::insert_only((0..ckpt_rows.n_rows()).map(|r| ckpt_rows.row(r)));
+            self.shards[s].apply(&seed)?;
+        }
+        let mut replayed = 0u64;
+        for entry in &log {
+            let delta = RowDelta::decode_exact(entry)
+                .map_err(|e| ckpt_codec_err("log replay decode", Some(s as u32), &e))?;
+            let translated = {
+                let sup = &self.supervisors.as_ref().expect("supervised")[s];
+                RowDelta {
+                    deletes: delta
+                        .deletes
+                        .iter()
+                        .map(|&d| sup.translate_old(d))
+                        .collect(),
+                    inserts: delta.inserts,
+                }
+            };
+            self.shards[s].apply(&translated)?;
+            replayed += 1;
+        }
+        let rel = self.shards[s].snapshot()?;
+        let n_live_now = self.shards[s].n_live();
+        let bytes = self.encode_ckpt(rel, s)?;
+        // Commit: every fallible step is behind us — move the supervisor
+        // into the restored id space and install the fresh checkpoint.
+        let sup = &mut self.supervisors.as_mut().expect("supervised")[s];
+        sup.stats.deltas_replayed += replayed;
+        sup.rebase();
+        sup.install_checkpoint(bytes);
+        debug_assert_eq!(sup.ckpt_n_live as usize, n_live_now);
+        Ok(())
+    }
+
+    /// Re-runs the request a recovery interrupted, against the restored
+    /// shard.
+    fn run_op(&mut self, s: usize, op: &RetryOp<'_>) -> Result<RetryOut, StreamError> {
+        match op {
+            RetryOp::Apply(local) => {
+                let slice = {
+                    let sups = self.supervisors.as_ref().expect("supervised");
+                    to_worker_space(&sups[s], local)
+                };
+                self.shards[s].apply(&slice)?;
+                self.supervisors.as_mut().expect("supervised")[s].commit(&slice);
+                Ok(RetryOut::Done)
+            }
+            RetryOp::Subscribe(fd) => Ok(RetryOut::Subscribed(self.shards[s].subscribe(fd)?)),
+            RetryOp::Snapshot => Ok(RetryOut::Snapshot(self.shards[s].snapshot()?)),
+            RetryOp::Compact => Ok(RetryOut::Compacted(self.shards[s].compact()?)),
+            RetryOp::CompactedSnapshot => {
+                // Worker-side compaction renumbers live rows in arrival
+                // order — deterministic, so recompacting the restored
+                // state reproduces the incarnation that died.
+                self.shards[s].compact()?;
+                Ok(RetryOut::Snapshot(self.shards[s].snapshot()?))
+            }
+        }
+    }
+
+    /// Rebuilds the global Y-id space of every candidate from the shards'
+    /// current side-id dictionaries. Needed whenever a shard's numbering
+    /// may have changed wholesale (post-recovery, post-compaction);
+    /// correct at any time because scores never observe Y identity.
+    fn rebuild_y_space(&mut self) {
+        let n_shards = self.shards.len();
+        for cid in 0..self.candidates.len() {
+            let cand = &mut self.candidates[cid];
+            cand.y_global.clear();
+            cand.y_remap = vec![Vec::new(); n_shards];
+            self.sync_candidate(cid);
+        }
     }
 
     /// Materialises the live rows in global row order as one compact
@@ -645,11 +1135,29 @@ impl<B: ShardBackend> ShardedSession<B> {
     /// inconsistent with the served scores).
     pub fn snapshot(&mut self) -> Result<Relation, StreamError> {
         self.check_poisoned()?;
-        let locals = self
-            .shards
-            .iter_mut()
-            .map(ShardBackend::snapshot)
-            .collect::<Result<Vec<_>, _>>()?;
+        let mut locals = Vec::with_capacity(self.shards.len());
+        for s in 0..self.shards.len() {
+            let rel = match self.shards[s].snapshot() {
+                Ok(rel) => rel,
+                Err(StreamError::Transport(te)) if self.supervisors.is_some() => {
+                    match self.recover_and_retry(s, RetryOp::Snapshot, te) {
+                        Ok(RetryOut::Snapshot(rel)) => rel,
+                        Ok(_) => unreachable!("snapshot retry yields a snapshot"),
+                        Err(e) => {
+                            // A half-restored worker no longer matches the
+                            // router's placements.
+                            self.poisoned = Some(format!(
+                                "snapshot fan-out failed on shard {s} after recovery \
+                                 attempts: {e}"
+                            ));
+                            return Err(e);
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            };
+            locals.push(rel);
+        }
         let arity = self.schema.arity();
         let mut codes: Vec<Vec<u32>> = (0..arity)
             .map(|_| Vec::with_capacity(self.router.n_live()))
@@ -706,11 +1214,12 @@ impl<B: ShardBackend> ShardedSession<B> {
     /// # Errors
     /// [`StreamError::Diverged`] if any shard's incremental state
     /// disagrees with its batch rebuild (that shard is left unswapped for
-    /// post-mortem), [`StreamError::Transport`] on worker failure. If the
-    /// failure strikes after at least one shard had already compacted —
-    /// or the transport itself failed — shard-local ids and the router's
-    /// placements may no longer agree: the session is **poisoned** (score
-    /// reads keep working; every further `apply`/`compact` is refused).
+    /// post-mortem), [`StreamError::Transport`] on unrecovered worker
+    /// failure. A worker that dies anywhere in the compaction flow is
+    /// restored to its pre-compaction state (checkpoint + log replay),
+    /// recompacted if needed, and the interrupted step retried; only an
+    /// exhausted retry budget **poisons** the session (score reads keep
+    /// working; every further `apply`/`compact` is refused).
     pub fn compact(&mut self) -> Result<CompactionReport, StreamError> {
         self.check_poisoned()?;
         let before: Vec<StreamScores> = (0..self.candidates.len())
@@ -718,11 +1227,21 @@ impl<B: ShardBackend> ShardedSession<B> {
             .collect();
         let mut rows_dropped = 0;
         let mut n_live = 0;
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            match shard.compact() {
-                Ok(report) => {
-                    rows_dropped += report.rows_dropped;
-                    n_live += report.n_live;
+        for i in 0..self.shards.len() {
+            let report = match self.shards[i].compact() {
+                Ok(report) => report,
+                Err(StreamError::Transport(te)) if self.supervisors.is_some() => {
+                    match self.recover_and_retry(i, RetryOp::Compact, te) {
+                        Ok(RetryOut::Compacted(report)) => report,
+                        Ok(_) => unreachable!("compact retry yields a report"),
+                        Err(e) => {
+                            self.poisoned = Some(format!(
+                                "compaction fan-out failed on shard {i} after recovery \
+                                 attempts: {e}"
+                            ));
+                            return Err(e);
+                        }
+                    }
                 }
                 Err(e) => {
                     // Shards 0..i already renumbered their local ids but
@@ -735,20 +1254,65 @@ impl<B: ShardBackend> ShardedSession<B> {
                     }
                     return Err(e);
                 }
-            }
+            };
+            rows_dropped += report.rows_dropped;
+            n_live += report.n_live;
         }
         self.router.compact();
         // Shard compaction reset the side-id dictionaries: rebuild the
         // global Y space from scratch.
+        self.rebuild_y_space();
         for (cid, before) in before.iter().enumerate() {
-            let cand = &mut self.candidates[cid];
-            cand.y_global.clear();
-            cand.y_remap = vec![Vec::new(); self.shards.len()];
-            self.sync_candidate(cid);
             debug_assert!(
                 self.merged_scores(cid).bits_eq(before),
                 "compaction must not move merged scores"
             );
+        }
+        // Every shard renumbered densely: reset the supervisors' aliasing
+        // to identity and install fresh checkpoints. The supervisor still
+        // holds the *pre*-compaction checkpoint here, so a failure is
+        // recovered by restoring that state and recompacting before the
+        // snapshot is retried ([`RetryOp::CompactedSnapshot`]).
+        if self.supervisors.is_some() {
+            for s in 0..self.shards.len() {
+                let rel = match self.shards[s].snapshot() {
+                    Ok(rel) => rel,
+                    Err(StreamError::Transport(te)) => {
+                        match self.recover_and_retry(s, RetryOp::CompactedSnapshot, te) {
+                            Ok(RetryOut::Snapshot(rel)) => rel,
+                            Ok(_) => unreachable!("compacted-snapshot retry yields a snapshot"),
+                            Err(e) => {
+                                self.poisoned = Some(format!(
+                                    "post-compaction checkpoint failed on shard {s} after \
+                                     recovery attempts: {e}"
+                                ));
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        self.poisoned = Some(format!(
+                            "post-compaction checkpoint failed on shard {s}: {e}"
+                        ));
+                        return Err(e);
+                    }
+                };
+                let n = rel.n_rows() as RowId;
+                let bytes = match self.encode_ckpt(rel, s) {
+                    Ok(bytes) => bytes,
+                    Err(e) => {
+                        self.poisoned = Some(format!(
+                            "post-compaction checkpoint failed on shard {s}: {e}"
+                        ));
+                        return Err(e);
+                    }
+                };
+                let sup = &mut self.supervisors.as_mut().expect("supervised")[s];
+                sup.alias = (0..n).collect();
+                sup.w_live = vec![true; n as usize];
+                sup.w_next = n;
+                sup.install_checkpoint(bytes);
+            }
         }
         Ok(CompactionReport {
             rows_dropped,
@@ -944,7 +1508,9 @@ mod tests {
     impl FlakyShard {
         fn trip(&mut self) -> Result<(), StreamError> {
             if self.fail_next {
-                return Err(StreamError::Transport("worker killed (simulated)".into()));
+                return Err(StreamError::Transport(TransportError::read(
+                    "worker killed (simulated)",
+                )));
             }
             Ok(())
         }
@@ -983,6 +1549,9 @@ mod tests {
 
     #[test]
     fn backend_failure_mid_delta_poisons_but_reads_stay_consistent() {
+        // FlakyShard does not support respawn, so a transport failure
+        // skips recovery and poisons immediately — the fate of any
+        // non-recoverable backend.
         let backends: Vec<FlakyShard> = (0..2)
             .map(|_| FlakyShard {
                 inner: InProcShard::new(schema3()),
@@ -991,6 +1560,7 @@ mod tests {
             .collect();
         let mut s =
             ShardedSession::with_backends(schema3(), AttrSet::single(AttrId(0)), backends).unwrap();
+        assert!(!s.recovery_enabled());
         let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
         s.apply(&RowDelta::insert_only(fixture_rows())).unwrap();
         let before = s.scores(cid);
@@ -1006,18 +1576,17 @@ mod tests {
         s.backend_mut(1).fail_next = false;
         assert!(matches!(
             s.apply(&RowDelta::insert_only([row(1, 2, 0)])),
-            Err(StreamError::Transport(_))
+            Err(StreamError::Poisoned(_))
         ));
-        assert!(matches!(s.compact(), Err(StreamError::Transport(_))));
+        assert!(matches!(s.compact(), Err(StreamError::Poisoned(_))));
         assert!(s.scores(cid).bits_eq(&before));
         // Snapshot and table merges are refused too: the router's
         // placements ran ahead of the shard contents, so either could
         // panic or contradict the served scores.
-        assert!(matches!(s.snapshot(), Err(StreamError::Transport(_))));
-        assert!(matches!(
-            s.merged_table(cid),
-            Err(StreamError::Transport(_))
-        ));
+        assert!(matches!(s.snapshot(), Err(StreamError::Poisoned(_))));
+        assert!(matches!(s.merged_table(cid), Err(StreamError::Poisoned(_))));
+        // All-zero recovery report for a non-recoverable topology.
+        assert_eq!(s.recovery_report().total_respawns(), 0);
     }
 
     #[test]
@@ -1075,5 +1644,248 @@ mod tests {
             .apply(&RowDelta::insert_only(fixture_rows()))
             .unwrap();
         assert!(s.scores(cid).bits_eq(&single.scores(c1)));
+    }
+
+    use crate::fault::{ChaosShard, WorkerFault, WorkerFaultKind};
+
+    fn fast_recovery(checkpoint_every: u64) -> RecoveryConfig {
+        RecoveryConfig {
+            checkpoint_every,
+            retry_budget: 3,
+            backoff_ms: 0,
+            request_timeout_ms: 1_000,
+        }
+    }
+
+    fn chaos_session(
+        faults: Vec<Option<WorkerFault>>,
+        checkpoint_every: u64,
+    ) -> ShardedSession<ChaosShard> {
+        let backends = faults
+            .into_iter()
+            .map(|f| ChaosShard::new(schema3(), f))
+            .collect();
+        ShardedSession::with_backends(schema3(), AttrSet::single(AttrId(0)), backends)
+            .unwrap()
+            .with_recovery(fast_recovery(checkpoint_every))
+            .unwrap()
+    }
+
+    #[test]
+    fn injected_kill_mid_apply_recovers_bit_identically() {
+        let fault = WorkerFault {
+            site: 5,
+            kind: WorkerFaultKind::Kill,
+        };
+        let mut s = chaos_session(vec![None, Some(fault)], 2);
+        assert!(s.recovery_enabled());
+        let mut single = StreamSession::new(schema3());
+        let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        let c1 = single.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        let rows = fixture_rows();
+        for chunk in rows.chunks(4) {
+            let d = RowDelta::insert_only(chunk.to_vec());
+            s.apply(&d).unwrap();
+            single.apply(&d).unwrap();
+        }
+        let d = RowDelta::delete_only([3, 13, 20]);
+        s.apply(&d).unwrap();
+        single.apply(&d).unwrap();
+        assert!(s.scores(cid).bits_eq(&single.scores(c1)));
+        let report = s.recovery_report();
+        assert!(report.total_respawns() >= 1, "{report:?}");
+        // Rows (and their global order) survive recovery too.
+        let snap = s.snapshot().unwrap();
+        let want = single.relation().snapshot();
+        assert_eq!(snap.n_rows(), want.n_rows());
+        for r in 0..want.n_rows() {
+            assert_eq!(snap.row(r), want.row(r));
+        }
+    }
+
+    #[test]
+    fn recovery_replays_deletes_and_serves_later_deletes() {
+        // Checkpoint every 3 applies; the fault lands after deletes have
+        // entered the replay log, and more deletes follow recovery — the
+        // alias translation is exercised on both sides of the failure.
+        let fault = WorkerFault {
+            site: 9,
+            kind: WorkerFaultKind::Kill,
+        };
+        let mut s = chaos_session(vec![Some(fault), None], 3);
+        let mut single = StreamSession::new(schema3());
+        let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        let c1 = single.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        let rows = fixture_rows();
+        let script: Vec<RowDelta> = vec![
+            RowDelta::insert_only(rows[..10].to_vec()),
+            RowDelta::delete_only([0, 4]),
+            RowDelta::insert_only(rows[10..20].to_vec()),
+            RowDelta::delete_only([12, 7, 19]),
+            RowDelta::insert_only(rows[20..30].to_vec()),
+            RowDelta::delete_only([2, 25]),
+            RowDelta::insert_only(rows[30..].to_vec()),
+            RowDelta::delete_only([30, 1, 33]),
+        ];
+        for d in &script {
+            s.apply(d).unwrap();
+            single.apply(d).unwrap();
+        }
+        assert!(s.scores(cid).bits_eq(&single.scores(c1)));
+        assert!(s.recovery_report().total_respawns() >= 1);
+        let snap = s.snapshot().unwrap();
+        let want = single.relation().snapshot();
+        assert_eq!(snap.n_rows(), want.n_rows());
+        for r in 0..want.n_rows() {
+            assert_eq!(snap.row(r), want.row(r));
+        }
+        // Compaction still verifies cleanly post-recovery.
+        s.compact().unwrap();
+        single.compact().unwrap();
+        assert!(s.scores(cid).bits_eq(&single.scores(c1)));
+    }
+
+    #[test]
+    fn injected_fault_mid_subscribe_recovers() {
+        let fault = WorkerFault {
+            site: 1,
+            kind: WorkerFaultKind::Kill,
+        };
+        let mut s = chaos_session(vec![None, Some(fault)], 4);
+        let mut single = StreamSession::new(schema3());
+        // The very first fan-out request to shard 1 dies; recovery
+        // restores lockstep and the subscribe lands.
+        let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        let c1 = single.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        assert!(s.recovery_report().total_respawns() >= 1);
+        let d = RowDelta::insert_only(fixture_rows());
+        s.apply(&d).unwrap();
+        single.apply(&d).unwrap();
+        assert!(s.scores(cid).bits_eq(&single.scores(c1)));
+    }
+
+    #[test]
+    fn injected_fault_mid_compaction_recovers() {
+        let mut s = chaos_session(vec![None, None], 8);
+        let mut single = StreamSession::new(schema3());
+        let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        let c1 = single.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        let d = RowDelta::insert_only(fixture_rows());
+        s.apply(&d).unwrap();
+        single.apply(&d).unwrap();
+        let d = RowDelta::delete_only([5, 11, 31]);
+        s.apply(&d).unwrap();
+        single.apply(&d).unwrap();
+        // The next request shard 0 sees is its compact — kill it there.
+        s.backend_mut(0).arm(WorkerFault {
+            site: 1,
+            kind: WorkerFaultKind::Kill,
+        });
+        let report = s.compact().unwrap();
+        single.compact().unwrap();
+        assert_eq!(report.rows_dropped, 3);
+        assert!(s.recovery_report().total_respawns() >= 1);
+        assert!(s.scores(cid).bits_eq(&single.scores(c1)));
+        // Post-compaction ids are dense again and the session keeps
+        // accepting deltas.
+        let d = RowDelta::delete_only([36]);
+        s.apply(&d).unwrap();
+        single.apply(&d).unwrap();
+        assert!(s.scores(cid).bits_eq(&single.scores(c1)));
+    }
+
+    #[test]
+    fn stall_fault_maps_to_timeout_and_recovers() {
+        let fault = WorkerFault {
+            site: 3,
+            kind: WorkerFaultKind::Stall { millis: 50 },
+        };
+        let mut s = chaos_session(vec![Some(fault)], 4);
+        let mut single = StreamSession::new(schema3());
+        let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        let c1 = single.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        for chunk in fixture_rows().chunks(10) {
+            let d = RowDelta::insert_only(chunk.to_vec());
+            s.apply(&d).unwrap();
+            single.apply(&d).unwrap();
+        }
+        assert!(s.scores(cid).bits_eq(&single.scores(c1)));
+        assert!(s.recovery_report().total_respawns() >= 1);
+    }
+
+    #[test]
+    fn sticky_fault_exhausts_retry_budget_and_poisons() {
+        let fault = WorkerFault {
+            site: 2,
+            kind: WorkerFaultKind::Kill,
+        };
+        let backends = vec![ChaosShard::new(schema3(), Some(fault)).sticky()];
+        let mut s = ShardedSession::with_backends(schema3(), AttrSet::single(AttrId(0)), backends)
+            .unwrap()
+            .with_recovery(RecoveryConfig {
+                checkpoint_every: 8,
+                retry_budget: 2,
+                backoff_ms: 0,
+                request_timeout_ms: 1_000,
+            })
+            .unwrap();
+        let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        let before = s.scores(cid);
+        let err = s.apply(&RowDelta::insert_only(fixture_rows())).unwrap_err();
+        assert!(matches!(err, StreamError::Transport(_)), "{err}");
+        // Every attempt respawned and refaulted: the whole budget burned.
+        assert_eq!(s.recovery_report().total_respawns(), 2);
+        assert!(matches!(
+            s.apply(&RowDelta::insert_only([row(1, 2, 0)])),
+            Err(StreamError::Poisoned(_))
+        ));
+        assert!(s.scores(cid).bits_eq(&before));
+    }
+
+    #[test]
+    fn tight_checkpoints_bound_replay() {
+        // checkpoint_every == 1: the log is truncated after every apply,
+        // so recovery replays nothing (the in-flight slice is retried,
+        // not replayed).
+        let fault = WorkerFault {
+            site: 20,
+            kind: WorkerFaultKind::Kill,
+        };
+        let mut s = chaos_session(vec![Some(fault)], 1);
+        let mut single = StreamSession::new(schema3());
+        let cid = s.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        let c1 = single.subscribe(Fd::linear(AttrId(0), AttrId(1))).unwrap();
+        for chunk in fixture_rows().chunks(4) {
+            let d = RowDelta::insert_only(chunk.to_vec());
+            s.apply(&d).unwrap();
+            single.apply(&d).unwrap();
+        }
+        let report = s.recovery_report();
+        assert!(report.total_respawns() >= 1);
+        assert_eq!(report.total_deltas_replayed(), 0, "{report:?}");
+        assert!(s.scores(cid).bits_eq(&single.scores(c1)));
+    }
+
+    #[test]
+    fn invalid_recovery_config_rejected() {
+        let err = chaos_try(RecoveryConfig {
+            checkpoint_every: 0,
+            ..RecoveryConfig::default()
+        });
+        assert!(matches!(err, Err(StreamError::ShardConfig(_))));
+        let err = chaos_try(RecoveryConfig {
+            retry_budget: 0,
+            ..RecoveryConfig::default()
+        });
+        assert!(matches!(err, Err(StreamError::ShardConfig(_))));
+    }
+
+    fn chaos_try(cfg: RecoveryConfig) -> Result<ShardedSession<ChaosShard>, StreamError> {
+        ShardedSession::with_backends(
+            schema3(),
+            AttrSet::single(AttrId(0)),
+            vec![ChaosShard::new(schema3(), None)],
+        )?
+        .with_recovery(cfg)
     }
 }

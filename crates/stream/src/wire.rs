@@ -22,7 +22,7 @@
 use afd_relation::{AttrSet, Fd, Relation, Schema, Value};
 use afd_wire::{decode_framed, encode_framed, Decode, DecodeError, Encode, Reader};
 
-use crate::delta::{RowDelta, RowId, StreamError};
+use crate::delta::{RowDelta, RowId, StreamError, TransportError, TransportErrorKind};
 use crate::session::{CompactionReport, ScoreDiff};
 use crate::table::{IncTable, StreamScores};
 
@@ -119,6 +119,77 @@ const ERR_SHARD_CONFIG: u8 = 4;
 const ERR_DIVERGED: u8 = 5;
 const ERR_RELATION: u8 = 6;
 const ERR_TRANSPORT: u8 = 7;
+const ERR_POISONED: u8 = 8;
+
+// Transport kind tags inside an ERR_TRANSPORT payload.
+const TK_SPAWN: u8 = 0;
+const TK_WRITE: u8 = 1;
+const TK_READ: u8 = 2;
+const TK_TIMEOUT: u8 = 3;
+const TK_DECODE: u8 = 4;
+
+impl Encode for TransportErrorKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TransportErrorKind::Spawn(msg) => {
+                out.push(TK_SPAWN);
+                msg.encode(out);
+            }
+            TransportErrorKind::Write(msg) => {
+                out.push(TK_WRITE);
+                msg.encode(out);
+            }
+            TransportErrorKind::Read(msg) => {
+                out.push(TK_READ);
+                msg.encode(out);
+            }
+            TransportErrorKind::Timeout { millis } => {
+                out.push(TK_TIMEOUT);
+                millis.encode(out);
+            }
+            TransportErrorKind::Decode(msg) => {
+                out.push(TK_DECODE);
+                msg.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for TransportErrorKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            TK_SPAWN => Ok(TransportErrorKind::Spawn(String::decode(r)?)),
+            TK_WRITE => Ok(TransportErrorKind::Write(String::decode(r)?)),
+            TK_READ => Ok(TransportErrorKind::Read(String::decode(r)?)),
+            TK_TIMEOUT => Ok(TransportErrorKind::Timeout {
+                millis: u64::decode(r)?,
+            }),
+            TK_DECODE => Ok(TransportErrorKind::Decode(String::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "TransportErrorKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for TransportError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.shard.encode(out);
+        self.kind.encode(out);
+        self.stderr.encode(out);
+    }
+}
+
+impl Decode for TransportError {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(TransportError {
+            shard: Option::<u32>::decode(r)?,
+            kind: TransportErrorKind::decode(r)?,
+            stderr: Vec::<String>::decode(r)?,
+        })
+    }
+}
 
 /// [`StreamError`]s travel typed, so a worker-side failure surfaces at
 /// the coordinator as the same variant an in-process shard would raise.
@@ -154,9 +225,13 @@ impl Encode for StreamError {
                 out.push(ERR_RELATION);
                 msg.encode(out);
             }
-            StreamError::Transport(msg) => {
+            StreamError::Transport(e) => {
                 out.push(ERR_TRANSPORT);
-                msg.encode(out);
+                e.encode(out);
+            }
+            StreamError::Poisoned(why) => {
+                out.push(ERR_POISONED);
+                why.encode(out);
             }
         }
     }
@@ -175,7 +250,10 @@ impl Decode for StreamError {
             ERR_SHARD_CONFIG => Ok(StreamError::ShardConfig(String::decode(r)?)),
             ERR_DIVERGED => Ok(StreamError::Diverged(String::decode(r)?)),
             ERR_RELATION => Ok(StreamError::Relation(String::decode(r)?)),
-            ERR_TRANSPORT => Ok(StreamError::Transport(String::decode(r)?)),
+            ERR_TRANSPORT => Ok(StreamError::Transport(<TransportError as Decode>::decode(
+                r,
+            )?)),
+            ERR_POISONED => Ok(StreamError::Poisoned(String::decode(r)?)),
             tag => Err(DecodeError::BadTag {
                 what: "StreamError",
                 tag,
@@ -586,7 +664,16 @@ mod tests {
             StreamError::ShardConfig("key".into()),
             StreamError::Diverged("pli".into()),
             StreamError::Relation("csv".into()),
-            StreamError::Transport("pipe".into()),
+            StreamError::Transport(TransportError::read("pipe")),
+            StreamError::Transport(
+                TransportError::timeout(250)
+                    .with_shard(3)
+                    .with_stderr(vec!["panicked".into(), "at worker.rs".into()]),
+            ),
+            StreamError::Transport(TransportError::spawn("no such file").with_shard(0)),
+            StreamError::Transport(TransportError::write("broken pipe")),
+            StreamError::Transport(TransportError::decode("bad magic")),
+            StreamError::Poisoned("retry budget exhausted".into()),
         ] {
             assert_eq!(StreamError::decode_exact(&e.encode_to_vec()).unwrap(), e);
         }

@@ -14,7 +14,8 @@ use std::io::{Read, Write};
 
 use afd_wire::{encode_framed, read_frame_from, Decode, FrameReadError, StreamFrame};
 
-use crate::delta::StreamError;
+use crate::delta::{StreamError, TransportError};
+use crate::fault::{WorkerFault, WorkerFaultKind, AFD_WORKER_FAULTS_ENV};
 use crate::session::StreamSession;
 use crate::wire::{
     CandidateState, ShardState, WorkerRequest, WorkerResponse, KIND_REQUEST, KIND_RESPONSE,
@@ -45,7 +46,9 @@ fn handle(session: &mut Option<StreamSession>, req: WorkerRequest) -> WorkerResp
         WorkerRequest::Shutdown => WorkerResponse::Ok,
         other => {
             let Some(session) = session.as_mut() else {
-                return WorkerResponse::Err(StreamError::Transport("request before Init".into()));
+                return WorkerResponse::Err(StreamError::Transport(TransportError::decode(
+                    "request before Init",
+                )));
             };
             match other {
                 WorkerRequest::Subscribe(fd) => match session.subscribe(fd) {
@@ -76,11 +79,39 @@ fn handle(session: &mut Option<StreamSession>, req: WorkerRequest) -> WorkerResp
 /// Runs the worker loop until `Shutdown`, EOF on `input`, or a transport
 /// failure.
 ///
+/// Inspects [`AFD_WORKER_FAULTS_ENV`] for an injected fault — the
+/// deterministic misbehaviour hook the recovery tests drive real child
+/// processes with (see [`crate::fault`]).
+///
 /// # Errors
 /// [`FrameReadError`] when a frame fails checksum/decode verification or
 /// the pipes break — request-level errors are answered in-band instead.
-pub fn run_worker(mut input: impl Read, mut output: impl Write) -> Result<(), FrameReadError> {
+pub fn run_worker(input: impl Read, output: impl Write) -> Result<(), FrameReadError> {
+    let fault = std::env::var(AFD_WORKER_FAULTS_ENV)
+        .ok()
+        .and_then(|spec| WorkerFault::parse(&spec));
+    run_worker_with_fault(input, output, fault)
+}
+
+/// [`run_worker`] with an explicit injected fault (`None` = behave).
+///
+/// The fault fires while serving the `site`-th request (1-based,
+/// counting every request frame read): `Kill` exits without responding
+/// (the coordinator sees EOF), `Truncate` writes half the response
+/// frame then exits, `Garbage` writes non-frame bytes then exits, and
+/// `Stall` sleeps before responding normally. Each firing announces
+/// itself on stderr so the coordinator's stderr capture has a line to
+/// attach.
+///
+/// # Errors
+/// [`FrameReadError`] as for [`run_worker`].
+pub fn run_worker_with_fault(
+    mut input: impl Read,
+    mut output: impl Write,
+    mut fault: Option<WorkerFault>,
+) -> Result<(), FrameReadError> {
     let mut session: Option<StreamSession> = None;
+    let mut requests: u64 = 0;
     loop {
         let (kind, payload) = match read_frame_from(&mut input)? {
             StreamFrame::Frame(kind, payload) => (kind, payload),
@@ -91,10 +122,43 @@ pub fn run_worker(mut input: impl Read, mut output: impl Write) -> Result<(), Fr
                 afd_wire::DecodeError::UnknownMessage { kind },
             ));
         }
+        requests += 1;
+        let tripped = match fault {
+            Some(f) if requests >= f.site => {
+                fault = None;
+                eprintln!(
+                    "afd-worker: injected fault {} firing at request {requests}",
+                    f.to_env()
+                );
+                Some(f.kind)
+            }
+            _ => None,
+        };
+        if matches!(tripped, Some(WorkerFaultKind::Kill)) {
+            // Exit without responding: the coordinator sees EOF, as if
+            // the process had been killed mid-request.
+            return Ok(());
+        }
         let req = WorkerRequest::decode_exact(&payload)?;
         let shutdown = matches!(req, WorkerRequest::Shutdown);
         let resp = handle(&mut session, req);
         let frame = encode_framed(KIND_RESPONSE, &resp)?;
+        match tripped {
+            Some(WorkerFaultKind::Truncate) => {
+                output.write_all(&frame[..frame.len() / 2])?;
+                output.flush()?;
+                return Ok(());
+            }
+            Some(WorkerFaultKind::Garbage) => {
+                output.write_all(b"this is definitely not an AFDW frame")?;
+                output.flush()?;
+                return Ok(());
+            }
+            Some(WorkerFaultKind::Stall { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            Some(WorkerFaultKind::Kill) | None => {}
+        }
         output.write_all(&frame)?;
         output.flush()?;
         if shutdown {
@@ -230,6 +294,90 @@ mod tests {
         frame[mid] ^= 0x10;
         let mut out = Vec::new();
         assert!(run_worker(frame.as_slice(), &mut out).is_err());
+    }
+
+    fn fault_script() -> Vec<u8> {
+        let schema = Schema::new(["X", "Y"]).unwrap();
+        let fd = Fd::linear(AttrId(0), AttrId(1));
+        let mut input = Vec::new();
+        for req in [
+            WorkerRequest::Init(schema),
+            WorkerRequest::Subscribe(fd),
+            WorkerRequest::Apply(RowDelta::insert_only([row(1, 10), row(2, 20)])),
+            WorkerRequest::Snapshot,
+        ] {
+            input.extend(encode_framed(KIND_REQUEST, &req).unwrap());
+        }
+        input
+    }
+
+    fn response_frames(output: &[u8]) -> (usize, Option<FrameReadError>) {
+        let mut cursor = std::io::Cursor::new(output);
+        let mut n = 0;
+        loop {
+            match read_frame_from(&mut cursor) {
+                Ok(StreamFrame::Frame(_, _)) => n += 1,
+                Ok(StreamFrame::Eof) => return (n, None),
+                Err(e) => return (n, Some(e)),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_kill_exits_without_responding() {
+        let mut out = Vec::new();
+        let fault = crate::fault::WorkerFault {
+            site: 3,
+            kind: crate::fault::WorkerFaultKind::Kill,
+        };
+        run_worker_with_fault(fault_script().as_slice(), &mut out, Some(fault))
+            .expect("kill is a clean early exit");
+        let (n, err) = response_frames(&out);
+        assert_eq!(n, 2, "responses before the fault site only");
+        assert!(err.is_none(), "output ends cleanly at EOF");
+    }
+
+    #[test]
+    fn injected_truncation_cuts_the_response_frame() {
+        let mut out = Vec::new();
+        let fault = crate::fault::WorkerFault {
+            site: 2,
+            kind: crate::fault::WorkerFaultKind::Truncate,
+        };
+        run_worker_with_fault(fault_script().as_slice(), &mut out, Some(fault)).expect("exits");
+        let (n, err) = response_frames(&out);
+        assert_eq!(n, 1);
+        assert!(
+            err.is_some(),
+            "the truncated frame must not parse as clean EOF"
+        );
+    }
+
+    #[test]
+    fn injected_garbage_fails_frame_verification() {
+        let mut out = Vec::new();
+        let fault = crate::fault::WorkerFault {
+            site: 1,
+            kind: crate::fault::WorkerFaultKind::Garbage,
+        };
+        run_worker_with_fault(fault_script().as_slice(), &mut out, Some(fault)).expect("exits");
+        let (n, err) = response_frames(&out);
+        assert_eq!(n, 0);
+        assert!(matches!(err, Some(FrameReadError::Decode(_))), "{err:?}");
+    }
+
+    #[test]
+    fn injected_stall_delays_but_answers() {
+        let mut out = Vec::new();
+        let fault = crate::fault::WorkerFault {
+            site: 2,
+            kind: crate::fault::WorkerFaultKind::Stall { millis: 1 },
+        };
+        run_worker_with_fault(fault_script().as_slice(), &mut out, Some(fault))
+            .expect("stall only delays");
+        let (n, err) = response_frames(&out);
+        assert_eq!(n, 4, "every request is answered after the stall");
+        assert!(err.is_none());
     }
 
     #[test]

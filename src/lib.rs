@@ -172,9 +172,22 @@
 //!   process-backed session's merged score reads are **bit-identical**
 //!   to the in-process backend and the batch kernels (proptest-pinned
 //!   for N ∈ {1, 2, 4} worker processes).
-//! * **Fault model**: a worker killed mid-delta surfaces as a typed
-//!   transport error; the coordinator poisons the session — reads keep
-//!   serving the last consistent state, mutation is refused.
+//! * **Fault model**: the shard fabric is **self-healing**. Every
+//!   coordinator→worker request carries a deadline, and a worker that
+//!   dies, corrupts a frame or stalls past it surfaces as a structured
+//!   [`stream::TransportError`] (step, shard, worker stderr tail) —
+//!   which the supervisor *recovers from*: respawn the worker, restore
+//!   its per-shard checkpoint, replay the delta log since it, retry the
+//!   in-flight request (all canonical wire forms, so the healed shard is
+//!   bit-identical by construction; [`stream::RecoveryConfig`] sets the
+//!   checkpoint cadence and retry budget, `BENCH_recovery.json` records
+//!   the latency-vs-K trade-off). Only an exhausted retry budget poisons
+//!   the session — reads keep serving the last consistent state,
+//!   mutation is refused. Seeded fault injection ([`stream::FaultPlan`]
+//!   over kill / truncate / garbage / stall, interpreted by the
+//!   [`stream::ChaosShard`] test backend or real workers via the
+//!   `AFD_WORKER_FAULTS` env hook) proptest-pins that any single fault
+//!   at any protocol step recovers bit-identically to a fault-free run.
 //! * **Persistence**: whole sessions save/load as framed snapshots
 //!   ([`SnapshotRequest`] / [`RestoreRequest`] on the engine,
 //!   `afd save` / `afd load` in the CLI) — live rows in global order
