@@ -1,0 +1,314 @@
+//! `serve`: drive the multi-tenant serving layer (`afd-serve`) with a
+//! scripted synthetic workload.
+//!
+//! Registers `--sessions` sessions **from one snapshot template** (the
+//! cheap registration path — no engine is built until a session is
+//! touched), then runs `--ticks` scheduler ticks. Each tick enqueues a
+//! rotating window of per-session deltas first, taking whatever typed
+//! [`ServeError::Backpressure`] rejections the caps produce, then drains
+//! under the tick budget. The run closes with a residency audit (every
+//! session still addressable, residency never above the cap) and a
+//! bit-identity spot check of a restored session against a never-evicted
+//! control engine.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use afd_engine::{AfdEngine, DeltaRequest, SnapshotRequest, StreamBackend, SubscribeRequest};
+use afd_relation::{AttrId, Fd, Relation, Value};
+use afd_serve::{AfdServe, ServeConfig, ServeError};
+use afd_stream::{RowDelta, WorkerCommand};
+
+/// `afd serve` flags (parsed by [`parse_serve_args`]).
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Sessions to register (`--sessions`, default 512).
+    pub sessions: usize,
+    /// Resident-engine cap (`--resident-cap`, default 64).
+    pub resident_cap: usize,
+    /// Scheduler ticks to run (`--ticks`, default 64).
+    pub ticks: usize,
+    /// Per-session pending-delta cap (`--queue-cap`, default 8).
+    pub queue_cap: usize,
+    /// Server-wide pending-delta cap (`--global-cap`, default 4096).
+    pub global_cap: usize,
+    /// Rows in the per-session template relation (`--rows`, default 256).
+    pub rows: usize,
+    /// Master seed (`--seed`, default 20240607).
+    pub seed: u64,
+    /// Spill directory (`--spill-dir`, default `<tmp>/afd-serve-<pid>`).
+    pub spill_dir: PathBuf,
+    /// Run restored sessions on the process backend (`--process`):
+    /// shard workers are `afd shard-worker` children of this binary.
+    pub process: bool,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            sessions: 512,
+            resident_cap: 64,
+            ticks: 64,
+            queue_cap: 8,
+            global_cap: 4096,
+            rows: 256,
+            seed: 20240607,
+            spill_dir: std::env::temp_dir().join(format!("afd-serve-{}", std::process::id())),
+            process: false,
+        }
+    }
+}
+
+/// Parses `afd serve` flags.
+///
+/// # Errors
+/// A human-readable message on an unknown flag, a missing value, or a
+/// zero where at least 1 is required.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeOpts, String> {
+    let mut opts = ServeOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        let positive = |flag: &str, s: String| -> Result<usize, String> {
+            let v: usize = s.parse().map_err(|e| format!("{flag}: {e}"))?;
+            if v == 0 {
+                return Err(format!("{flag} must be at least 1"));
+            }
+            Ok(v)
+        };
+        match flag.as_str() {
+            "--sessions" => opts.sessions = positive("--sessions", take(&mut i)?)?,
+            "--resident-cap" => opts.resident_cap = positive("--resident-cap", take(&mut i)?)?,
+            "--ticks" => opts.ticks = positive("--ticks", take(&mut i)?)?,
+            "--queue-cap" => opts.queue_cap = positive("--queue-cap", take(&mut i)?)?,
+            "--global-cap" => opts.global_cap = positive("--global-cap", take(&mut i)?)?,
+            "--rows" => opts.rows = positive("--rows", take(&mut i)?)?,
+            "--seed" => opts.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--spill-dir" => opts.spill_dir = take(&mut i)?.into(),
+            "--process" => opts.process = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// The session template: a small noisy-FD relation, deterministic in
+/// `seed`, with the `X -> Y` candidate subscribed.
+fn template_engine(rows: usize, seed: u64) -> AfdEngine {
+    let pairs = (0..rows as u64).map(|i| {
+        let x = (i * 31 + seed) % (rows as u64 / 8).max(4);
+        // ~1% of rows violate X -> Y.
+        let y = if i % 128 == 0 { i } else { x * 2 };
+        (x, y)
+    });
+    let mut engine = AfdEngine::from_relation(Relation::from_pairs(pairs));
+    engine
+        .subscribe(&SubscribeRequest::new(Fd::linear(AttrId(0), AttrId(1))))
+        .expect("binary template has X and Y");
+    engine
+}
+
+/// One synthetic insert, deterministic in `(session, step)`.
+fn scripted_delta(session: usize, step: usize, rows: usize) -> RowDelta {
+    let x = ((session * 7 + step * 13) % (rows / 8).max(4)) as u64;
+    RowDelta {
+        inserts: vec![vec![Value::Int(x as i64), Value::Int((x * 2) as i64)]],
+        deletes: vec![],
+    }
+}
+
+/// `serve`: the scripted multi-tenant workload.
+///
+/// # Errors
+/// A human-readable message on a serve/engine failure (typed
+/// backpressure is *expected* under these caps and is counted, not
+/// failed).
+pub fn serve(opts: &ServeOpts) -> Result<(), String> {
+    let mut cfg = ServeConfig::new(&opts.spill_dir);
+    cfg.resident_cap = opts.resident_cap;
+    cfg.session_queue_cap = opts.queue_cap;
+    cfg.global_queue_cap = opts.global_cap;
+    if opts.process {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        cfg.backend = StreamBackend::Process(WorkerCommand::new(exe));
+    }
+    let mut server = AfdServe::new(cfg).map_err(|e| e.to_string())?;
+
+    // One template snapshot registers every session — no engines built.
+    let mut template = template_engine(opts.rows, opts.seed);
+    let bytes = template
+        .save(&SnapshotRequest::default())
+        .map_err(|e| e.to_string())?
+        .bytes;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..opts.sessions)
+        .map(|_| server.register_snapshot(&bytes))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "[registered {} session(s) from one {}-byte snapshot in {:.1} ms]",
+        handles.len(),
+        bytes.len(),
+        started.elapsed().as_secs_f64() * 1e3
+    );
+
+    // A never-evicted control shadows session 0's deltas exactly.
+    let mut backpressured = 0u64;
+    let mut max_resident = 0usize;
+    for tick in 0..opts.ticks {
+        // Rotating hot window: a quarter of the registry is active per
+        // tick, so sessions keep cycling through evict/restore.
+        let window = (opts.sessions / 4).max(1);
+        for w in 0..window {
+            let s = (tick * window + w) % opts.sessions;
+            match server.enqueue(handles[s], scripted_delta(s, tick, opts.rows)) {
+                Ok(_) => {
+                    if s == 0 {
+                        template
+                            .delta(&DeltaRequest::new(scripted_delta(s, tick, opts.rows)))
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+                Err(ServeError::Backpressure { .. }) => backpressured += 1,
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        server.tick().map_err(|e| e.to_string())?;
+        max_resident = max_resident.max(server.stats().resident);
+    }
+    // Drain the backlog the tick budget deferred.
+    loop {
+        let report = server.tick().map_err(|e| e.to_string())?;
+        max_resident = max_resident.max(server.stats().resident);
+        if report.remaining == 0 {
+            break;
+        }
+    }
+
+    let stats = server.stats();
+    println!(
+        "\n== Extension — serving layer: {} session(s), resident cap {}, {} tick(s), {} backend ==",
+        opts.sessions,
+        opts.resident_cap,
+        opts.ticks,
+        if opts.process {
+            "process"
+        } else {
+            "in-process"
+        }
+    );
+    println!(
+        "[resident {} (peak {}), evictions {}, restores {}, spill {} KiB]",
+        stats.resident,
+        max_resident,
+        stats.evictions,
+        stats.restores,
+        stats.spill_bytes / 1024
+    );
+    println!(
+        "[applied {} delta(s), {} failed, {} backpressure rejection(s) (session {}, global {})]",
+        stats.deltas_applied,
+        stats.deltas_failed,
+        backpressured,
+        stats.rejected_session,
+        stats.rejected_global
+    );
+    if max_resident > opts.resident_cap {
+        return Err(format!(
+            "residency audit failed: peak {} above cap {}",
+            max_resident, opts.resident_cap
+        ));
+    }
+    // Every session is still addressable; session 0 (evicted and
+    // restored along the way) scores bit-identically to the control.
+    let audit = server.scores(handles[0], 0).map_err(|e| e.to_string())?;
+    let control = template.scores(0).map_err(|e| e.to_string())?;
+    if !audit.bits_eq(&control) {
+        return Err("bit-identity audit failed: restored session diverged from control".into());
+    }
+    for &h in handles.iter().skip(1).take(8) {
+        server.scores(h, 0).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "[audit: all sessions addressable, peak residency {}/{} within cap, restored session \
+         bit-identical to never-evicted control]",
+        max_resident, opts.resident_cap
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_flags_parse_and_default() {
+        let opts = parse_serve_args(&s(&[
+            "--sessions",
+            "64",
+            "--resident-cap",
+            "4",
+            "--queue-cap",
+            "2",
+            "--process",
+        ]))
+        .unwrap();
+        assert_eq!(opts.sessions, 64);
+        assert_eq!(opts.resident_cap, 4);
+        assert_eq!(opts.queue_cap, 2);
+        assert!(opts.process);
+        let defaults = parse_serve_args(&[]).unwrap();
+        assert_eq!(defaults.sessions, 512);
+        assert!(!defaults.process);
+    }
+
+    #[test]
+    fn zero_serve_caps_are_rejected_loudly() {
+        // The CLI boundary rejects zero caps with the flag's own name,
+        // mirroring the typed ServeError::Config underneath.
+        for flag in [
+            "--sessions",
+            "--resident-cap",
+            "--ticks",
+            "--queue-cap",
+            "--global-cap",
+        ] {
+            let err = parse_serve_args(&s(&[flag, "0"])).unwrap_err();
+            assert!(err.contains(flag), "{err}");
+            assert!(err.contains("at least 1"), "{err}");
+        }
+        assert!(parse_serve_args(&s(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn scripted_workload_serves_under_tight_caps() {
+        // A small end-to-end run with caps tight enough to force both
+        // eviction churn and backpressure; the driver's own audits
+        // (residency bound, bit-identity vs control) run inside.
+        let opts = ServeOpts {
+            sessions: 12,
+            resident_cap: 3,
+            ticks: 6,
+            queue_cap: 2,
+            global_cap: 8,
+            rows: 64,
+            seed: 7,
+            spill_dir: std::env::temp_dir()
+                .join(format!("afd-serve-clitest-{}", std::process::id())),
+            process: false,
+        };
+        serve(&opts).unwrap();
+        let _ = std::fs::remove_dir_all(&opts.spill_dir);
+    }
+}

@@ -130,6 +130,25 @@ pub fn stream(cfg: &Config) {
         "[compaction verified {} candidate(s) against the batch kernels, dropped {} tombstones, {} rows live]",
         report.candidates_checked, report.rows_dropped, report.n_live
     );
+    // Operator-facing supervision summary (non-trivial under the process
+    // backend, where workers can be respawned and replayed mid-run).
+    let recovery = engine.recovery_report();
+    println!(
+        "[recovery: {} worker respawn(s), {} delta(s) replayed]",
+        recovery.total_respawns(),
+        recovery.total_deltas_replayed()
+    );
+    let shutdown = engine.shutdown();
+    if shutdown.clean() {
+        println!("[shutdown: {} shard(s) exited cleanly]", shutdown.shards);
+    } else {
+        println!(
+            "[shutdown: {} of {} shard(s) did not acknowledge: {:?}]",
+            shutdown.stragglers.len(),
+            shutdown.shards,
+            shutdown.stragglers
+        );
+    }
     let path = cfg.out_dir.join("ext_stream.csv");
     table.write_csv(&path).expect("write csv");
     println!("[written {}]", path.display());

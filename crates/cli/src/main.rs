@@ -25,6 +25,10 @@
 //!   profile <csv>  rank the AFDs of your own CSV file
 //!   save <csv> <snapshot>  persist a streamed session as a wire snapshot
 //!   load <snapshot>        restore a wire snapshot and print its scores
+//!   serve    extension: multi-tenant serving layer under a scripted
+//!            workload (own flags: --sessions n, --resident-cap n,
+//!            --ticks n, --queue-cap n, --global-cap n, --rows n,
+//!            --seed n, --spill-dir d, --process)
 //!   shard-worker  out-of-process shard speaking afd-wire over stdin/stdout
 //!                 (spawned by the engine's process backend, not by hand)
 //!   all      everything above (paper artifacts + extensions)
@@ -53,6 +57,7 @@ mod exp_extensions;
 mod exp_profile;
 mod exp_rwd;
 mod exp_rwde;
+mod exp_serve;
 mod exp_snapshot;
 mod exp_stream;
 mod exp_synth;
@@ -67,7 +72,7 @@ use ctx::{Config, RwdEval};
 const USAGE: &str = "usage: afd <experiment> [--scale f] [--seed n] [--threads n] \
 [--budget-ms n] [--paper-scale] [--shards n] [--checkpoint-every n] [--retry-budget n] \
 [--out dir]\n\
-experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi stream export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]\n             save <in.csv> <out.snapshot> | load <snapshot> | shard-worker";
+experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi stream export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]\n             save <in.csv> <out.snapshot> | load <snapshot> | shard-worker\n             serve [--sessions n] [--resident-cap n] [--ticks n] [--queue-cap n]\n                   [--global-cap n] [--rows n] [--seed n] [--spill-dir d] [--process]";
 
 fn parse_flags(args: &[String]) -> Result<Config, String> {
     let mut cfg = Config::default();
@@ -151,6 +156,15 @@ fn main() -> ExitCode {
             exp_snapshot::load(&args[1..])
         };
         return match run {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "serve" {
+        return match exp_serve::parse_serve_args(&args[1..]).and_then(|o| exp_serve::serve(&o)) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -1,0 +1,183 @@
+//! Process-backend twin of `afd-serve`'s eviction round-trip property:
+//! save → evict → restore → continue-applying stays bit-identical when
+//! every session shard is an `afd shard-worker` **child process**. Lives
+//! here because the worker binary (`CARGO_BIN_EXE_afd`) only exists in
+//! the CLI crate's test environment.
+//!
+//! Same id discipline as the in-process test: restore renumbers row ids
+//! densely, so the never-evicted control compacts at every eviction
+//! point to keep planned delete ids aligned.
+
+use afd_engine::{AfdEngine, DeltaRequest, EngineConfig, StreamBackend, SubscribeRequest};
+use afd_relation::{AttrId, Fd, Schema, Value};
+use afd_serve::{AfdServe, ServeConfig};
+use afd_stream::{RowDelta, WorkerCommand};
+use proptest::prelude::*;
+
+fn worker() -> WorkerCommand {
+    WorkerCommand::new(env!("CARGO_BIN_EXE_afd"))
+}
+
+type Event = (u8, u32, (Option<i64>, Option<i64>));
+
+fn events(max: usize) -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        (
+            0u8..4,
+            0u32..4096,
+            (
+                prop::option::weighted(0.9, 0i64..6),
+                prop::option::weighted(0.9, 0i64..5),
+            ),
+        ),
+        1..max,
+    )
+}
+
+struct Mirror {
+    live: Vec<u32>,
+    next_id: u32,
+}
+
+impl Mirror {
+    fn new() -> Self {
+        Mirror {
+            live: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn delta_from(&mut self, chunk: &[Event]) -> RowDelta {
+        let base = self.next_id;
+        let mut delta = RowDelta::new();
+        for &(sel, pick, (x, y)) in chunk {
+            let deletable: Vec<u32> = self
+                .live
+                .iter()
+                .copied()
+                .filter(|&id| id < base && !delta.deletes.contains(&id))
+                .collect();
+            if sel == 0 && !deletable.is_empty() {
+                let id = deletable[pick as usize % deletable.len()];
+                delta.deletes.push(id);
+                self.live.retain(|&l| l != id);
+            } else {
+                delta.inserts.push(vec![Value::from(x), Value::from(y)]);
+                self.live.push(self.next_id);
+                self.next_id += 1;
+            }
+        }
+        delta
+    }
+
+    fn after_compaction(&mut self, n_live: usize) {
+        self.live = (0..n_live as u32).collect();
+        self.next_id = n_live as u32;
+    }
+}
+
+/// An empty two-column engine whose shard runs as a worker process.
+fn process_engine() -> AfdEngine {
+    let schema = Schema::new(["X", "Y"]).unwrap();
+    let mut engine = AfdEngine::new(schema)
+        .with_config(EngineConfig {
+            backend: StreamBackend::Process(worker()),
+            ..EngineConfig::default()
+        })
+        .unwrap();
+    engine
+        .subscribe(&SubscribeRequest::new(Fd::linear(AttrId(0), AttrId(1))))
+        .unwrap();
+    engine
+        .subscribe(&SubscribeRequest::new(Fd::linear(AttrId(1), AttrId(0))))
+        .unwrap();
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn restored_process_sessions_continue_bit_identically(
+        warmup in events(16),
+        continuation in events(16),
+    ) {
+        let dir = std::env::temp_dir()
+            .join(format!("afd-serve-proc-prop-{}", std::process::id()));
+        // Control and served session both run process-backed shards; the
+        // serve config restores onto the process backend too.
+        let mut control = process_engine();
+        let mut cfg = ServeConfig::new(&dir);
+        cfg.backend = StreamBackend::Process(worker());
+        let mut serve = AfdServe::new(cfg).unwrap();
+        let h = serve.register(process_engine()).unwrap();
+        let mut mirror = Mirror::new();
+
+        for chunk in warmup.chunks(4) {
+            let delta = mirror.delta_from(chunk);
+            control.delta(&DeltaRequest::new(delta.clone())).unwrap();
+            serve.enqueue(h, delta).unwrap();
+            serve.tick().unwrap();
+        }
+
+        serve.evict(h).unwrap();
+        prop_assert!(!serve.is_resident(h).unwrap());
+        let report = control.compact().unwrap();
+        mirror.after_compaction(report.n_live);
+
+        for (step, chunk) in continuation.chunks(4).enumerate() {
+            let delta = mirror.delta_from(chunk);
+            control.delta(&DeltaRequest::new(delta.clone())).unwrap();
+            serve.enqueue(h, delta).unwrap();
+            serve.tick().unwrap();
+            for candidate in 0..2 {
+                let served = serve.scores(h, candidate).unwrap();
+                let expected = control.scores(candidate).unwrap();
+                prop_assert!(
+                    served.bits_eq(&expected),
+                    "step {step} candidate {candidate}: restored process session diverged"
+                );
+            }
+            if step % 2 == 0 {
+                serve.evict(h).unwrap();
+                let report = control.compact().unwrap();
+                mirror.after_compaction(report.n_live);
+            }
+        }
+        prop_assert!(serve.stats().restores >= 1);
+    }
+}
+
+/// The `afd serve --process` driver round-trips end to end: scripted
+/// workload, eviction churn, residency audit and bit-identity audit all
+/// happen inside the driver — a failure is a non-zero exit.
+#[test]
+fn serve_driver_runs_with_process_backend() {
+    let dir = std::env::temp_dir().join(format!("afd-serve-proc-cli-{}", std::process::id()));
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_afd"))
+        .args([
+            "serve",
+            "--sessions",
+            "6",
+            "--resident-cap",
+            "2",
+            "--ticks",
+            "4",
+            "--rows",
+            "64",
+            "--process",
+            "--spill-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("spawn afd serve");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "afd serve --process failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stdout.contains("bit-identical"), "{stdout}");
+    assert!(stdout.contains("process backend"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,123 @@
+//! The serving layer's unified error.
+
+use crate::registry::SessionHandle;
+use afd_engine::AfdError;
+use afd_wire::DecodeError;
+
+/// Which cap a rejected enqueue ran into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressureScope {
+    /// The target session's own pending-delta queue is full.
+    Session,
+    /// The server-wide pending-delta budget is exhausted.
+    Global,
+}
+
+/// Everything a serve request can fail with.
+///
+/// The server's contract mirrors the engine's: every request returns
+/// `Result<_, ServeError>`, and overload is an *answer*
+/// ([`ServeError::Backpressure`]), never unbounded buffering or a
+/// panic. Rejections are decided **before** any state changes, so a
+/// failed call leaves the session — queue, engine, residency — exactly
+/// as it was.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The handle's session was released (or never existed); its slot
+    /// may have been reused under a newer generation.
+    StaleHandle(SessionHandle),
+    /// An enqueue was rejected at a queue cap. The caller owns the retry
+    /// policy: tick to drain, then resubmit.
+    Backpressure {
+        /// Which cap rejected it.
+        scope: BackpressureScope,
+        /// The configured cap.
+        cap: usize,
+        /// Deltas already pending under that cap.
+        pending: usize,
+    },
+    /// Registration was refused: the registry already holds
+    /// `max_sessions` live sessions.
+    AtCapacity {
+        /// The configured registry cap.
+        cap: usize,
+    },
+    /// Invalid server configuration (zero cap or budget).
+    Config(String),
+    /// The underlying engine failed (scoring, delta validation, snapshot
+    /// codec).
+    Engine(AfdError),
+    /// Spill-file I/O failed (evict write, restore read).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::StaleHandle(h) => write!(f, "stale handle: {h} was released"),
+            ServeError::Backpressure {
+                scope,
+                cap,
+                pending,
+            } => {
+                let scope = match scope {
+                    BackpressureScope::Session => "session queue",
+                    BackpressureScope::Global => "global queue",
+                };
+                write!(f, "backpressure: {scope} at cap ({pending}/{cap} pending)")
+            }
+            ServeError::AtCapacity { cap } => {
+                write!(f, "registry at capacity ({cap} sessions)")
+            }
+            ServeError::Config(msg) => write!(f, "serve configuration: {msg}"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Io(e) => write!(f, "spill i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AfdError> for ServeError {
+    fn from(e: AfdError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+impl From<DecodeError> for ServeError {
+    fn from(e: DecodeError) -> Self {
+        ServeError::Engine(AfdError::Wire(e))
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = ServeError::Backpressure {
+            scope: BackpressureScope::Session,
+            cap: 8,
+            pending: 8,
+        };
+        assert!(e.to_string().contains("8/8"));
+        let e = ServeError::from(AfdError::NoSuchCandidate(3));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ServeError::AtCapacity { cap: 2 }.to_string().contains("2"));
+    }
+}

@@ -1,0 +1,192 @@
+//! The generational-slab session registry.
+//!
+//! Sessions live in reusable slots; the external name of a session is a
+//! [`SessionHandle`] — slot index **plus generation**. Releasing a
+//! session bumps its slot's generation, so a handle kept past release
+//! can never alias whatever tenant the slot is reused for: every lookup
+//! checks the generation and answers a typed
+//! [`ServeError::StaleHandle`] instead.
+
+use crate::error::ServeError;
+
+/// The stable external name of a registered session.
+///
+/// A handle stays valid across any number of evictions and restores —
+/// it names the *session*, not its resident engine. It dies only when
+/// the session is released, after which every use of it (including on a
+/// reused slot) is a typed [`ServeError::StaleHandle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionHandle {
+    index: u32,
+    generation: u32,
+}
+
+impl SessionHandle {
+    /// The slot index (dense, reused after release).
+    #[must_use]
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The slot generation this handle was issued under.
+    #[must_use]
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+}
+
+impl std::fmt::Display for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session #{}.g{}", self.index, self.generation)
+    }
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// The slab: a dense `Vec` of slots plus a free list. Insert prefers a
+/// freed slot (whose generation was already bumped at release), so the
+/// registry's footprint is `O(live sessions)`, not `O(ever registered)`.
+#[derive(Debug)]
+pub(crate) struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    pub(crate) fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Live sessions.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Registers a value, reusing a freed slot when one exists.
+    pub(crate) fn insert(&mut self, value: T) -> SessionHandle {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none());
+            slot.value = Some(value);
+            return SessionHandle {
+                index,
+                generation: slot.generation,
+            };
+        }
+        let index = u32::try_from(self.slots.len()).expect("more than u32::MAX sessions");
+        self.slots.push(Slot {
+            generation: 0,
+            value: Some(value),
+        });
+        SessionHandle {
+            index,
+            generation: 0,
+        }
+    }
+
+    /// Validates a handle down to its slot index.
+    pub(crate) fn slot_of(&self, h: SessionHandle) -> Result<u32, ServeError> {
+        match self.slots.get(h.index as usize) {
+            Some(slot) if slot.generation == h.generation && slot.value.is_some() => Ok(h.index),
+            _ => Err(ServeError::StaleHandle(h)),
+        }
+    }
+
+    pub(crate) fn get(&self, h: SessionHandle) -> Result<&T, ServeError> {
+        let slot = self.slot_of(h)?;
+        Ok(self.slots[slot as usize].value.as_ref().expect("validated"))
+    }
+
+    pub(crate) fn get_mut(&mut self, h: SessionHandle) -> Result<&mut T, ServeError> {
+        let slot = self.slot_of(h)?;
+        Ok(self.slots[slot as usize].value.as_mut().expect("validated"))
+    }
+
+    /// Removes the session and bumps the slot's generation — the handle
+    /// (and any copy of it) is stale from here on.
+    pub(crate) fn remove(&mut self, h: SessionHandle) -> Result<T, ServeError> {
+        let index = self.slot_of(h)?;
+        let slot = &mut self.slots[index as usize];
+        let value = slot.value.take().expect("validated");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(index);
+        self.len -= 1;
+        Ok(value)
+    }
+
+    /// Trusted access by slot index (internal queues hold bare slots).
+    /// `None` when the slot was released since it was queued.
+    pub(crate) fn at_mut(&mut self, slot: u32) -> Option<&mut T> {
+        self.slots.get_mut(slot as usize)?.value.as_mut()
+    }
+
+    /// Handles of every occupied slot (registry iteration for teardown
+    /// and census paths — the hot paths never scan).
+    pub(crate) fn handles(&self) -> impl Iterator<Item = SessionHandle> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value.as_ref().map(|_| SessionHandle {
+                index: i as u32,
+                generation: s.generation,
+            })
+        })
+    }
+
+    /// The current handle of an occupied slot.
+    pub(crate) fn handle_at(&self, slot: u32) -> SessionHandle {
+        SessionHandle {
+            index: slot,
+            generation: self.slots[slot as usize].generation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_survive_only_their_own_generation() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(*slab.get(a).unwrap(), "a");
+        assert_eq!(slab.remove(a).unwrap(), "a");
+        assert_eq!(slab.len(), 1);
+        // The handle is now typed-stale, for every access path.
+        assert!(matches!(slab.get(a), Err(ServeError::StaleHandle(h)) if h == a));
+        assert!(matches!(slab.get_mut(a), Err(ServeError::StaleHandle(_))));
+        assert!(matches!(slab.remove(a), Err(ServeError::StaleHandle(_))));
+        // Reuse takes the freed slot under a *new* generation: the old
+        // handle still cannot reach the new tenant.
+        let c = slab.insert("c");
+        assert_eq!(c.index(), a.index());
+        assert_eq!(c.generation(), a.generation() + 1);
+        assert!(matches!(slab.get(a), Err(ServeError::StaleHandle(_))));
+        assert_eq!(*slab.get(c).unwrap(), "c");
+        assert_eq!(*slab.get(b).unwrap(), "b");
+        assert_eq!(slab.handle_at(c.index()), c);
+    }
+
+    #[test]
+    fn out_of_range_handles_are_stale_not_panics() {
+        let mut slab = Slab::<u8>::new();
+        let h = slab.insert(7);
+        let bogus = SessionHandle {
+            index: 99,
+            generation: 0,
+        };
+        assert!(matches!(slab.get(bogus), Err(ServeError::StaleHandle(_))));
+        assert_eq!(format!("{h}"), "session #0.g0");
+    }
+}

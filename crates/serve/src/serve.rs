@@ -1,0 +1,639 @@
+//! The multi-tenant session server: budgeted tick scheduler, admission
+//! control and cold-session eviction over the slab registry.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use afd_engine::{
+    AfdEngine, DeltaRequest, RestoreRequest, SnapshotRequest, StreamBackend, SubscribeRequest,
+};
+use afd_relation::Fd;
+use afd_stream::{RowDelta, SessionSnapshot, StreamScores};
+
+use crate::error::{BackpressureScope, ServeError};
+use crate::registry::{SessionHandle, Slab};
+
+/// Per-tick work bounds. A tick stops at whichever limit it hits first,
+/// so one call to [`AfdServe::tick`] can never run away regardless of
+/// how much is queued.
+#[derive(Debug, Clone, Copy)]
+pub struct TickBudget {
+    /// Most deltas applied per tick, across all sessions.
+    pub max_deltas: usize,
+    /// Most deltas applied per session per scheduler visit — the
+    /// fairness knob. A session with more pending goes back to the end
+    /// of the ready ring, so a hot tenant advances the ring, not blocks
+    /// it.
+    pub session_burst: usize,
+    /// Optional wall-clock budget in microseconds, checked between
+    /// session visits (restore cost counts against it).
+    pub max_micros: Option<u64>,
+}
+
+impl Default for TickBudget {
+    fn default() -> Self {
+        TickBudget {
+            max_deltas: 256,
+            session_burst: 32,
+            max_micros: None,
+        }
+    }
+}
+
+/// Server-wide knobs. Built with [`ServeConfig::new`] (the spill
+/// directory is the one mandatory choice), then adjusted field-wise.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Most sessions resident (engine in memory) at once; the LRU rest
+    /// live as framed snapshots in `spill_dir`. At least 1.
+    pub resident_cap: usize,
+    /// Most pending deltas per session before [`ServeError::Backpressure`].
+    pub session_queue_cap: usize,
+    /// Most pending deltas server-wide before [`ServeError::Backpressure`].
+    pub global_queue_cap: usize,
+    /// Most live sessions before registration answers
+    /// [`ServeError::AtCapacity`].
+    pub max_sessions: usize,
+    /// Where evicted sessions spill (`sess_<slot>_<generation>.snap`,
+    /// the `afd save` frame format). Created on [`AfdServe::new`].
+    pub spill_dir: PathBuf,
+    /// Backend restored sessions run their shards on.
+    pub backend: StreamBackend,
+    /// Per-tick work bounds.
+    pub budget: TickBudget,
+}
+
+impl ServeConfig {
+    /// A config with serving defaults: 64 resident sessions, 64 pending
+    /// deltas per session, 4096 server-wide, 1M session registry.
+    pub fn new(spill_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            resident_cap: 64,
+            session_queue_cap: 64,
+            global_queue_cap: 4096,
+            max_sessions: 1 << 20,
+            spill_dir: spill_dir.into(),
+            backend: StreamBackend::InProcess,
+            budget: TickBudget::default(),
+        }
+    }
+}
+
+/// What one [`AfdServe::tick`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickReport {
+    /// Deltas applied across all sessions this tick.
+    pub deltas_applied: usize,
+    /// Deltas that failed engine validation and were dropped (one
+    /// tenant's bad delta never aborts the tick for the rest).
+    pub deltas_failed: usize,
+    /// Scheduler visits (a session drained twice counts twice).
+    pub sessions_visited: usize,
+    /// Cold sessions restored from spill this tick.
+    pub restores: usize,
+    /// Sessions evicted to spill this tick.
+    pub evictions: usize,
+    /// `true` when the tick stopped on a budget limit with work still
+    /// queued — call [`AfdServe::tick`] again to continue.
+    pub budget_exhausted: bool,
+    /// Deltas still pending server-wide after the tick.
+    pub remaining: usize,
+}
+
+/// A point-in-time census of the server — what the `afd serve` driver
+/// prints and `record_serve` records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Live (addressable) sessions.
+    pub sessions: usize,
+    /// Sessions with a resident engine — always `<= resident_cap`.
+    pub resident: usize,
+    /// Deltas pending server-wide.
+    pub pending: usize,
+    /// Bytes of evicted sessions currently on disk.
+    pub spill_bytes: u64,
+    /// Ticks run.
+    pub ticks: u64,
+    /// Deltas applied over the server's lifetime.
+    pub deltas_applied: u64,
+    /// Deltas dropped by engine validation.
+    pub deltas_failed: u64,
+    /// Evictions over the server's lifetime.
+    pub evictions: u64,
+    /// Restores over the server's lifetime.
+    pub restores: u64,
+    /// Enqueues rejected at the per-session cap.
+    pub rejected_session: u64,
+    /// Enqueues rejected at the global cap.
+    pub rejected_global: u64,
+}
+
+enum TenantState {
+    /// Engine in memory; the tenant's stamp is a key in the LRU map.
+    Resident(Box<AfdEngine>),
+    /// Engine spilled to `sess_<slot>_<generation>.snap`.
+    Evicted,
+}
+
+struct Tenant {
+    state: TenantState,
+    pending: VecDeque<RowDelta>,
+    /// In the ready ring (has pending work the scheduler will visit).
+    in_ready: bool,
+    /// Last-touch logical stamp; the LRU key while resident.
+    stamp: u64,
+    /// Framed snapshot size on disk while evicted.
+    spill_len: u64,
+}
+
+/// A long-lived multi-tenant session server in front of [`AfdEngine`].
+///
+/// Four pieces, matching the ROADMAP's serving-layer item:
+///
+/// * a **generational-slab registry** — sessions are named by stable
+///   [`SessionHandle`]s over reused slots; stale handles are typed
+///   errors, never aliased sessions;
+/// * a **budget-based tick scheduler** — [`AfdServe::enqueue`] queues
+///   deltas per session, [`AfdServe::tick`] drains a bounded
+///   [`TickBudget`] across ready sessions round-robin;
+/// * **admission control + backpressure** — per-session and global
+///   queue caps answer [`ServeError::Backpressure`] *before* touching
+///   any state, and the registry itself caps at
+///   [`ServeConfig::max_sessions`];
+/// * **cold-session eviction** — beyond [`ServeConfig::resident_cap`],
+///   least-recently-touched sessions spill to disk as framed
+///   [`SessionSnapshot`]s and restore transparently on next touch, so
+///   resident memory stays bounded while every registered session
+///   remains addressable. Restored scores are bit-identical (restore is
+///   the `afd save`/`load` path).
+///
+/// Scheduling, eviction and accounting are all `O(log resident)` or
+/// better per operation — nothing scans the registry.
+pub struct AfdServe {
+    cfg: ServeConfig,
+    slab: Slab<Tenant>,
+    /// Sessions with pending deltas, in scheduler order.
+    ready: VecDeque<u32>,
+    /// Resident sessions by last-touch stamp (oldest first) — the
+    /// eviction order.
+    lru: BTreeMap<u64, u32>,
+    clock: u64,
+    global_pending: usize,
+    spill_bytes: u64,
+    ticks: u64,
+    deltas_applied: u64,
+    deltas_failed: u64,
+    evictions: u64,
+    restores: u64,
+    rejected_session: u64,
+    rejected_global: u64,
+}
+
+impl AfdServe {
+    /// Builds a server and creates its spill directory.
+    ///
+    /// # Errors
+    /// [`ServeError::Config`] on any zero cap or budget;
+    /// [`ServeError::Io`] when the spill directory cannot be created.
+    pub fn new(cfg: ServeConfig) -> Result<Self, ServeError> {
+        for (name, v) in [
+            ("resident_cap", cfg.resident_cap),
+            ("session_queue_cap", cfg.session_queue_cap),
+            ("global_queue_cap", cfg.global_queue_cap),
+            ("max_sessions", cfg.max_sessions),
+            ("budget.max_deltas", cfg.budget.max_deltas),
+            ("budget.session_burst", cfg.budget.session_burst),
+        ] {
+            if v == 0 {
+                return Err(ServeError::Config(format!("{name} must be at least 1")));
+            }
+        }
+        fs::create_dir_all(&cfg.spill_dir)?;
+        Ok(AfdServe {
+            cfg,
+            slab: Slab::new(),
+            ready: VecDeque::new(),
+            lru: BTreeMap::new(),
+            clock: 0,
+            global_pending: 0,
+            spill_bytes: 0,
+            ticks: 0,
+            deltas_applied: 0,
+            deltas_failed: 0,
+            evictions: 0,
+            restores: 0,
+            rejected_session: 0,
+            rejected_global: 0,
+        })
+    }
+
+    /// The configuration the server runs under.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Registers a live engine as a session. The engine starts resident;
+    /// if that pushes residency past the cap, the least-recently-touched
+    /// session (possibly an older one) spills.
+    ///
+    /// # Errors
+    /// [`ServeError::AtCapacity`] at the registry cap; eviction spill
+    /// errors as [`ServeError::Engine`] / [`ServeError::Io`].
+    pub fn register(&mut self, engine: AfdEngine) -> Result<SessionHandle, ServeError> {
+        self.admit()?;
+        let h = self.slab.insert(Tenant {
+            state: TenantState::Resident(Box::new(engine)),
+            pending: VecDeque::new(),
+            in_ready: false,
+            stamp: 0,
+            spill_len: 0,
+        });
+        self.touch(h.index());
+        self.lru_insert(h.index());
+        self.evict_to_cap()?;
+        Ok(h)
+    }
+
+    /// Registers a session directly from a framed snapshot blob (the
+    /// `afd save` format) **without building an engine**: the bytes are
+    /// validated, written to spill, and the session starts evicted. This
+    /// is the cheap path to a very large registry — registering 100k
+    /// sessions costs 100k small file writes, not 100k engine builds.
+    ///
+    /// # Errors
+    /// [`ServeError::AtCapacity`] at the registry cap;
+    /// [`ServeError::Engine`] when the blob is not a valid snapshot
+    /// frame; [`ServeError::Io`] when the spill write fails.
+    pub fn register_snapshot(&mut self, bytes: &[u8]) -> Result<SessionHandle, ServeError> {
+        self.admit()?;
+        SessionSnapshot::from_bytes(bytes)?;
+        let h = self.slab.insert(Tenant {
+            state: TenantState::Evicted,
+            pending: VecDeque::new(),
+            in_ready: false,
+            stamp: 0,
+            spill_len: bytes.len() as u64,
+        });
+        self.touch(h.index());
+        if let Err(e) = fs::write(self.spill_path(h), bytes) {
+            self.slab.remove(h).expect("just inserted");
+            return Err(ServeError::Io(e));
+        }
+        self.spill_bytes += bytes.len() as u64;
+        Ok(h)
+    }
+
+    /// Queues a delta for the session; [`AfdServe::tick`] applies it.
+    /// Returns the session's pending count after the enqueue.
+    ///
+    /// Caps are checked **before** anything changes: a
+    /// [`ServeError::Backpressure`] rejection leaves the session's
+    /// queue, engine and residency exactly as they were.
+    ///
+    /// # Errors
+    /// [`ServeError::StaleHandle`], [`ServeError::Backpressure`].
+    pub fn enqueue(&mut self, h: SessionHandle, delta: RowDelta) -> Result<usize, ServeError> {
+        let session_cap = self.cfg.session_queue_cap;
+        let global_cap = self.cfg.global_queue_cap;
+        let global_pending = self.global_pending;
+        let tenant = self.slab.get_mut(h)?;
+        if tenant.pending.len() >= session_cap {
+            let pending = tenant.pending.len();
+            self.rejected_session += 1;
+            return Err(ServeError::Backpressure {
+                scope: BackpressureScope::Session,
+                cap: session_cap,
+                pending,
+            });
+        }
+        if global_pending >= global_cap {
+            self.rejected_global += 1;
+            return Err(ServeError::Backpressure {
+                scope: BackpressureScope::Global,
+                cap: global_cap,
+                pending: global_pending,
+            });
+        }
+        tenant.pending.push_back(delta);
+        let pending = tenant.pending.len();
+        if !tenant.in_ready {
+            tenant.in_ready = true;
+            self.ready.push_back(h.index());
+        }
+        self.global_pending += 1;
+        Ok(pending)
+    }
+
+    /// Runs one scheduler tick: visits ready sessions round-robin,
+    /// restores any that are cold, applies up to
+    /// [`TickBudget::session_burst`] of each one's pending deltas, and
+    /// stops at [`TickBudget::max_deltas`] / [`TickBudget::max_micros`].
+    /// Residency is re-bounded to the cap before the tick returns.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] / [`ServeError::Engine`] on spill or restore
+    /// failure. Per-delta *validation* failures do not error the tick:
+    /// the bad delta is dropped and counted in
+    /// [`TickReport::deltas_failed`], isolating tenants from each other.
+    pub fn tick(&mut self) -> Result<TickReport, ServeError> {
+        let started = Instant::now();
+        let budget = self.cfg.budget;
+        let mut report = TickReport::default();
+        let (restores0, evictions0) = (self.restores, self.evictions);
+        self.ticks += 1;
+        while report.deltas_applied < budget.max_deltas {
+            if let Some(max_micros) = budget.max_micros {
+                if started.elapsed().as_micros() >= u128::from(max_micros) {
+                    report.budget_exhausted = true;
+                    break;
+                }
+            }
+            let Some(slot) = self.ready.pop_front() else {
+                break;
+            };
+            // The slot may have been released since it was queued.
+            if self.slab.at_mut(slot).is_none() {
+                continue;
+            }
+            self.touch(slot);
+            self.make_resident(slot)?;
+            let burst = budget
+                .session_burst
+                .min(budget.max_deltas - report.deltas_applied);
+            let tenant = self.slab.at_mut(slot).expect("checked above");
+            let TenantState::Resident(engine) = &mut tenant.state else {
+                unreachable!("made resident above");
+            };
+            let mut drained = 0usize;
+            let mut applied = 0usize;
+            let mut failed = 0usize;
+            while drained < burst {
+                let Some(delta) = tenant.pending.pop_front() else {
+                    break;
+                };
+                drained += 1;
+                match engine.delta(&DeltaRequest::new(delta)) {
+                    Ok(_) => applied += 1,
+                    Err(_) => failed += 1,
+                }
+            }
+            if tenant.pending.is_empty() {
+                tenant.in_ready = false;
+            } else {
+                self.ready.push_back(slot);
+            }
+            self.global_pending -= drained;
+            self.deltas_applied += applied as u64;
+            self.deltas_failed += failed as u64;
+            report.deltas_applied += applied;
+            report.deltas_failed += failed;
+            report.sessions_visited += 1;
+            self.evict_to_cap()?;
+        }
+        if report.deltas_applied >= budget.max_deltas && self.global_pending > 0 {
+            report.budget_exhausted = true;
+        }
+        report.restores = (self.restores - restores0) as usize;
+        report.evictions = (self.evictions - evictions0) as usize;
+        report.remaining = self.global_pending;
+        Ok(report)
+    }
+
+    /// Subscribes the session to a candidate FD, restoring it first if
+    /// cold. Returns the candidate index (stable for this session).
+    ///
+    /// # Errors
+    /// [`ServeError::StaleHandle`], restore errors, and engine
+    /// validation as [`ServeError::Engine`].
+    pub fn subscribe(&mut self, h: SessionHandle, fd: Fd) -> Result<usize, ServeError> {
+        let slot = self.slab.slot_of(h)?;
+        self.touch(slot);
+        self.make_resident(slot)?;
+        let tenant = self.slab.at_mut(slot).expect("validated");
+        let TenantState::Resident(engine) = &mut tenant.state else {
+            unreachable!("made resident above");
+        };
+        let resp = engine.subscribe(&SubscribeRequest::new(fd))?;
+        self.evict_to_cap()?;
+        Ok(resp.candidate)
+    }
+
+    /// The session's current scores for a subscribed candidate,
+    /// restoring the session first if cold. Reads reflect *applied*
+    /// deltas — queued ones are pending until a tick drains them.
+    ///
+    /// # Errors
+    /// [`ServeError::StaleHandle`], restore errors,
+    /// [`ServeError::Engine`] for an unknown candidate.
+    pub fn scores(
+        &mut self,
+        h: SessionHandle,
+        candidate: usize,
+    ) -> Result<StreamScores, ServeError> {
+        let slot = self.slab.slot_of(h)?;
+        self.touch(slot);
+        self.make_resident(slot)?;
+        let tenant = self.slab.at_mut(slot).expect("validated");
+        let TenantState::Resident(engine) = &mut tenant.state else {
+            unreachable!("made resident above");
+        };
+        let scores = engine.scores(candidate)?;
+        self.evict_to_cap()?;
+        Ok(scores)
+    }
+
+    /// Evicts the session to spill now (a no-op if already cold). The
+    /// handle stays valid — next touch restores it.
+    ///
+    /// # Errors
+    /// [`ServeError::StaleHandle`], spill errors.
+    pub fn evict(&mut self, h: SessionHandle) -> Result<(), ServeError> {
+        let slot = self.slab.slot_of(h)?;
+        let tenant = self.slab.at_mut(slot).expect("validated");
+        if matches!(tenant.state, TenantState::Resident(_)) {
+            self.lru.remove(&tenant.stamp);
+            self.evict_slot(slot)?;
+        }
+        Ok(())
+    }
+
+    /// Releases the session: its queue is discarded, its spill file (if
+    /// any) deleted, and the handle — every copy of it — goes stale.
+    ///
+    /// # Errors
+    /// [`ServeError::StaleHandle`].
+    pub fn release(&mut self, h: SessionHandle) -> Result<(), ServeError> {
+        let slot = self.slab.slot_of(h)?;
+        let path = self.spill_path(self.slab.handle_at(slot));
+        let tenant = self.slab.remove(h).expect("validated");
+        self.global_pending -= tenant.pending.len();
+        match tenant.state {
+            TenantState::Resident(engine) => {
+                self.lru.remove(&tenant.stamp);
+                // Graceful teardown; a straggler shard is the engine's
+                // concern, not the registry's.
+                let _ = engine.shutdown();
+            }
+            TenantState::Evicted => {
+                self.spill_bytes -= tenant.spill_len;
+                let _ = fs::remove_file(path);
+            }
+        }
+        if tenant.in_ready {
+            self.ready.retain(|&s| s != slot);
+        }
+        Ok(())
+    }
+
+    /// Whether the session currently has a resident engine.
+    ///
+    /// # Errors
+    /// [`ServeError::StaleHandle`].
+    pub fn is_resident(&self, h: SessionHandle) -> Result<bool, ServeError> {
+        Ok(matches!(self.slab.get(h)?.state, TenantState::Resident(_)))
+    }
+
+    /// Deltas queued for the session.
+    ///
+    /// # Errors
+    /// [`ServeError::StaleHandle`].
+    pub fn pending(&self, h: SessionHandle) -> Result<usize, ServeError> {
+        Ok(self.slab.get(h)?.pending.len())
+    }
+
+    /// Point-in-time census (sessions, residency, queues, lifetime
+    /// counters).
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            sessions: self.slab.len(),
+            resident: self.lru.len(),
+            pending: self.global_pending,
+            spill_bytes: self.spill_bytes,
+            ticks: self.ticks,
+            deltas_applied: self.deltas_applied,
+            deltas_failed: self.deltas_failed,
+            evictions: self.evictions,
+            restores: self.restores,
+            rejected_session: self.rejected_session,
+            rejected_global: self.rejected_global,
+        }
+    }
+
+    fn admit(&self) -> Result<(), ServeError> {
+        if self.slab.len() >= self.cfg.max_sessions {
+            return Err(ServeError::AtCapacity {
+                cap: self.cfg.max_sessions,
+            });
+        }
+        Ok(())
+    }
+
+    fn spill_path(&self, h: SessionHandle) -> PathBuf {
+        self.cfg
+            .spill_dir
+            .join(format!("sess_{}_{}.snap", h.index(), h.generation()))
+    }
+
+    /// Bumps the logical clock onto the slot's tenant, keeping the LRU
+    /// key in sync when resident.
+    fn touch(&mut self, slot: u32) {
+        self.clock += 1;
+        let clock = self.clock;
+        let tenant = self.slab.at_mut(slot).expect("touch on a live slot");
+        let resident = matches!(tenant.state, TenantState::Resident(_));
+        let old = tenant.stamp;
+        tenant.stamp = clock;
+        if resident {
+            self.lru.remove(&old);
+            self.lru.insert(clock, slot);
+        }
+    }
+
+    fn lru_insert(&mut self, slot: u32) {
+        let stamp = self.slab.at_mut(slot).expect("live slot").stamp;
+        self.lru.insert(stamp, slot);
+    }
+
+    /// Restores a cold session from its spill file. The caller must
+    /// have touched the slot first, so the freshly restored session is
+    /// the *newest* resident and [`AfdServe::evict_to_cap`] never
+    /// immediately re-evicts it (resident_cap >= 1).
+    fn make_resident(&mut self, slot: u32) -> Result<(), ServeError> {
+        let h = self.slab.handle_at(slot);
+        let tenant = self.slab.at_mut(slot).expect("live slot");
+        if matches!(tenant.state, TenantState::Resident(_)) {
+            return Ok(());
+        }
+        let path = self.spill_path(h);
+        let bytes = fs::read(&path)?;
+        let engine =
+            AfdEngine::restore_with_backend(&RestoreRequest::new(bytes), self.cfg.backend.clone())?;
+        let tenant = self.slab.at_mut(slot).expect("live slot");
+        tenant.state = TenantState::Resident(Box::new(engine));
+        self.spill_bytes -= tenant.spill_len;
+        tenant.spill_len = 0;
+        let _ = fs::remove_file(path);
+        self.restores += 1;
+        self.lru_insert(slot);
+        self.evict_to_cap()
+    }
+
+    /// Spills least-recently-touched residents until the cap holds.
+    fn evict_to_cap(&mut self) -> Result<(), ServeError> {
+        while self.lru.len() > self.cfg.resident_cap {
+            let (_, slot) = self.lru.pop_first().expect("len > cap >= 1");
+            self.evict_slot(slot)?;
+        }
+        Ok(())
+    }
+
+    /// Spills one resident session (already removed from the LRU map).
+    fn evict_slot(&mut self, slot: u32) -> Result<(), ServeError> {
+        let h = self.slab.handle_at(slot);
+        let path = self.spill_path(h);
+        let tenant = self.slab.at_mut(slot).expect("live slot");
+        let state = std::mem::replace(&mut tenant.state, TenantState::Evicted);
+        let TenantState::Resident(mut engine) = state else {
+            unreachable!("evict_slot on a cold slot");
+        };
+        let snap = match engine.save(&SnapshotRequest::default()) {
+            Ok(snap) => snap,
+            Err(e) => {
+                // Failed to capture: the session stays resident (and
+                // back in the LRU) rather than losing state.
+                let tenant = self.slab.at_mut(slot).expect("live slot");
+                tenant.state = TenantState::Resident(engine);
+                self.lru_insert(slot);
+                return Err(ServeError::Engine(e));
+            }
+        };
+        if let Err(e) = fs::write(&path, &snap.bytes) {
+            let tenant = self.slab.at_mut(slot).expect("live slot");
+            tenant.state = TenantState::Resident(engine);
+            self.lru_insert(slot);
+            return Err(ServeError::Io(e));
+        }
+        let len = snap.bytes.len() as u64;
+        let tenant = self.slab.at_mut(slot).expect("live slot");
+        tenant.spill_len = len;
+        self.spill_bytes += len;
+        self.evictions += 1;
+        let _ = (*engine).shutdown();
+        Ok(())
+    }
+}
+
+impl Drop for AfdServe {
+    fn drop(&mut self) {
+        // Spill files are working state, not exports: sweep the ones
+        // this server wrote so repeated runs don't accumulate.
+        let paths: Vec<PathBuf> = self.slab.handles().map(|h| self.spill_path(h)).collect();
+        for path in paths {
+            let _ = fs::remove_file(path);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests pinning the serving layer's eviction round-trip:
+//! save → evict → restore → continue-applying must be **score-invisible**.
+//! A session that was spilled and restored (any number of times) scores
+//! bit-identically (`f64::to_bits`) to a twin engine that never left
+//! memory, at every step of a random continuation workload.
+//!
+//! Id discipline: restore renumbers row ids densely — exactly what
+//! [`AfdEngine::compact`] does — so the never-evicted control compacts
+//! at the eviction point and the planned deltas (inserts and
+//! delete-by-id) stay valid for both engines. The process-backend twin
+//! of this test lives in `afd-cli`'s integration tests, where the `afd`
+//! worker binary exists.
+
+use afd_engine::{AfdEngine, DeltaRequest, SubscribeRequest};
+use afd_relation::{AttrId, Fd, Schema, Value};
+use afd_serve::{AfdServe, ServeConfig};
+use afd_stream::RowDelta;
+use proptest::prelude::*;
+
+/// One stream event: op selector, delete-target pick, cell values
+/// (None = NULL).
+type Event = (u8, u32, (Option<i64>, Option<i64>));
+
+fn events(max: usize) -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        (
+            0u8..4, // 0 => delete (when possible), else insert
+            0u32..4096,
+            (
+                prop::option::weighted(0.9, 0i64..6),
+                prop::option::weighted(0.9, 0i64..5),
+            ),
+        ),
+        1..max,
+    )
+}
+
+/// Mirror of live row ids, shared by the control and the served session
+/// (identical engines assign identical ids while uncompacted).
+struct Mirror {
+    live: Vec<u32>,
+    next_id: u32,
+}
+
+impl Mirror {
+    fn new() -> Self {
+        Mirror {
+            live: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn delta_from(&mut self, chunk: &[Event]) -> RowDelta {
+        let base = self.next_id;
+        let mut delta = RowDelta::new();
+        for &(sel, pick, (x, y)) in chunk {
+            let deletable: Vec<u32> = self
+                .live
+                .iter()
+                .copied()
+                .filter(|&id| id < base && !delta.deletes.contains(&id))
+                .collect();
+            if sel == 0 && !deletable.is_empty() {
+                let id = deletable[pick as usize % deletable.len()];
+                delta.deletes.push(id);
+                self.live.retain(|&l| l != id);
+            } else {
+                delta.inserts.push(vec![Value::from(x), Value::from(y)]);
+                self.live.push(self.next_id);
+                self.next_id += 1;
+            }
+        }
+        delta
+    }
+
+    /// Compaction (and restore) renumber survivors densely.
+    fn after_compaction(&mut self, n_live: usize) {
+        self.live = (0..n_live as u32).collect();
+        self.next_id = n_live as u32;
+    }
+}
+
+fn fresh_engine() -> AfdEngine {
+    let schema = Schema::new(["X", "Y"]).unwrap();
+    let mut engine = AfdEngine::new(schema);
+    engine
+        .subscribe(&SubscribeRequest::new(Fd::linear(AttrId(0), AttrId(1))))
+        .unwrap();
+    engine
+        .subscribe(&SubscribeRequest::new(Fd::linear(AttrId(1), AttrId(0))))
+        .unwrap();
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn restored_sessions_continue_bit_identically(
+        warmup in events(40),
+        continuation in events(40),
+    ) {
+        let dir = std::env::temp_dir()
+            .join(format!("afd-serve-prop-{}", std::process::id()));
+        let mut control = fresh_engine();
+        let mut serve = AfdServe::new(ServeConfig::new(&dir)).unwrap();
+        let h = serve.register(fresh_engine()).unwrap();
+        let mut mirror = Mirror::new();
+
+        // Warmup churn before the first eviction, applied to both.
+        for chunk in warmup.chunks(4) {
+            let delta = mirror.delta_from(chunk);
+            control.delta(&DeltaRequest::new(delta.clone())).unwrap();
+            serve.enqueue(h, delta).unwrap();
+            serve.tick().unwrap();
+        }
+
+        // Eviction point: the served session spills; the control
+        // compacts instead (restore renumbers ids exactly like a
+        // compaction, so planned deletes stay aligned).
+        serve.evict(h).unwrap();
+        prop_assert!(!serve.is_resident(h).unwrap());
+        let report = control.compact().unwrap();
+        mirror.after_compaction(report.n_live);
+
+        // Continue applying after the restore — and re-evict between
+        // steps, so the session round-trips through spill many times.
+        for (step, chunk) in continuation.chunks(4).enumerate() {
+            let delta = mirror.delta_from(chunk);
+            control.delta(&DeltaRequest::new(delta.clone())).unwrap();
+            serve.enqueue(h, delta).unwrap();
+            serve.tick().unwrap();
+            for candidate in 0..2 {
+                let served = serve.scores(h, candidate).unwrap();
+                let expected = control.scores(candidate).unwrap();
+                prop_assert!(
+                    served.bits_eq(&expected),
+                    "step {step} candidate {candidate}: restored session diverged"
+                );
+            }
+            if step % 2 == 0 {
+                // Every eviction is another restore-side renumbering, so
+                // the control re-compacts to keep planned ids aligned.
+                serve.evict(h).unwrap();
+                let report = control.compact().unwrap();
+                mirror.after_compaction(report.n_live);
+            }
+        }
+        prop_assert!(serve.stats().restores >= 1);
+        prop_assert_eq!(serve.stats().pending, 0);
+    }
+}

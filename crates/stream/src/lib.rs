@@ -139,5 +139,5 @@ pub use session::{
 };
 pub use shard::{DeltaRouter, ShardedSession};
 pub use table::{IncTable, StreamScores};
-pub use wire::SessionSnapshot;
+pub use wire::{SessionSnapshot, SnapshotStats};
 pub use worker::{run_worker, run_worker_with_fault};

@@ -20,7 +20,7 @@
 //! merges via [`IncTable::merge`], bit-identical to in-process shards.
 
 use afd_relation::{AttrSet, Fd, Relation, Schema, Value};
-use afd_wire::{decode_framed, encode_framed, Decode, DecodeError, Encode, Reader};
+use afd_wire::{decode_framed, encode_framed, Decode, DecodeError, Encode, Reader, FRAME_OVERHEAD};
 
 use crate::delta::{RowDelta, RowId, StreamError, TransportError, TransportErrorKind};
 use crate::session::{CompactionReport, ScoreDiff};
@@ -81,6 +81,10 @@ impl Encode for RowDelta {
     fn encode(&self, out: &mut Vec<u8>) {
         self.inserts.encode(out);
         self.deletes.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.inserts.encoded_len() + self.deletes.encoded_len()
     }
 }
 
@@ -543,6 +547,15 @@ impl Encode for SessionSnapshot {
         self.subscriptions.encode(out);
         self.compact_every.encode(out);
     }
+
+    fn encoded_len(&self) -> usize {
+        SnapshotStats::payload_len(
+            &self.rows,
+            &self.shard_key,
+            &self.subscriptions,
+            self.compact_every,
+        )
+    }
 }
 
 impl Decode for SessionSnapshot {
@@ -557,7 +570,73 @@ impl Decode for SessionSnapshot {
     }
 }
 
+/// Size and shape of a [`SessionSnapshot`] **without encoding it**.
+///
+/// Eviction accounting and the serve bench need "how big would this
+/// session be on disk" per measurement; paying a full columnar encode
+/// (`O(rows)` byte writes) each time would dwarf the thing being
+/// measured. The arithmetic here mirrors the codec exactly —
+/// [`SnapshotStats::framed_len`] is pinned equal to
+/// `SessionSnapshot::to_bytes().len()` by test — at
+/// `O(arity + dictionary values)` cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Exact byte length of the framed blob [`SessionSnapshot::to_bytes`]
+    /// would produce (header + payload + checksum).
+    pub framed_len: usize,
+    /// Live rows the snapshot carries.
+    pub n_rows: usize,
+    /// Subscribed candidates the snapshot carries.
+    pub n_subscriptions: usize,
+}
+
+impl SnapshotStats {
+    /// Exact payload length of a snapshot assembled from these parts.
+    fn payload_len(
+        rows: &Relation,
+        shard_key: &AttrSet,
+        subscriptions: &[Fd],
+        compact_every: Option<u64>,
+    ) -> usize {
+        rows.encoded_len()
+            + shard_key.encoded_len()
+            + 4 // n_shards: u32
+            + subscriptions.encoded_len()
+            + compact_every.encoded_len()
+    }
+
+    /// Stats for a snapshot that *would be* assembled from these parts —
+    /// lets the engine size its own state without cloning rows into a
+    /// throwaway [`SessionSnapshot`] first.
+    #[must_use]
+    pub fn of_parts(
+        rows: &Relation,
+        shard_key: &AttrSet,
+        subscriptions: &[Fd],
+        compact_every: Option<u64>,
+    ) -> Self {
+        SnapshotStats {
+            framed_len: FRAME_OVERHEAD
+                + Self::payload_len(rows, shard_key, subscriptions, compact_every),
+            n_rows: rows.n_rows(),
+            n_subscriptions: subscriptions.len(),
+        }
+    }
+}
+
 impl SessionSnapshot {
+    /// Size and shape of this snapshot without re-encoding it — see
+    /// [`SnapshotStats`].
+    #[must_use]
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats::of_parts(
+            &self.rows,
+            &self.shard_key,
+            &self.subscriptions,
+            self.compact_every,
+        )
+    }
+
     /// The snapshot as one framed, checksummed byte blob (the `afd save`
     /// file format).
     ///
@@ -745,5 +824,41 @@ mod tests {
         assert!(SessionSnapshot::from_bytes(&corrupt).is_err());
         // Truncation too.
         assert!(SessionSnapshot::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn snapshot_stats_match_the_encode_exactly() {
+        let snap = SessionSnapshot {
+            rows: Relation::from_pairs([(1, 10), (2, 20), (1, 10), (3, 30)]),
+            shard_key: AttrSet::single(AttrId(1)),
+            n_shards: 2,
+            subscriptions: vec![
+                Fd::linear(AttrId(0), AttrId(1)),
+                Fd::linear(AttrId(1), AttrId(0)),
+            ],
+            compact_every: None,
+        };
+        let stats = snap.stats();
+        assert_eq!(stats.framed_len, snap.to_bytes().unwrap().len());
+        assert_eq!(stats.n_rows, 4);
+        assert_eq!(stats.n_subscriptions, 2);
+        assert_eq!(snap.encoded_len(), snap.encode_to_vec().len());
+        // The parts-based form agrees with the assembled snapshot's.
+        let by_parts = SnapshotStats::of_parts(
+            &snap.rows,
+            &snap.shard_key,
+            &snap.subscriptions,
+            snap.compact_every,
+        );
+        assert_eq!(by_parts, stats);
+
+        let delta = RowDelta {
+            inserts: vec![
+                vec![Value::Int(1), Value::str("a")],
+                vec![Value::Null, Value::float(0.5)],
+            ],
+            deletes: vec![3, 7],
+        };
+        assert_eq!(delta.encoded_len(), delta.encode_to_vec().len());
     }
 }
