@@ -41,6 +41,11 @@ pub struct ServeOpts {
     /// Run restored sessions on the process backend (`--process`):
     /// shard workers are `afd shard-worker` children of this binary.
     pub process: bool,
+    /// After the workload, checkpoint, tear the server down, and
+    /// cold-start a new one from the spill directory via
+    /// `AfdServe::recover` (`--recover`); the recovery report and a
+    /// bit-identity re-audit are printed.
+    pub recover: bool,
 }
 
 impl Default for ServeOpts {
@@ -55,6 +60,7 @@ impl Default for ServeOpts {
             seed: 20240607,
             spill_dir: std::env::temp_dir().join(format!("afd-serve-{}", std::process::id())),
             process: false,
+            recover: false,
         }
     }
 }
@@ -92,6 +98,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOpts, String> {
             "--seed" => opts.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--spill-dir" => opts.spill_dir = take(&mut i)?.into(),
             "--process" => opts.process = true,
+            "--recover" => opts.recover = true,
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
@@ -131,15 +138,18 @@ fn scripted_delta(session: usize, step: usize, rows: usize) -> RowDelta {
 /// backpressure is *expected* under these caps and is counted, not
 /// failed).
 pub fn serve(opts: &ServeOpts) -> Result<(), String> {
-    let mut cfg = ServeConfig::new(&opts.spill_dir);
-    cfg.resident_cap = opts.resident_cap;
-    cfg.session_queue_cap = opts.queue_cap;
-    cfg.global_queue_cap = opts.global_cap;
-    if opts.process {
-        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
-        cfg.backend = StreamBackend::Process(WorkerCommand::new(exe));
-    }
-    let mut server = AfdServe::new(cfg).map_err(|e| e.to_string())?;
+    let build_cfg = || -> Result<ServeConfig, String> {
+        let mut cfg = ServeConfig::new(&opts.spill_dir);
+        cfg.resident_cap = opts.resident_cap;
+        cfg.session_queue_cap = opts.queue_cap;
+        cfg.global_queue_cap = opts.global_cap;
+        if opts.process {
+            let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+            cfg.backend = StreamBackend::Process(WorkerCommand::new(exe));
+        }
+        Ok(cfg)
+    };
+    let mut server = AfdServe::new(build_cfg()?).map_err(|e| e.to_string())?;
 
     // One template snapshot registers every session — no engines built.
     let mut template = template_engine(opts.rows, opts.seed);
@@ -241,6 +251,61 @@ pub fn serve(opts: &ServeOpts) -> Result<(), String> {
          bit-identical to never-evicted control]",
         max_resident, opts.resident_cap
     );
+    // Durability audit: the registry journal's write/compaction traffic
+    // and every failure the server absorbed rather than ignored — a
+    // non-zero `spill removes failed` means spill-file deletions were
+    // lost (leaked files a later recovery would quarantine as orphans).
+    println!(
+        "[durability: {} journal append(s), {} compaction(s), {} spill remove(s) failed, \
+         {} restore(s) failed]",
+        stats.journal_appends,
+        stats.journal_compactions,
+        stats.spill_remove_failed,
+        stats.restore_failed
+    );
+    if stats.spill_remove_failed != 0 {
+        return Err(format!(
+            "durability audit failed: {} spill-file removal(s) failed silently",
+            stats.spill_remove_failed
+        ));
+    }
+
+    if opts.recover {
+        // Crash-safety round trip: checkpoint (spill everything, sync
+        // the journal), tear the server down, and cold-start a new one
+        // from the directory alone.
+        let spilled = server.checkpoint().map_err(|e| e.to_string())?;
+        drop(server);
+        let (mut server, report) = AfdServe::recover(build_cfg()?).map_err(|e| e.to_string())?;
+        println!("[checkpointed ({spilled} eviction(s)); cold start: {report}]");
+        if report.sessions_lost != 0 || !report.quarantined.is_empty() {
+            return Err(format!(
+                "recovery audit failed: {} session(s) lost, {} file(s) quarantined",
+                report.sessions_lost,
+                report.quarantined.len()
+            ));
+        }
+        if report.sessions_recovered != opts.sessions {
+            return Err(format!(
+                "recovery audit failed: {}/{} sessions recovered",
+                report.sessions_recovered, opts.sessions
+            ));
+        }
+        let audit = server.scores(handles[0], 0).map_err(|e| e.to_string())?;
+        if !audit.bits_eq(&control) {
+            return Err("recovery audit failed: recovered session diverged from control".into());
+        }
+        println!(
+            "[recovery audit: {} session(s) recovered cold, session 0 bit-identical to \
+             control after cold start]",
+            report.sessions_recovered
+        );
+    }
+
+    // The scratch directory (journal + spill files) belongs to this
+    // synthetic run; durable servers intentionally leave it behind, so
+    // sweep it here.
+    let _ = std::fs::remove_dir_all(&opts.spill_dir);
     Ok(())
 }
 
@@ -262,15 +327,18 @@ mod tests {
             "--queue-cap",
             "2",
             "--process",
+            "--recover",
         ]))
         .unwrap();
         assert_eq!(opts.sessions, 64);
         assert_eq!(opts.resident_cap, 4);
         assert_eq!(opts.queue_cap, 2);
         assert!(opts.process);
+        assert!(opts.recover);
         let defaults = parse_serve_args(&[]).unwrap();
         assert_eq!(defaults.sessions, 512);
         assert!(!defaults.process);
+        assert!(!defaults.recover);
     }
 
     #[test]
@@ -307,6 +375,9 @@ mod tests {
             spill_dir: std::env::temp_dir()
                 .join(format!("afd-serve-clitest-{}", std::process::id())),
             process: false,
+            // Close with the checkpoint → teardown → recover → re-audit
+            // round trip, so the cold-start path runs end to end here.
+            recover: true,
         };
         serve(&opts).unwrap();
         let _ = std::fs::remove_dir_all(&opts.spill_dir);

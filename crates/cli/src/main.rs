@@ -72,7 +72,7 @@ use ctx::{Config, RwdEval};
 const USAGE: &str = "usage: afd <experiment> [--scale f] [--seed n] [--threads n] \
 [--budget-ms n] [--paper-scale] [--shards n] [--checkpoint-every n] [--retry-budget n] \
 [--out dir]\n\
-experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi stream export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]\n             save <in.csv> <out.snapshot> | load <snapshot> | shard-worker\n             serve [--sessions n] [--resident-cap n] [--ticks n] [--queue-cap n]\n                   [--global-cap n] [--rows n] [--seed n] [--spill-dir d] [--process]";
+experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi stream export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]\n             save <in.csv> <out.snapshot> | load <snapshot> | shard-worker\n             serve [--sessions n] [--resident-cap n] [--ticks n] [--queue-cap n]\n                   [--global-cap n] [--rows n] [--seed n] [--spill-dir d] [--process] [--recover]";
 
 fn parse_flags(args: &[String]) -> Result<Config, String> {
     let mut cfg = Config::default();

@@ -10,7 +10,7 @@
 
 use afd_engine::{AfdEngine, DeltaRequest, EngineConfig, StreamBackend, SubscribeRequest};
 use afd_relation::{AttrId, Fd, Schema, Value};
-use afd_serve::{AfdServe, ServeConfig};
+use afd_serve::{AfdServe, DurabilityConfig, ServeConfig};
 use afd_stream::{RowDelta, WorkerCommand};
 use proptest::prelude::*;
 
@@ -108,6 +108,10 @@ proptest! {
         // serve config restores onto the process backend too.
         let mut control = process_engine();
         let mut cfg = ServeConfig::new(&dir);
+        // Shared dir across proptest cases: run ephemeral (no journal);
+        // durable crash-recovery for this backend is pinned below in
+        // `process_backend_crash_recover_continues_bit_identically`.
+        cfg.durability = DurabilityConfig::ephemeral();
         cfg.backend = StreamBackend::Process(worker());
         let mut serve = AfdServe::new(cfg).unwrap();
         let h = serve.register(process_engine()).unwrap();
@@ -145,6 +149,182 @@ proptest! {
             }
         }
         prop_assert!(serve.stats().restores >= 1);
+    }
+}
+
+/// Insert-only delta with a unique `Y` per step, so every workload
+/// prefix is a distinct multiset and scores distinctly — the state a
+/// crash left behind can be identified as exactly one prefix.
+fn crash_delta(i: usize) -> RowDelta {
+    RowDelta {
+        inserts: vec![vec![Value::Int(i as i64 % 4), Value::Int(200 + i as i64)]],
+        deletes: vec![],
+    }
+}
+
+/// Starting state with `X -> Y` violations already present (a perfect
+/// or empty relation scores identically at several sizes).
+fn crash_base_engine() -> AfdEngine {
+    let mut engine = process_engine();
+    for (x, y) in [(0, 100), (0, 101), (1, 102), (2, 103), (3, 104), (1, 105)] {
+        engine
+            .delta(&DeltaRequest::new(RowDelta {
+                inserts: vec![vec![Value::Int(x), Value::Int(y)]],
+                deletes: vec![],
+            }))
+            .unwrap();
+    }
+    engine
+}
+
+type Scores2 = (afd_stream::StreamScores, afd_stream::StreamScores);
+
+fn crash_scores(engine: &AfdEngine) -> Scores2 {
+    (engine.scores(0).unwrap(), engine.scores(1).unwrap())
+}
+
+fn bits_eq2(a: &Scores2, b: &Scores2) -> bool {
+    a.0.bits_eq(&b.0) && a.1.bits_eq(&b.1)
+}
+
+/// Crash-injection twin of `afd-serve`'s `crash_proptests` for the
+/// **process backend**: a seeded fault tears one journal/spill write at
+/// a random point; recovery must then rebuild the registry, surviving
+/// state must be a bit-identical prefix of the never-crashed twin, an
+/// acknowledged eviction must survive exactly, and the recovered server
+/// must keep serving process-backed restores.
+#[test]
+fn process_backend_crash_recover_continues_bit_identically() {
+    use afd_serve::{CrashPlan, ServeError};
+
+    const WORK: usize = 9;
+    const CONT: usize = 2;
+    const MAX_SITE: u64 = 40;
+
+    // Never-crashed twin scores per workload prefix (in-process shards:
+    // shard backends are bit-identical by the engine's own proptests).
+    let mut twin = crash_base_engine();
+    let mut twin_at = vec![crash_scores(&twin)];
+    for i in 0..WORK + CONT {
+        twin.delta(&DeltaRequest::new(crash_delta(i))).unwrap();
+        twin_at.push(crash_scores(&twin));
+    }
+    for a in 0..=WORK {
+        for b in a + 1..=WORK {
+            assert!(!bits_eq2(&twin_at[a], &twin_at[b]), "prefixes {a}/{b} tie");
+        }
+    }
+
+    for seed in 0..12u64 {
+        let dir = std::env::temp_dir().join(format!(
+            "afd-serve-proc-crash-{}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cfg = ServeConfig::new(&dir);
+        cfg.backend = StreamBackend::Process(worker());
+        cfg.crash_plan = Some(CrashPlan::single(seed, MAX_SITE));
+        let mut serve = AfdServe::new(cfg).unwrap();
+
+        let is_crash = |e: &ServeError| matches!(e, ServeError::InjectedCrash(_));
+        let h = match serve.register(crash_base_engine()) {
+            Ok(h) => h,
+            Err(e) => {
+                assert!(is_crash(&e), "seed {seed} register: {e}");
+                let _ = std::fs::remove_dir_all(&dir);
+                continue;
+            }
+        };
+
+        let mut applied = 0usize;
+        let mut durable: Option<usize> = None;
+        'work: for i in 0..WORK {
+            if let Err(e) = serve.enqueue(h, crash_delta(i)) {
+                assert!(is_crash(&e), "seed {seed} enqueue: {e}");
+                break 'work;
+            }
+            match serve.tick() {
+                Ok(_) => {
+                    applied += 1;
+                    if serve.is_resident(h).unwrap_or(false) {
+                        durable = None;
+                    }
+                }
+                Err(e) => {
+                    assert!(is_crash(&e), "seed {seed} tick: {e}");
+                    break 'work;
+                }
+            }
+            if i % 3 == 1 {
+                match serve.evict(h) {
+                    Ok(()) => durable = Some(applied),
+                    Err(e) => {
+                        assert!(is_crash(&e), "seed {seed} evict: {e}");
+                        break 'work;
+                    }
+                }
+            }
+        }
+        drop(serve);
+
+        let mut rcfg = ServeConfig::new(&dir);
+        rcfg.backend = StreamBackend::Process(worker());
+        let (mut recovered, report) =
+            AfdServe::recover(rcfg).unwrap_or_else(|e| panic!("seed {seed} recover: {e}"));
+        for q in &report.quarantined {
+            assert!(q.file.exists(), "seed {seed}: quarantined file vanished");
+        }
+
+        let got = recovered
+            .scores(h, 0)
+            .and_then(|a| recovered.scores(h, 1).map(|b| (a, b)));
+        match got {
+            Ok(bits) => {
+                let k = (0..=applied).find(|&k| bits_eq2(&twin_at[k], &bits));
+                assert!(
+                    k.is_some(),
+                    "seed {seed}: no prefix matches recovered state"
+                );
+                if let Some(n) = durable {
+                    assert!(
+                        bits_eq2(&twin_at[n], &bits),
+                        "seed {seed}: durable prefix {n} lost"
+                    );
+                }
+                // Continue serving process-backed restores on top of
+                // the recovered prefix.
+                let k = k.unwrap();
+                let mut cont = crash_base_engine();
+                for i in 0..k {
+                    cont.delta(&DeltaRequest::new(crash_delta(i))).unwrap();
+                }
+                for j in 0..CONT {
+                    let d = crash_delta(WORK + j);
+                    cont.delta(&DeltaRequest::new(d.clone())).unwrap();
+                    recovered.enqueue(h, d).unwrap();
+                    recovered.tick().unwrap();
+                    let a = recovered.scores(h, 0).unwrap();
+                    let b = recovered.scores(h, 1).unwrap();
+                    assert!(
+                        bits_eq2(&(a, b), &crash_scores(&cont)),
+                        "seed {seed}: continuation diverged at step {j}"
+                    );
+                }
+            }
+            Err(e) => {
+                assert!(
+                    durable.is_none(),
+                    "seed {seed}: durable {durable:?} lost to {e}"
+                );
+                assert!(
+                    matches!(e, ServeError::StaleHandle(_)),
+                    "seed {seed}: lost session must be stale, got {e}"
+                );
+            }
+        }
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -11,6 +11,10 @@ pub enum BackpressureScope {
     Session,
     /// The server-wide pending-delta budget is exhausted.
     Global,
+    /// The spill device is full (`ENOSPC`): eviction could not persist a
+    /// snapshot, so the session stays resident instead of losing state.
+    /// Free disk (or release sessions), then retry.
+    Disk,
 }
 
 /// Everything a serve request can fail with.
@@ -49,6 +53,28 @@ pub enum ServeError {
     Engine(AfdError),
     /// Spill-file I/O failed (evict write, restore read).
     Io(std::io::Error),
+    /// A spill file on disk failed frame/snapshot validation on restore.
+    ///
+    /// The file is left in place (recovery quarantines it; a live
+    /// restore reports it) — corruption is surfaced and attributed to
+    /// one session, never silently deleted and never allowed to poison
+    /// other tenants' ticks.
+    CorruptSpill {
+        /// The offending spill file.
+        path: std::path::PathBuf,
+        /// The slot whose restore hit it.
+        slot: u32,
+        /// The slot generation whose restore hit it.
+        generation: u32,
+        /// What validation failed.
+        source: Box<AfdError>,
+    },
+    /// A deterministic [`crate::CrashPlan`] fired: the simulated process
+    /// died mid-persistence. Test-only by construction (plans are only
+    /// injectable through `ServeConfig`); carries the site index that
+    /// fired.
+    #[doc(hidden)]
+    InjectedCrash(u64),
 }
 
 impl std::fmt::Display for ServeError {
@@ -63,6 +89,7 @@ impl std::fmt::Display for ServeError {
                 let scope = match scope {
                     BackpressureScope::Session => "session queue",
                     BackpressureScope::Global => "global queue",
+                    BackpressureScope::Disk => "spill disk",
                 };
                 write!(f, "backpressure: {scope} at cap ({pending}/{cap} pending)")
             }
@@ -72,6 +99,19 @@ impl std::fmt::Display for ServeError {
             ServeError::Config(msg) => write!(f, "serve configuration: {msg}"),
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::Io(e) => write!(f, "spill i/o: {e}"),
+            ServeError::CorruptSpill {
+                path,
+                slot,
+                generation,
+                source,
+            } => write!(
+                f,
+                "corrupt spill file {} for slot {slot} gen {generation}: {source}",
+                path.display()
+            ),
+            ServeError::InjectedCrash(site) => {
+                write!(f, "injected crash at persistence site {site}")
+            }
         }
     }
 }
@@ -81,6 +121,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Engine(e) => Some(e),
             ServeError::Io(e) => Some(e),
+            ServeError::CorruptSpill { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }

@@ -38,14 +38,74 @@
 //! grow to 10⁶ while ticks stay flat. The `record_serve` bench example
 //! records the resulting curves (resident count vs RSS, p99 apply
 //! latency, evict/restore round-trip) in `BENCH_serve.json`.
+//!
+//! ## Durability & fault model
+//!
+//! A serve-process crash is a restart, not a data-loss event. The
+//! contract, enforced by the crash-injection proptests
+//! (`tests/crash_proptests.rs`):
+//!
+//! * **What the journal records.** Every registry transition —
+//!   register, register-from-snapshot, evict, restore, release — is
+//!   appended to `spill_dir/registry.afdj` as a checksummed afd-wire
+//!   frame carrying slot + generation + spill length, *before* the
+//!   in-memory registry changes (persist-first). The journal is fsynced
+//!   every [`DurabilityConfig::fsync_every`] appends (default 1) and
+//!   compacted to a single checkpoint when it outgrows the live set.
+//! * **What survives a crash.** A session whose latest journaled state
+//!   is *spilled* survives byte-exactly: spill writes are atomic
+//!   (tmp → `write_all` → `sync_all` → rename → dir fsync), so the file
+//!   either has the old snapshot or the new one, never a torn frame. A
+//!   session that died *resident* had its engine state in RAM: it is
+//!   recovered only if a still-valid spill of the same slot+generation
+//!   survives on disk (a fully-synced eviction whose journal record
+//!   didn't land), otherwise it is a **counted** loss. Queued deltas
+//!   ([`AfdServe::enqueue`]) are volatile by contract until a tick
+//!   applies them and a spill persists them. [`AfdServe::checkpoint`]
+//!   forces the whole server durable (evict-all + fsync + compact).
+//! * **Recovery.** [`AfdServe::recover`] replays the journal (stopping
+//!   at a torn tail, reported as truncated bytes), validates every
+//!   spill frame it adopts, rebuilds the registry — recovered sessions
+//!   start cold, lost slots get their generation bumped so stale
+//!   handles stay typed-stale — and rewrites the journal as one
+//!   compacted checkpoint. It returns a [`RecoverReport`]; it never
+//!   panics on corruption and never silently deletes.
+//! * **Quarantine semantics.** Anything on disk recovery cannot trust —
+//!   corrupt frames, size-vs-journal mismatches, orphaned spills no
+//!   record accounts for, `*.tmp` strays — is *moved* to
+//!   `spill_dir/quarantine/` and enumerated with a typed
+//!   [`QuarantineReason`], preserving the evidence.
+//! * **Degraded modes.** A full spill disk (`ENOSPC`) surfaces as typed
+//!   [`ServeError::Backpressure`] with [`BackpressureScope::Disk`] and
+//!   the victim stays resident — overload is an answer, not state loss.
+//!   A corrupt spill hit at restore time is a typed
+//!   [`ServeError::CorruptSpill`] (path + slot + generation) that
+//!   poisons only that tenant; everyone else keeps ticking.
+//! * **Determinism.** The crash-injection [`CrashPlan`] (the serving
+//!   sibling of `afd_stream`'s `FaultPlan`) derives a kill/torn/garble
+//!   fault site from one seed; the proptests crash a server anywhere in
+//!   its persistence paths, recover, continue applying, and pin the
+//!   result bit-identical (`f64::to_bits`) to a never-crashed twin —
+//!   for both stream backends.
+//!
+//! The `record_durability` bench example records recovery wall-clock vs
+//! registry size, journal overhead on the evict hot path, and the
+//! fsync-interval sweep in `BENCH_durability.json`.
 
 mod error;
+mod journal;
+mod persist;
 mod registry;
 mod serve;
 
 pub use error::{BackpressureScope, ServeError};
+pub use journal::DurabilityConfig;
+pub use persist::{CrashKind, CrashPlan};
 pub use registry::SessionHandle;
-pub use serve::{AfdServe, ServeConfig, ServeStats, TickBudget, TickReport};
+pub use serve::{
+    AfdServe, QuarantineReason, Quarantined, RecoverReport, ServeConfig, ServeStats, TickBudget,
+    TickReport,
+};
 
 #[cfg(test)]
 mod tests {
@@ -282,7 +342,9 @@ mod tests {
         // Restores deleted their spill files; the census agrees.
         let on_disk: u64 = std::fs::read_dir(&dir.0)
             .unwrap()
-            .map(|e| e.unwrap().metadata().unwrap().len())
+            .map(|e| e.unwrap())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".snap"))
+            .map(|e| e.metadata().unwrap().len())
             .sum();
         assert_eq!(on_disk, serve.stats().spill_bytes);
     }
@@ -314,6 +376,223 @@ mod tests {
             Err(ServeError::Engine(_))
         ));
         assert_eq!(serve.stats().sessions, sessions);
+    }
+
+    #[test]
+    fn recover_round_trips_a_checkpointed_server() {
+        let dir = SpillDir::new("recover");
+        let mut cfg = ServeConfig::new(&dir.0);
+        cfg.resident_cap = 2;
+        let mut serve = AfdServe::new(cfg.clone()).unwrap();
+        let mut control = small_engine(0);
+        let a = serve.register(small_engine(0)).unwrap();
+        let mut template = small_engine(7);
+        let bytes = template.save(&SnapshotRequest::default()).unwrap().bytes;
+        let b = serve.register_snapshot(&bytes).unwrap();
+        let released = serve.register(small_engine(1)).unwrap();
+        serve.release(released).unwrap();
+        serve.enqueue(a, insert(5, 5)).unwrap();
+        serve.tick().unwrap();
+        control.delta(&DeltaRequest::new(insert(5, 5))).unwrap();
+        let evicted = serve.checkpoint().unwrap();
+        assert!(evicted >= 1, "a was resident before the checkpoint");
+        assert!(serve.stats().journal_appends > 0);
+        drop(serve); // durable: leaves spill files + journal intact
+
+        let (mut serve, report) = AfdServe::recover(cfg).unwrap();
+        assert_eq!(report.sessions_recovered, 2, "{report}");
+        assert_eq!(report.sessions_lost, 0);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.journal_truncated_bytes, 0);
+        assert_eq!(serve.sessions().len(), 2);
+        // Every recovered session starts cold and the old handles still
+        // address it; released ones are still typed-stale.
+        assert!(!serve.is_resident(a).unwrap());
+        assert!(serve
+            .scores(a, 0)
+            .unwrap()
+            .bits_eq(&control.scores(0).unwrap()));
+        assert!(serve
+            .scores(b, 0)
+            .unwrap()
+            .bits_eq(&template.scores(0).unwrap()));
+        assert!(matches!(
+            serve.scores(released, 0),
+            Err(ServeError::StaleHandle(_))
+        ));
+        // Slot reuse after recovery keeps the stale handle stale.
+        let fresh = serve.register(small_engine(9)).unwrap();
+        assert_eq!(fresh.index(), released.index());
+        assert!(matches!(
+            serve.scores(released, 0),
+            Err(ServeError::StaleHandle(_))
+        ));
+    }
+
+    #[test]
+    fn recover_quarantines_corrupt_orphaned_and_tmp_files() {
+        let dir = SpillDir::new("quarantine");
+        let cfg = ServeConfig::new(&dir.0);
+        let mut serve = AfdServe::new(cfg.clone()).unwrap();
+        let mut template = small_engine(2);
+        let bytes = template.save(&SnapshotRequest::default()).unwrap().bytes;
+        let keep = serve.register_snapshot(&bytes).unwrap();
+        let corrupt = serve.register_snapshot(&bytes).unwrap();
+        drop(serve);
+        // Flip one payload byte of the second session's spill file.
+        let victim = dir.0.join(format!(
+            "sess_{}_{}.snap",
+            corrupt.index(),
+            corrupt.generation()
+        ));
+        let mut raw = std::fs::read(&victim).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xff;
+        std::fs::write(&victim, &raw).unwrap();
+        // Plant an orphan and a stray tmp file.
+        std::fs::write(dir.0.join("sess_99_0.snap"), b"not a frame").unwrap();
+        std::fs::write(dir.0.join("sess_0_0.snap.tmp"), b"half-written").unwrap();
+
+        let (mut serve, report) = AfdServe::recover(cfg).unwrap();
+        assert_eq!(report.sessions_recovered, 1, "{report}");
+        assert_eq!(report.sessions_lost, 1);
+        let mut reasons: Vec<_> = report.quarantined.iter().map(|q| q.reason).collect();
+        reasons.sort_by_key(|r| format!("{r}"));
+        assert_eq!(
+            reasons,
+            vec![
+                QuarantineReason::CorruptFrame,
+                QuarantineReason::Orphaned,
+                QuarantineReason::TempFile,
+            ]
+        );
+        // Quarantined files were moved, not deleted.
+        for q in &report.quarantined {
+            assert!(q.file.exists(), "{:?}", q.file);
+            assert!(q.file.starts_with(dir.0.join("quarantine")));
+        }
+        assert!(!victim.exists());
+        // The intact session still serves; the corrupt one's handle is
+        // stale (its slot was lost, generation bumped).
+        assert!(serve
+            .scores(keep, 0)
+            .unwrap()
+            .bits_eq(&template.scores(0).unwrap()));
+        assert!(matches!(
+            serve.scores(corrupt, 0),
+            Err(ServeError::StaleHandle(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_spill_is_typed_and_does_not_poison_other_tenants() {
+        let dir = SpillDir::new("corrupt");
+        // Ephemeral: corruption handling must not depend on the journal.
+        let mut cfg = ServeConfig::new(&dir.0);
+        cfg.durability = DurabilityConfig::ephemeral();
+        let mut serve = AfdServe::new(cfg).unwrap();
+        let mut template = small_engine(4);
+        let bytes = template.save(&SnapshotRequest::default()).unwrap().bytes;
+        let poisoned = serve.register_snapshot(&bytes).unwrap();
+        let healthy = serve.register_snapshot(&bytes).unwrap();
+        // Truncate the poisoned session's spill file mid-frame.
+        let path = dir.0.join(format!(
+            "sess_{}_{}.snap",
+            poisoned.index(),
+            poisoned.generation()
+        ));
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        // Direct touch: typed CorruptSpill carrying path + slot + gen.
+        match serve.scores(poisoned, 0) {
+            Err(ServeError::CorruptSpill {
+                path: p,
+                slot,
+                generation,
+                ..
+            }) => {
+                assert_eq!(p, path);
+                assert_eq!(slot, poisoned.index());
+                assert_eq!(generation, poisoned.generation());
+            }
+            other => panic!("expected CorruptSpill, got {other:?}"),
+        }
+        // Queued work: the poisoned tenant's queue drops (counted); the
+        // healthy tenant still applies in the same tick.
+        serve.enqueue(poisoned, insert(1, 1)).unwrap();
+        serve.enqueue(poisoned, insert(2, 2)).unwrap();
+        serve.enqueue(healthy, insert(3, 3)).unwrap();
+        let r = serve.tick().unwrap();
+        assert_eq!(r.restore_failed, 1);
+        assert_eq!(r.deltas_failed, 2, "poisoned queue dropped, counted");
+        assert_eq!(r.deltas_applied, 1, "healthy tenant unaffected");
+        assert_eq!(serve.stats().pending, 0);
+        assert_eq!(serve.stats().restore_failed, 1);
+        template.delta(&DeltaRequest::new(insert(3, 3))).unwrap();
+        assert!(serve
+            .scores(healthy, 0)
+            .unwrap()
+            .bits_eq(&template.scores(0).unwrap()));
+    }
+
+    #[test]
+    fn disk_full_eviction_degrades_to_typed_backpressure() {
+        let dir = SpillDir::new("enospc");
+        let mut cfg = ServeConfig::new(&dir.0);
+        cfg.resident_cap = 1;
+        let mut serve = AfdServe::new(cfg).unwrap();
+        let a = serve.register(small_engine(0)).unwrap();
+        let before = serve.scores(a, 0).unwrap();
+        serve.debug_set_disk_full(true);
+        // Registering a second engine needs to evict `a` — which now
+        // cannot spill. Typed Disk backpressure, nothing mutated.
+        match serve.register(small_engine(1)) {
+            Err(ServeError::Backpressure {
+                scope: BackpressureScope::Disk,
+                ..
+            }) => {}
+            other => panic!("expected disk backpressure, got {other:?}"),
+        }
+        assert_eq!(serve.stats().sessions, 1);
+        assert!(serve.is_resident(a).unwrap(), "victim kept its state");
+        // Ticks under a full disk keep serving (degraded, flagged).
+        serve.enqueue(a, insert(8, 8)).unwrap();
+        let r = serve.tick().unwrap();
+        assert_eq!(r.deltas_applied, 1);
+        // The drive comes back; everything proceeds, state intact.
+        serve.debug_set_disk_full(false);
+        let b = serve.register(small_engine(1)).unwrap();
+        assert!(serve.scores(b, 0).is_ok());
+        let mut control = small_engine(0);
+        assert!(before.bits_eq(&control.scores(0).unwrap()));
+        control.delta(&DeltaRequest::new(insert(8, 8))).unwrap();
+        assert!(serve
+            .scores(a, 0)
+            .unwrap()
+            .bits_eq(&control.scores(0).unwrap()));
+    }
+
+    #[test]
+    fn durable_server_refuses_a_dirty_dir_and_recover_requires_journal() {
+        let dir = SpillDir::new("dirty");
+        let cfg = ServeConfig::new(&dir.0);
+        let serve = AfdServe::new(cfg.clone()).unwrap();
+        drop(serve);
+        // The journal survives the drop; a fresh durable server must
+        // not silently adopt or clobber it.
+        let Err(err) = AfdServe::new(cfg.clone()) else {
+            panic!("a dirty durable dir must be refused");
+        };
+        assert!(matches!(err, ServeError::Config(_)), "{err}");
+        assert!(err.to_string().contains("recover"));
+        // recover() on an ephemeral config is a config error.
+        let mut eph = cfg.clone();
+        eph.durability = DurabilityConfig::ephemeral();
+        assert!(matches!(AfdServe::recover(eph), Err(ServeError::Config(_))));
+        // recover() adopts the empty journal fine.
+        let (serve, report) = AfdServe::recover(cfg).unwrap();
+        assert_eq!(report, RecoverReport::default());
+        assert_eq!(serve.sessions().len(), 0);
     }
 
     #[test]

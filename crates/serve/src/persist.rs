@@ -1,0 +1,341 @@
+//! Atomic spill-file persistence with deterministic crash injection.
+//!
+//! Every byte `afd-serve` puts on disk goes through the [`Persister`] in
+//! this module, which enforces the one rule that makes crash recovery
+//! tractable: **a file either has its old content or its new content,
+//! never a torn middle**. Writes go tmp-file → `write_all` →
+//! `sync_all` → atomic `rename` (→ directory fsync on unix), so a crash
+//! at any byte boundary leaves at worst a stale `*.tmp` for recovery to
+//! quarantine.
+//!
+//! The same choke point is where faults are injected. A [`CrashPlan`]
+//! (the serve-layer sibling of `afd-stream`'s `FaultPlan`) is seeded,
+//! derives one persistence *site* (the Nth primitive disk operation) and
+//! one [`CrashKind`], and when that site is reached the persister
+//! simulates the process dying right there:
+//!
+//! * [`CrashKind::Kill`] — the operation never happens (power cut before
+//!   the syscall);
+//! * [`CrashKind::Torn`] — half the bytes land (power cut mid-write);
+//! * [`CrashKind::Garble`] — the bytes land bit-flipped (a lying disk /
+//!   lost sync), including a variant where the corrupt file *is* renamed
+//!   into place, exercising checksum-based quarantine of a final-named
+//!   file.
+//!
+//! After the plan fires every subsequent operation also fails — a dead
+//! process does not keep writing. The injected failure is the dedicated
+//! [`ServeError::InjectedCrash`] variant so tests can tell a simulated
+//! death from a real I/O error. Production servers never construct a
+//! plan; the hooks compile to a counter increment and a `None` check.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::ServeError;
+
+/// How an injected crash mangles the operation it fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashKind {
+    /// The operation is skipped entirely (died before the syscall).
+    Kill,
+    /// A write lands only its first half (died mid-`write`).
+    Torn,
+    /// The bytes land with one bit flipped (storage corruption); on a
+    /// rename site the corrupted tmp is renamed into place first.
+    Garble,
+}
+
+/// A seeded, single-shot crash at one persistence site.
+///
+/// Mirrors `afd_stream::FaultPlan`: derive everything from one `u64`
+/// seed so a proptest failure is a replayable seed, not a flake. Site
+/// counting is global across journal appends, spill writes, fsyncs,
+/// renames and removals — every primitive disk operation is a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The seed the plan was derived from (echoed in test output).
+    pub seed: u64,
+    /// The 1-based primitive-operation index the crash fires at; plans
+    /// whose site exceeds the run's operation count never fire.
+    pub site: u64,
+    /// What the crash does to the operation it fires on.
+    pub kind: CrashKind,
+}
+
+impl CrashPlan {
+    /// Derive a plan from `seed`, placing the crash uniformly in
+    /// `1..=max_site` with a uniformly chosen [`CrashKind`].
+    pub fn single(seed: u64, max_site: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let site = rng.gen_range(1..=max_site);
+        let kind = match rng.gen_range(0..3u32) {
+            0 => CrashKind::Kill,
+            1 => CrashKind::Torn,
+            _ => CrashKind::Garble,
+        };
+        CrashPlan { seed, site, kind }
+    }
+}
+
+/// The single gate every serve-layer disk operation passes through.
+#[derive(Debug, Default)]
+pub(crate) struct Persister {
+    crash: Option<CrashPlan>,
+    /// When set, every write reports `ENOSPC` without touching disk —
+    /// the deterministic stand-in for a full spill device.
+    disk_full: bool,
+    /// Primitive operations performed so far (site counter).
+    ops: u64,
+    /// A plan already fired: the simulated process is dead.
+    dead: bool,
+}
+
+impl Persister {
+    pub(crate) fn new(crash: Option<CrashPlan>) -> Self {
+        Persister {
+            crash,
+            ..Persister::default()
+        }
+    }
+
+    pub(crate) fn set_disk_full(&mut self, full: bool) {
+        self.disk_full = full;
+    }
+
+    /// Count one primitive operation; decide whether the plan fires on
+    /// it. Returns the kind to apply, or an error if already dead.
+    fn site(&mut self) -> Result<Option<CrashKind>, ServeError> {
+        if self.dead {
+            return Err(ServeError::InjectedCrash(self.ops));
+        }
+        self.ops += 1;
+        match self.crash {
+            Some(plan) if self.ops >= plan.site => {
+                self.dead = true;
+                Ok(Some(plan.kind))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn crashed(&self) -> ServeError {
+        ServeError::InjectedCrash(self.ops)
+    }
+
+    /// `write_all` with injection. `Torn` lands half the bytes, `Garble`
+    /// lands all of them with one bit flipped.
+    pub(crate) fn write_all(&mut self, file: &mut File, bytes: &[u8]) -> Result<(), ServeError> {
+        if self.disk_full && !self.dead {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "spill device full (injected)",
+            )));
+        }
+        match self.site()? {
+            None => {
+                file.write_all(bytes)?;
+                Ok(())
+            }
+            Some(CrashKind::Kill) => Err(self.crashed()),
+            Some(CrashKind::Torn) => {
+                file.write_all(&bytes[..bytes.len() / 2])?;
+                let _ = file.sync_all();
+                Err(self.crashed())
+            }
+            Some(CrashKind::Garble) => {
+                file.write_all(&garble(bytes, self.ops))?;
+                let _ = file.sync_all();
+                Err(self.crashed())
+            }
+        }
+    }
+
+    /// `sync_all` with injection (`Kill`-style only: the sync simply
+    /// never happens — content effects belong to the write sites).
+    pub(crate) fn sync(&mut self, file: &File) -> Result<(), ServeError> {
+        match self.site()? {
+            None => {
+                file.sync_all()?;
+                Ok(())
+            }
+            Some(_) => Err(self.crashed()),
+        }
+    }
+
+    /// Atomic `rename` with injection. `Kill`/`Torn` leave the source in
+    /// place; `Garble` corrupts the source *and renames it*, modelling
+    /// corruption that survives into the final-named file.
+    pub(crate) fn rename(&mut self, from: &Path, to: &Path) -> Result<(), ServeError> {
+        match self.site()? {
+            None => {
+                fs::rename(from, to)?;
+                Ok(())
+            }
+            Some(CrashKind::Kill) | Some(CrashKind::Torn) => Err(self.crashed()),
+            Some(CrashKind::Garble) => {
+                if let Ok(bytes) = fs::read(from) {
+                    if !bytes.is_empty() {
+                        let _ = fs::write(from, garble(&bytes, self.ops));
+                    }
+                }
+                let _ = fs::rename(from, to);
+                Err(self.crashed())
+            }
+        }
+    }
+
+    /// `remove_file` with injection (`Kill`-style only: the file simply
+    /// survives, which recovery must tolerate as a stale spill).
+    pub(crate) fn remove(&mut self, path: &Path) -> Result<(), ServeError> {
+        match self.site()? {
+            None => {
+                fs::remove_file(path)?;
+                Ok(())
+            }
+            Some(_) => Err(self.crashed()),
+        }
+    }
+
+    /// Write `bytes` to `path` atomically: tmp file → `write_all` →
+    /// `sync_all` → `rename` → parent-directory fsync. A crash anywhere
+    /// leaves either the old `path` content or the new one, plus at
+    /// worst a `*.tmp` stray.
+    pub(crate) fn write_atomic(&mut self, path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
+        let tmp = tmp_path(path);
+        {
+            let mut file = File::create(&tmp)?;
+            self.write_all(&mut file, bytes)?;
+            self.sync(&file)?;
+        }
+        self.rename(&tmp, path)?;
+        sync_parent_dir(path)?;
+        Ok(())
+    }
+
+    /// Open `path` append-only (creating it), for journal use.
+    pub(crate) fn open_append(&self, path: &Path) -> Result<File, ServeError> {
+        Ok(OpenOptions::new().create(true).append(true).open(path)?)
+    }
+}
+
+/// `bytes` with a single deterministic bit flip.
+fn garble(bytes: &[u8], salt: u64) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    let pos = (salt as usize).wrapping_mul(2654435761) % out.len().max(1);
+    if let Some(b) = out.get_mut(pos) {
+        *b ^= 1 << (salt % 8);
+    }
+    out
+}
+
+/// The staging name for an atomic write of `path`.
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// fsync the directory containing `path` so the rename itself is
+/// durable (no-op off unix, where the concept does not map cleanly).
+fn sync_parent_dir(path: &Path) -> Result<(), ServeError> {
+    #[cfg(unix)]
+    if let Some(parent) = path.parent() {
+        File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+/// True when an I/O error means "disk full" (`ENOSPC`), which the evict
+/// path converts to typed backpressure instead of dropping state.
+pub(crate) fn is_disk_full(err: &ServeError) -> bool {
+    matches!(err, ServeError::Io(e) if e.kind() == std::io::ErrorKind::StorageFull)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_cover_all_kinds() {
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..64u64 {
+            let a = CrashPlan::single(seed, 40);
+            let b = CrashPlan::single(seed, 40);
+            assert_eq!(a, b);
+            assert!((1..=40).contains(&a.site));
+            kinds.insert(format!("{:?}", a.kind));
+        }
+        assert_eq!(kinds.len(), 3, "all three kinds reachable: {kinds:?}");
+    }
+
+    #[test]
+    fn atomic_write_replaces_or_preserves_never_tears() {
+        let dir = std::env::temp_dir().join(format!("afd-persist-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.bin");
+        fs::write(&path, b"old-content").unwrap();
+
+        // A clean atomic write replaces the content.
+        let mut clean = Persister::new(None);
+        clean.write_atomic(&path, b"new-content-longer").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new-content-longer");
+        assert!(!tmp_path(&path).exists());
+
+        // A crash at every site (write, sync, rename) leaves old-or-new,
+        // never a torn target.
+        for site in 1..=3u64 {
+            for kind in [CrashKind::Kill, CrashKind::Torn, CrashKind::Garble] {
+                fs::write(&path, b"old-content").unwrap();
+                let _ = fs::remove_file(tmp_path(&path));
+                let mut p = Persister::new(Some(CrashPlan {
+                    seed: 0,
+                    site,
+                    kind,
+                }));
+                let err = p.write_atomic(&path, b"new-content-longer").unwrap_err();
+                assert!(matches!(err, ServeError::InjectedCrash(_)), "{err}");
+                let got = fs::read(&path).unwrap();
+                let garbled_new = {
+                    // A Garble rename lands a bit-flipped new payload —
+                    // same length, wrong bytes, caught by checksums.
+                    got.len() == b"new-content-longer".len() && got != b"new-content-longer"
+                };
+                assert!(
+                    got == b"old-content" || got == b"new-content-longer" || garbled_new,
+                    "torn target at site {site} {kind:?}: {got:?}"
+                );
+                // And once dead, everything fails.
+                assert!(matches!(
+                    p.write_atomic(&path, b"x"),
+                    Err(ServeError::InjectedCrash(_))
+                ));
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_full_is_typed_and_nondestructive() {
+        let dir = std::env::temp_dir().join(format!("afd-persist-full-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bin");
+        fs::write(&path, b"keep").unwrap();
+        let mut p = Persister::new(None);
+        p.set_disk_full(true);
+        let err = p.write_atomic(&path, b"replacement").unwrap_err();
+        assert!(is_disk_full(&err), "{err}");
+        assert_eq!(fs::read(&path).unwrap(), b"keep");
+        p.set_disk_full(false);
+        p.write_atomic(&path, b"replacement").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"replacement");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -94,6 +94,57 @@ impl<T> Slab<T> {
         }
     }
 
+    /// The handle the next [`Slab::insert`] will issue, without
+    /// inserting. This is what lets callers persist an admission
+    /// *before* mutating the slab: journal `peek_next()`, then insert,
+    /// and the two are guaranteed to name the same slot + generation.
+    pub(crate) fn peek_next(&self) -> SessionHandle {
+        if let Some(&index) = self.free.last() {
+            SessionHandle {
+                index,
+                generation: self.slots[index as usize].generation,
+            }
+        } else {
+            SessionHandle {
+                index: u32::try_from(self.slots.len()).expect("more than u32::MAX sessions"),
+                generation: 0,
+            }
+        }
+    }
+
+    /// Rebuilds a slab from recovered per-slot state: one
+    /// `(generation, value)` pair per slot in slot order, `None` for
+    /// free slots (whose generation is what the *next* tenant will be
+    /// issued — exactly what a journal replay reconstructs). Handles
+    /// issued before the crash keep working; released ones stay stale.
+    pub(crate) fn restore_slots(entries: Vec<(u32, Option<T>)>) -> Self {
+        let mut free = Vec::new();
+        let mut len = 0usize;
+        let slots: Vec<Slot<T>> = entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (generation, value))| {
+                if value.is_some() {
+                    len += 1;
+                } else {
+                    free.push(i as u32);
+                }
+                Slot { generation, value }
+            })
+            .collect();
+        Slab { slots, free, len }
+    }
+
+    /// Every slot's `(index, generation, occupant)` in slot order —
+    /// checkpoint/compaction input. Free slots appear too: their
+    /// generations must survive so stale handles stay stale.
+    pub(crate) fn slots_snapshot(&self) -> impl Iterator<Item = (u32, u32, Option<&T>)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.generation, s.value.as_ref()))
+    }
+
     /// Validates a handle down to its slot index.
     pub(crate) fn slot_of(&self, h: SessionHandle) -> Result<u32, ServeError> {
         match self.slots.get(h.index as usize) {
@@ -176,6 +227,36 @@ mod tests {
         assert_eq!(*slab.get(c).unwrap(), "c");
         assert_eq!(*slab.get(b).unwrap(), "b");
         assert_eq!(slab.handle_at(c.index()), c);
+    }
+
+    #[test]
+    fn peek_next_predicts_insert_exactly() {
+        let mut slab = Slab::new();
+        assert_eq!(slab.peek_next(), slab.insert("a"));
+        let b = slab.insert("b");
+        slab.remove(b).unwrap();
+        // Reuse path: freed slot, bumped generation.
+        let predicted = slab.peek_next();
+        assert_eq!(predicted.index(), b.index());
+        assert_eq!(predicted.generation(), b.generation() + 1);
+        assert_eq!(predicted, slab.insert("c"));
+    }
+
+    #[test]
+    fn restore_slots_rebuilds_generations_and_free_list() {
+        let slab = Slab::restore_slots(vec![(2, Some("x")), (5, None), (0, Some("y"))]);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.handle_at(0).generation(), 2);
+        assert_eq!(*slab.get(slab.handle_at(0)).unwrap(), "x");
+        // The free slot keeps its bumped generation for the next tenant,
+        // so pre-crash handles to it remain stale.
+        let stale = SessionHandle {
+            index: 1,
+            generation: 4,
+        };
+        assert!(matches!(slab.get(stale), Err(ServeError::StaleHandle(_))));
+        let next = slab.peek_next();
+        assert_eq!((next.index(), next.generation()), (1, 5));
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Crash-injection property tests: **crash anywhere, recover, continue.**
+//!
+//! A seeded [`CrashPlan`] kills, tears, or garbles exactly one
+//! persistence operation — journal appends, journal fsyncs, spill
+//! `write_all`/`sync_all`/`rename` steps, spill-file removals — at a
+//! random point in a scripted serve workload. The server is then torn
+//! down mid-flight and [`AfdServe::recover`] rebuilds a fresh one from
+//! the journal plus the spill directory. The property pinned here:
+//!
+//! * recovery **never fails and never panics**, whatever landed on disk;
+//! * every quarantined file still exists (moved, never deleted);
+//! * a session whose eviction was acknowledged (`evict` returned `Ok`
+//!   after the crash plan was armed, with no later restore) recovers
+//!   **bit-identically** (`f64::to_bits`) to a never-crashed twin at
+//!   exactly the acknowledged prefix of the workload;
+//! * any other surviving state is some *consistent prefix* of the
+//!   workload — bit-identical to the twin at that prefix — or a typed
+//!   [`ServeError::StaleHandle`]; never garbage, never a torn hybrid;
+//! * the recovered server **keeps serving**: a continuation workload
+//!   applies on top of the recovered prefix and stays bit-identical to
+//!   a twin continued from the same prefix.
+//!
+//! The workload is inserts-only, so row ids stay dense across
+//! restore-side renumbering and the twin needs no compaction mirroring.
+//! The process-backend twin of this test lives in `afd-cli`'s
+//! integration tests (`process_backend_crash_recover_continues_bit_identically`).
+
+use std::path::PathBuf;
+
+use afd_engine::{AfdEngine, DeltaRequest, SnapshotRequest, SubscribeRequest};
+use afd_relation::{AttrId, Fd, Schema, Value};
+use afd_serve::{AfdServe, CrashPlan, ServeConfig, ServeError};
+use afd_stream::{RowDelta, StreamScores};
+use proptest::prelude::*;
+
+/// Persister ops in a full run ≈ 55; a site drawn from `1..=MAX_SITE`
+/// therefore crashes most runs somewhere and lets a few run to the end
+/// (recovery after a *clean-ish* stop is a case worth covering too).
+const MAX_SITE: u64 = 60;
+/// Scripted deltas in the crashed run.
+const WORK: usize = 18;
+/// Deltas applied after recovery to prove the server keeps serving.
+const CONT: usize = 3;
+
+fn fresh_engine() -> AfdEngine {
+    let schema = Schema::new(["X", "Y"]).unwrap();
+    let mut engine = AfdEngine::new(schema);
+    engine
+        .subscribe(&SubscribeRequest::new(Fd::linear(AttrId(0), AttrId(1))))
+        .unwrap();
+    engine
+        .subscribe(&SubscribeRequest::new(Fd::linear(AttrId(1), AttrId(0))))
+        .unwrap();
+    engine
+}
+
+/// Insert-only delta `i`, deterministic. Every row's `Y` is unique, so
+/// each prefix of the workload is a distinct multiset and (checked by
+/// an assertion in the driver) scores distinctly — the recovered state
+/// can be identified as exactly one prefix.
+fn delta(i: usize) -> RowDelta {
+    let x = (i as i64) % 4;
+    RowDelta {
+        inserts: vec![vec![Value::Int(x), Value::Int(200 + i as i64)]],
+        deletes: vec![],
+    }
+}
+
+/// The session's starting state: a handful of rows that already violate
+/// `X -> Y`, so the scores are a non-trivial function of the row count
+/// and every appended unique-`Y` row moves them (an empty or perfect
+/// relation scores identically at several sizes).
+fn base_engine() -> AfdEngine {
+    let mut engine = fresh_engine();
+    for (x, y) in [(0, 100), (0, 101), (1, 102), (2, 103), (3, 104), (1, 105)] {
+        engine
+            .delta(&DeltaRequest::new(RowDelta {
+                inserts: vec![vec![Value::Int(x), Value::Int(y)]],
+                deletes: vec![],
+            }))
+            .unwrap();
+    }
+    engine
+}
+
+fn scores2(engine: &AfdEngine) -> (StreamScores, StreamScores) {
+    (engine.scores(0).unwrap(), engine.scores(1).unwrap())
+}
+
+fn bits_eq2(a: &(StreamScores, StreamScores), b: &(StreamScores, StreamScores)) -> bool {
+    a.0.bits_eq(&b.0) && a.1.bits_eq(&b.1)
+}
+
+/// Never-crashed twin: scores after each prefix of the workload
+/// (`out[k]` = scores with the first `k` deltas applied).
+fn twin_prefix_scores(n: usize) -> Vec<(StreamScores, StreamScores)> {
+    let mut twin = base_engine();
+    let mut out = vec![scores2(&twin)];
+    for i in 0..n {
+        twin.delta(&DeltaRequest::new(delta(i))).unwrap();
+        out.push(scores2(&twin));
+    }
+    out
+}
+
+fn is_crash(e: &ServeError) -> bool {
+    matches!(e, ServeError::InjectedCrash(_))
+}
+
+fn case_dir(seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("afd-crash-prop-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn crash_anywhere_recover_and_continue_bit_identically(seed in 0u64..1 << 32) {
+        let dir = case_dir(seed);
+        let twin = twin_prefix_scores(WORK + 1);
+        // Prefix identification below relies on every prefix scoring
+        // distinctly; guard the workload's construction.
+        for a in 0..twin.len() {
+            for b in a + 1..twin.len() {
+                prop_assert!(
+                    !bits_eq2(&twin[a], &twin[b]),
+                    "workload prefixes {a} and {b} score identically"
+                );
+            }
+        }
+
+        // ---- Crashed run: one seeded fault somewhere in the workload.
+        let mut cfg = ServeConfig::new(&dir);
+        cfg.crash_plan = Some(CrashPlan::single(seed, MAX_SITE));
+        let mut serve = AfdServe::new(cfg).unwrap();
+
+        // h2: a cold snapshot tenant, registered then left untouched —
+        // pins the transactional register path across crashes.
+        let mut template = fresh_engine();
+        for i in [100usize, 101] {
+            template.delta(&DeltaRequest::new(delta(i))).unwrap();
+        }
+        let template_bits = scores2(&template);
+        let snap = template.save(&SnapshotRequest::default()).unwrap().bytes;
+
+        let h1 = match serve.register(base_engine()) {
+            Ok(h) => Some(h),
+            Err(e) => {
+                prop_assert!(is_crash(&e), "register: {e}");
+                None
+            }
+        };
+        let h2 = if h1.is_some() {
+            match serve.register_snapshot(&snap) {
+                Ok(h) => Some(h),
+                Err(e) => {
+                    prop_assert!(is_crash(&e), "register_snapshot: {e}");
+                    None
+                }
+            }
+        } else {
+            None
+        };
+
+        // `durable = Some(n)`: an eviction of h1 was *acknowledged* with
+        // the first `n` deltas applied, and no restore has consumed the
+        // spill file since. Such a prefix MUST survive any later crash.
+        let mut applied = 0usize;
+        let mut durable: Option<usize> = None;
+        if let (Some(h1), Some(_)) = (h1, h2) {
+            'work: for i in 0..WORK {
+                match serve.enqueue(h1, delta(i)) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        prop_assert!(is_crash(&e), "enqueue: {e}");
+                        break 'work;
+                    }
+                }
+                match serve.tick() {
+                    Ok(_) => {
+                        applied += 1;
+                        // An Ok tick that left h1 resident means any
+                        // pending restore ran to completion — the spill
+                        // file is gone, the durable prefix with it.
+                        if serve.is_resident(h1).unwrap_or(false) {
+                            durable = None;
+                        }
+                    }
+                    Err(e) => {
+                        prop_assert!(is_crash(&e), "tick: {e}");
+                        break 'work;
+                    }
+                }
+                if i % 3 == 2 {
+                    match serve.evict(h1) {
+                        Ok(()) => durable = Some(applied),
+                        Err(e) => {
+                            prop_assert!(is_crash(&e), "evict: {e}");
+                            break 'work;
+                        }
+                    }
+                }
+            }
+        }
+        drop(serve);
+
+        // ---- Recovery: must succeed whatever the crash left behind.
+        let (mut recovered, report) = AfdServe::recover(ServeConfig::new(&dir))
+            .expect("recover must never fail after an injected crash");
+
+        // Quarantined files were *moved*, never deleted.
+        for q in &report.quarantined {
+            prop_assert!(q.file.exists(), "quarantined file vanished: {q:?}");
+            prop_assert!(
+                q.file.parent().is_some_and(|p| p.ends_with("quarantine")),
+                "quarantined file not in quarantine dir: {q:?}"
+            );
+        }
+
+        // h2 was registered transactionally: if the call returned Ok,
+        // the snapshot is durable and recovers bit-identically.
+        if let Some(h2) = h2 {
+            let got = (
+                recovered.scores(h2, 0).expect("acknowledged snapshot tenant lost"),
+                recovered.scores(h2, 1).expect("acknowledged snapshot tenant lost"),
+            );
+            prop_assert!(
+                bits_eq2(&got, &template_bits),
+                "snapshot tenant diverged from template after recovery"
+            );
+        }
+
+        // h1: an acknowledged durable prefix must recover exactly;
+        // anything else must be a consistent prefix or a typed stale
+        // handle — never garbage.
+        let mut recovered_prefix: Option<usize> = None;
+        if let Some(h1) = h1 {
+            match (
+                recovered.scores(h1, 0),
+                recovered.scores(h1, 1),
+            ) {
+                (Ok(s0), Ok(s1)) => {
+                    let got = (s0, s1);
+                    let k = (0..=applied).find(|&k| bits_eq2(&got, &twin[k]));
+                    prop_assert!(
+                        k.is_some(),
+                        "recovered session matches no prefix of the workload \
+                         (seed {seed}, applied {applied})"
+                    );
+                    if let Some(n) = durable {
+                        prop_assert!(
+                            bits_eq2(&got, &twin[n]),
+                            "acknowledged durable prefix {n} lost (seed {seed})"
+                        );
+                    }
+                    recovered_prefix = k;
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    prop_assert!(
+                        durable.is_none(),
+                        "acknowledged durable prefix {durable:?} lost to {e} (seed {seed})"
+                    );
+                    prop_assert!(
+                        matches!(e, ServeError::StaleHandle(_)),
+                        "lost session must be a typed stale handle, got {e}"
+                    );
+                }
+            }
+        }
+
+        // ---- Continue serving on top of the recovered prefix.
+        if let (Some(h1), Some(k)) = (h1, recovered_prefix) {
+            let mut cont_twin = base_engine();
+            for i in 0..k {
+                cont_twin.delta(&DeltaRequest::new(delta(i))).unwrap();
+            }
+            for j in 0..CONT {
+                let d = delta(WORK + j);
+                cont_twin.delta(&DeltaRequest::new(d.clone())).unwrap();
+                recovered.enqueue(h1, d).unwrap();
+                recovered.tick().unwrap();
+                let got = (
+                    recovered.scores(h1, 0).unwrap(),
+                    recovered.scores(h1, 1).unwrap(),
+                );
+                prop_assert!(
+                    bits_eq2(&got, &scores2(&cont_twin)),
+                    "post-recovery continuation diverged at step {j} (seed {seed})"
+                );
+            }
+        }
+
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -13,7 +13,7 @@
 
 use afd_engine::{AfdEngine, DeltaRequest, SubscribeRequest};
 use afd_relation::{AttrId, Fd, Schema, Value};
-use afd_serve::{AfdServe, ServeConfig};
+use afd_serve::{AfdServe, DurabilityConfig, ServeConfig};
 use afd_stream::RowDelta;
 use proptest::prelude::*;
 
@@ -103,7 +103,12 @@ proptest! {
         let dir = std::env::temp_dir()
             .join(format!("afd-serve-prop-{}", std::process::id()));
         let mut control = fresh_engine();
-        let mut serve = AfdServe::new(ServeConfig::new(&dir)).unwrap();
+        // The dir is shared across proptest cases: ephemeral durability
+        // (no journal, drop sweeps spill files) keeps cases independent.
+        // Crash-safe durable mode is covered by tests/crash_proptests.rs.
+        let mut cfg = ServeConfig::new(&dir);
+        cfg.durability = DurabilityConfig::ephemeral();
+        let mut serve = AfdServe::new(cfg).unwrap();
         let h = serve.register(fresh_engine()).unwrap();
         let mut mirror = Mirror::new();
 

@@ -240,6 +240,28 @@
 //! (registration costs a spill file, not an engine), p50 apply ~7 µs
 //! with the p99 carrying the cold-restore tail.
 //!
+//! The server is **crash-safe** by default: every registry transition
+//! (register / evict / restore / release) is appended to a checksummed
+//! write-ahead journal (`registry.afdj` in the spill directory, afd-wire
+//! frames, compacted into checkpoints as it outgrows the live set), and
+//! every spill file is written atomically (tmp → write → fsync →
+//! rename) *before* its journal record — so a crash at any instant
+//! leaves either the old state or the new state, never a torn hybrid.
+//! [`serve::AfdServe::recover`] cold-starts a server from the directory
+//! alone: it replays the journal, validates every spill file against
+//! it, and moves anything corrupt or unaccounted-for into
+//! `quarantine/` — reported file-by-file on the typed
+//! [`serve::RecoverReport`], never silently deleted. Crash-injection
+//! proptests tear, garble, or drop every journal and spill write in a
+//! seeded workload and assert recovery always succeeds, an acknowledged
+//! eviction always survives bit-identically, and the recovered server
+//! keeps serving (both backends; `afd serve --recover` drives the round
+//! trip from the CLI). Durability knobs live on
+//! [`serve::DurabilityConfig`] (`ephemeral()` restores the old
+//! RAM-only contract); `record_durability` records recovery wall-clock
+//! versus registry size and the journal's ≤ 10% eviction overhead in
+//! `BENCH_durability.json`.
+//!
 //! The original hash-based inner loops are retained in
 //! [`relation::naive`]; property tests pin `optimized ≡ naive`, and
 //! `cargo run --release -p afd-bench --example record_substrate`
@@ -277,7 +299,9 @@ pub use afd_relation::{
     Fd, Relation, Schema, Value,
 };
 pub use afd_rwd::RwdBenchmark;
-pub use afd_serve::{AfdServe, ServeConfig, ServeError, SessionHandle};
+pub use afd_serve::{
+    AfdServe, DurabilityConfig, RecoverReport, ServeConfig, ServeError, SessionHandle,
+};
 pub use afd_stream::{
     RowDelta, ScoreDiff, SessionSnapshot, ShardedSession, StreamScores, StreamSession,
 };
