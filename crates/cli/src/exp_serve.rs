@@ -108,7 +108,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOpts, String> {
 
 /// The session template: a small noisy-FD relation, deterministic in
 /// `seed`, with the `X -> Y` candidate subscribed.
-fn template_engine(rows: usize, seed: u64) -> AfdEngine {
+pub(crate) fn template_engine(rows: usize, seed: u64) -> AfdEngine {
     let pairs = (0..rows as u64).map(|i| {
         let x = (i * 31 + seed) % (rows as u64 / 8).max(4);
         // ~1% of rows violate X -> Y.
@@ -123,7 +123,7 @@ fn template_engine(rows: usize, seed: u64) -> AfdEngine {
 }
 
 /// One synthetic insert, deterministic in `(session, step)`.
-fn scripted_delta(session: usize, step: usize, rows: usize) -> RowDelta {
+pub(crate) fn scripted_delta(session: usize, step: usize, rows: usize) -> RowDelta {
     let x = ((session * 7 + step * 13) % (rows / 8).max(4)) as u64;
     RowDelta {
         inserts: vec![vec![Value::Int(x as i64), Value::Int((x * 2) as i64)]],

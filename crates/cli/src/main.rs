@@ -29,8 +29,16 @@
 //!            workload (own flags: --sessions n, --resident-cap n,
 //!            --ticks n, --queue-cap n, --global-cap n, --rows n,
 //!            --seed n, --spill-dir d, --process)
+//!   serve --listen ADDR  socket front door over the serving layer
+//!            (own flags: --auth-token t, --max-connections n,
+//!            --spill-dir d, --park); runs until a client sends shutdown
+//!   connect ADDR  drive a remote `serve --listen` end-to-end and audit
+//!            bit-identity against an in-process twin (own flags:
+//!            --token t, --tenant s, --rows n, --seed n, --deltas n,
+//!            --shutdown)
 //!   shard-worker  out-of-process shard speaking afd-wire over stdin/stdout
-//!                 (spawned by the engine's process backend, not by hand)
+//!                 (spawned by the engine's process backend, not by hand);
+//!                 --listen ADDR serves the same protocol over TCP
 //!   all      everything above (paper artifacts + extensions)
 //!
 //! flags:
@@ -54,6 +62,7 @@
 mod ctx;
 mod exp_export;
 mod exp_extensions;
+mod exp_net;
 mod exp_profile;
 mod exp_rwd;
 mod exp_rwde;
@@ -72,7 +81,7 @@ use ctx::{Config, RwdEval};
 const USAGE: &str = "usage: afd <experiment> [--scale f] [--seed n] [--threads n] \
 [--budget-ms n] [--paper-scale] [--shards n] [--checkpoint-every n] [--retry-budget n] \
 [--out dir]\n\
-experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi stream export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]\n             save <in.csv> <out.snapshot> | load <snapshot> | shard-worker\n             serve [--sessions n] [--resident-cap n] [--ticks n] [--queue-cap n]\n                   [--global-cap n] [--rows n] [--seed n] [--spill-dir d] [--process] [--recover]";
+experiments: fig1 fig3 table2 fig2a fig2b fig2c fig4 table3 table5 table7 table8 table9\n             nonlinear mc-rfi stream export-rwd all | profile <file.csv> [--measure m] [--max-lhs k]\n             save <in.csv> <out.snapshot> | load <snapshot> | shard-worker [--listen addr]\n             serve [--sessions n] [--resident-cap n] [--ticks n] [--queue-cap n]\n                   [--global-cap n] [--rows n] [--seed n] [--spill-dir d] [--process] [--recover]\n             serve --listen addr [--auth-token t] [--max-connections n] [--spill-dir d] [--park]\n             connect addr [--token t] [--tenant s] [--rows n] [--seed n] [--deltas n] [--shutdown]";
 
 fn parse_flags(args: &[String]) -> Result<Config, String> {
     let mut cfg = Config::default();
@@ -147,7 +156,16 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if cmd == "shard-worker" {
-        return exp_snapshot::shard_worker();
+        return exp_net::shard_worker(&args[1..]);
+    }
+    if cmd == "connect" {
+        return match exp_net::parse_connect_args(&args[1..]).and_then(|o| exp_net::connect(&o)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if cmd == "save" || cmd == "load" {
         let run = if cmd == "save" {
@@ -164,7 +182,14 @@ fn main() -> ExitCode {
         };
     }
     if cmd == "serve" {
-        return match exp_serve::parse_serve_args(&args[1..]).and_then(|o| exp_serve::serve(&o)) {
+        // `--listen` selects the socket front door; everything else is
+        // the scripted in-process workload.
+        let run = if args[1..].iter().any(|a| a == "--listen") {
+            exp_net::parse_net_serve_args(&args[1..]).and_then(|o| exp_net::serve_listen(&o))
+        } else {
+            exp_serve::parse_serve_args(&args[1..]).and_then(|o| exp_serve::serve(&o))
+        };
+        return match run {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -1,0 +1,244 @@
+//! End-to-end tests of the serve socket front door: a loopback
+//! `ServeFront` (and the real `afd serve --listen` binary) driven by
+//! `ServeClient` / `afd connect`, pinned bit-identical to the
+//! in-process `AfdServe` library, with auth refusals and stale handles
+//! answered as typed in-band errors rather than disconnects.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use afd_engine::{AfdEngine, SnapshotRequest, SubscribeRequest};
+use afd_relation::{AttrId, Fd, Relation, Value};
+use afd_serve::{
+    AfdServe, DurabilityConfig, ServeClient, ServeConfig, ServeError, ServeFront, SessionHandle,
+};
+use afd_stream::RowDelta;
+use proptest::prelude::*;
+
+struct SpillDir(PathBuf);
+
+impl SpillDir {
+    fn new(tag: &str) -> Self {
+        SpillDir(
+            std::env::temp_dir().join(format!("afd-net-serve-test-{tag}-{}", std::process::id())),
+        )
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A deterministic engine plus its wire snapshot: the remote side
+/// registers the bytes, the local twin registers the object.
+fn engine_and_bytes(rows: &[(u64, u64)]) -> (AfdEngine, Vec<u8>) {
+    let rel = Relation::from_pairs(rows.iter().copied());
+    let mut engine = AfdEngine::from_relation(rel);
+    engine
+        .subscribe(&SubscribeRequest::new(Fd::linear(AttrId(0), AttrId(1))))
+        .unwrap();
+    let bytes = engine.save(&SnapshotRequest::default()).unwrap().bytes;
+    (engine, bytes)
+}
+
+fn serve_on(dir: &SpillDir) -> AfdServe {
+    let cfg = ServeConfig {
+        durability: DurabilityConfig::ephemeral(),
+        ..ServeConfig::new(&dir.0)
+    };
+    AfdServe::new(cfg).unwrap()
+}
+
+fn delta_from(batch: &[(i64, i64)]) -> RowDelta {
+    RowDelta {
+        inserts: batch
+            .iter()
+            .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)])
+            .collect(),
+        deletes: vec![],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn socket_front_door_matches_local_library_bit_exactly(
+        base in prop::collection::vec((0u64..6, 0u64..5), 4..24),
+        stream in prop::collection::vec((0i64..6, 0i64..5), 1..16),
+    ) {
+        let remote_dir = SpillDir::new("prop-remote");
+        let local_dir = SpillDir::new("prop-local");
+        let (engine, bytes) = engine_and_bytes(&base);
+        let mut local = serve_on(&local_dir);
+        let lh = local.register(engine).unwrap();
+        let front =
+            ServeFront::bind(serve_on(&remote_dir), Default::default(), "127.0.0.1:0").unwrap();
+        let mut client =
+            ServeClient::connect(&front.addr().to_string(), Duration::from_secs(10)).unwrap();
+        let rh = client.register(bytes).unwrap();
+
+        for batch in stream.chunks(3) {
+            let delta = delta_from(batch);
+            let rq = client.enqueue(rh, delta.clone()).unwrap();
+            let lq = local.enqueue(lh, delta).unwrap();
+            prop_assert_eq!(rq, lq, "queue depths diverged");
+            loop {
+                let rt = client.tick().unwrap();
+                let lt = local.tick().unwrap();
+                prop_assert_eq!(rt.deltas_applied, lt.deltas_applied);
+                prop_assert_eq!(rt.remaining, lt.remaining);
+                if rt.remaining == 0 {
+                    break;
+                }
+            }
+            let want = local.scores(lh, 0).unwrap();
+            prop_assert!(client.scores(rh, 0).unwrap().bits_eq(&want));
+        }
+
+        // A subscription added over the wire lands on the same
+        // candidate id and reads the same bits as the library path.
+        let fd = Fd::linear(AttrId(1), AttrId(0));
+        let rc = client.subscribe(rh, fd.clone()).unwrap();
+        let lc = local.subscribe(lh, fd).unwrap();
+        prop_assert_eq!(rc, lc);
+        prop_assert!(client
+            .scores(rh, rc)
+            .unwrap()
+            .bits_eq(&local.scores(lh, lc).unwrap()));
+
+        client.release(rh).unwrap();
+        let (_, stats) = front.stop();
+        prop_assert_eq!(stats.connections_accepted, 1);
+        prop_assert_eq!(stats.connections_dropped, 0, "clean release still counted");
+    }
+}
+
+/// A live `afd serve --listen` child; killed on drop so a failed
+/// assertion never leaks a listener.
+struct ServeChild {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl ServeChild {
+    fn spawn(extra: &[&str]) -> ServeChild {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_afd"))
+            .args(["serve", "--listen", "127.0.0.1:0"])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("serve child spawns");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("serve announces");
+        assert!(line.starts_with("serving on"), "unexpected: {line:?}");
+        let addr = line.trim().rsplit(' ').next().unwrap().to_string();
+        ServeChild {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    /// Reads the child's remaining stdout (after it exits) and reaps it.
+    fn finish(mut self) -> String {
+        let mut rest = String::new();
+        self.stdout.read_to_string(&mut rest).expect("serve output");
+        let status = self.child.wait().expect("serve child reaped");
+        assert!(status.success(), "serve exited with {status}: {rest}");
+        rest
+    }
+}
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn full_binary_connect_drives_a_full_binary_serve() {
+    let serve = ServeChild::spawn(&["--auth-token", "s3cret"]);
+    let out = Command::new(env!("CARGO_BIN_EXE_afd"))
+        .args(["connect", &serve.addr, "--token", "s3cret", "--shutdown"])
+        .output()
+        .expect("connect runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "connect failed ({}):\n{stdout}\n{stderr}",
+        out.status
+    );
+    assert!(
+        stdout.contains("scores bit-identical to in-process twin: yes"),
+        "no bit-identity audit in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("fabricated handle answered as typed stale-handle"),
+        "no stale-handle audit in:\n{stdout}"
+    );
+    // --shutdown stops the server; its final census must account for
+    // this connection without any drops (the client released cleanly).
+    let census = serve.finish();
+    assert!(census.contains("final census"), "no census in:\n{census}");
+    assert!(
+        census.contains("accepted=") && census.contains("dropped=0"),
+        "connection counters missing or wrong in:\n{census}"
+    );
+}
+
+#[test]
+fn binary_serve_answers_bad_auth_and_stale_handles_in_band() {
+    let serve = ServeChild::spawn(&["--auth-token", "s3cret"]);
+    let mut client = ServeClient::connect(&serve.addr, Duration::from_secs(10)).unwrap();
+
+    // A bad token is a typed refusal, not a disconnect: the same
+    // connection authenticates successfully right after.
+    let err = client.hello("wrong", "tenant-a").unwrap_err();
+    assert!(matches!(err, ServeError::Auth(_)), "{err:?}");
+    client.hello("s3cret", "tenant-a").unwrap();
+
+    let (_, bytes) = engine_and_bytes(&[(1, 2), (1, 2), (3, 4)]);
+    let h = client.register(bytes).unwrap();
+    assert!(client.scores(h, 0).is_ok());
+
+    // A fabricated handle answers as a typed stale-handle error and the
+    // session registered above stays addressable afterwards.
+    let bogus = SessionHandle::from_raw(u32::MAX, u32::MAX);
+    let err = client.scores(bogus, 0).unwrap_err();
+    assert!(matches!(err, ServeError::StaleHandle(_)), "{err:?}");
+    assert!(client.scores(h, 0).is_ok());
+
+    client.release(h).unwrap();
+    client.shutdown().unwrap();
+    let census = serve.finish();
+    assert!(census.contains("dropped=0"), "clean run dropped: {census}");
+}
+
+#[test]
+fn unauthenticated_stateful_requests_are_refused_in_band() {
+    let serve = ServeChild::spawn(&["--auth-token", "s3cret"]);
+    let mut client = ServeClient::connect(&serve.addr, Duration::from_secs(10)).unwrap();
+    let (_, bytes) = engine_and_bytes(&[(0, 1)]);
+    let err = client.register(bytes.clone()).unwrap_err();
+    assert!(matches!(err, ServeError::Auth(_)), "{err:?}");
+    // Even the read-only census is gated, and the refusal is an answer,
+    // not a disconnect: the same connection authenticates right after.
+    let err = client.stats().unwrap_err();
+    assert!(matches!(err, ServeError::Auth(_)), "{err:?}");
+    client.hello("s3cret", "probe").unwrap();
+    let h = client.register(bytes).unwrap();
+    client.release(h).unwrap();
+    client.shutdown().unwrap();
+    serve.finish();
+}

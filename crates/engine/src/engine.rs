@@ -10,7 +10,8 @@ use afd_relation::{
 };
 use afd_stream::{
     AnyShard, CompactionReport, InProcShard, ProcessShard, RecoveryConfig, RecoveryReport,
-    SessionSnapshot, ShardedSession, ShutdownReport, SnapshotStats, StreamScores, WorkerCommand,
+    SessionSnapshot, ShardedSession, ShutdownReport, SnapshotStats, StreamScores, TcpShard,
+    WorkerCommand,
 };
 
 use crate::error::AfdError;
@@ -32,6 +33,13 @@ pub enum StreamBackend {
     /// the checksummed `afd-wire` stdin/stdout protocol — crash-isolated
     /// workers, bit-identical score reads.
     Process(WorkerCommand),
+    /// Each shard is an `afd shard-worker --listen` session dialed over
+    /// TCP, one address per shard (so `shards` must equal the address
+    /// count). Addresses must parse as `IP:PORT` literals with distinct,
+    /// non-zero ports — validated by [`AfdEngine::with_config`] with
+    /// typed [`AfdError::Config`] errors, matching the `shards: 0`
+    /// precedent.
+    Tcp(Vec<String>),
 }
 
 /// Engine-wide knobs, all optional.
@@ -75,6 +83,39 @@ impl Default for EngineConfig {
             recovery: RecoveryConfig::default(),
         }
     }
+}
+
+/// Validates a [`StreamBackend::Tcp`] topology the way `shards: 0` is
+/// validated: every malformed input is a typed [`AfdError::Config`] at
+/// configuration time, never a dial-time surprise. One address per
+/// shard; `IP:PORT` literals only; no zero ports (nothing can be dialed
+/// on the ephemeral wildcard); no duplicates (each shard owns its own
+/// worker session lifecycle — two shards behind one address would share
+/// a crash domain the supervisor cannot see).
+fn validate_tcp_backend(addrs: &[String], shards: usize) -> Result<(), AfdError> {
+    if addrs.is_empty() {
+        return Err(AfdError::Config(
+            "tcp backend needs at least one worker address".into(),
+        ));
+    }
+    if addrs.len() != shards {
+        return Err(AfdError::Config(format!(
+            "tcp backend has {} address(es) for {shards} shard(s): one worker address per shard",
+            addrs.len()
+        )));
+    }
+    let mut seen = Vec::with_capacity(addrs.len());
+    for addr in addrs {
+        let parsed = afd_net::parse_connect_addr(addr)
+            .map_err(|e| AfdError::Config(format!("tcp backend: {e}")))?;
+        if seen.contains(&parsed) {
+            return Err(AfdError::Config(format!(
+                "tcp backend: duplicate worker address {parsed}"
+            )));
+        }
+        seen.push(parsed);
+    }
+    Ok(())
 }
 
 /// The single typed entry point to everything this workspace can say
@@ -173,6 +214,9 @@ impl AfdEngine {
                     "shard key attribute {a} outside the schema"
                 )));
             }
+        }
+        if let StreamBackend::Tcp(addrs) = &cfg.backend {
+            validate_tcp_backend(addrs, cfg.shards)?;
         }
         cfg.recovery
             .validate()
@@ -364,6 +408,10 @@ impl AfdEngine {
                 .collect(),
             StreamBackend::Process(worker) => (0..shards)
                 .map(|_| ProcessShard::spawn(worker, &schema).map(AnyShard::Process))
+                .collect::<Result<_, _>>()?,
+            StreamBackend::Tcp(addrs) => addrs
+                .iter()
+                .map(|addr| TcpShard::connect(addr, &schema).map(AnyShard::Tcp))
                 .collect::<Result<_, _>>()?,
         };
         let mut session = ShardedSession::with_backends(schema, key, backends)?
@@ -608,6 +656,44 @@ mod tests {
 
     fn noisy() -> Relation {
         Relation::from_pairs((0..64).map(|i| (i % 8, if i == 5 { 99 } else { (i % 8) * 3 })))
+    }
+
+    fn tcp_cfg(addrs: &[&str], shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards,
+            backend: StreamBackend::Tcp(addrs.iter().map(|s| s.to_string()).collect()),
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn tcp_backend_addresses_are_validated_at_config_time() {
+        // Well-formed: one distinct non-zero-port literal per shard.
+        assert!(AfdEngine::from_relation(noisy())
+            .with_config(tcp_cfg(&["127.0.0.1:4100", "127.0.0.1:4101"], 2))
+            .is_ok());
+        // Every malformed topology is a typed Config error naming the
+        // problem, matching the `shards: 0` precedent.
+        let cases: &[(EngineConfig, &str)] = &[
+            (tcp_cfg(&[], 1), "at least one"),
+            (tcp_cfg(&["127.0.0.1:4100"], 2), "per shard"),
+            (tcp_cfg(&["not-an-address"], 1), "bad socket address"),
+            (tcp_cfg(&["127.0.0.1"], 1), "bad socket address"),
+            (tcp_cfg(&["127.0.0.1:0"], 1), "port 0"),
+            (
+                tcp_cfg(&["127.0.0.1:4100", "127.0.0.1:4100"], 2),
+                "duplicate",
+            ),
+        ];
+        for (cfg, needle) in cases {
+            match AfdEngine::from_relation(noisy()).with_config(cfg.clone()) {
+                Err(AfdError::Config(msg)) => {
+                    assert!(msg.contains(needle), "{msg:?} should contain {needle:?}")
+                }
+                Err(other) => panic!("expected Config error for {cfg:?}, got {other:?}"),
+                Ok(_) => panic!("expected Config error for {cfg:?}, got Ok"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! `afd-net` — socket transports for the afd-wire framing.
+//!
+//! Everything this workspace says across a process boundary is one
+//! byte format: the checksummed `afd-wire` frame (`AFDW` magic,
+//! version, kind byte, length, FNV-1a checksum). This crate carries
+//! those frames over real channels and knows nothing about what they
+//! mean — it depends only on `afd-wire`, so both `afd-stream` (shard
+//! workers) and `afd-serve` (the socket front door) can build their
+//! protocols on it without a dependency cycle.
+//!
+//! # Architecture: the socket topology
+//!
+//! ```text
+//!  coordinator (ShardedSession)                 clients (afd connect)
+//!    RemoteShard<StdioTransport> ── pipes ──▸ afd shard-worker
+//!    RemoteShard<TcpTransport> ─── TCP ────▸ afd shard-worker --listen
+//!                                              (thread per connection,
+//!                                               one session each)
+//!    AfdServe front door (afd serve --listen) ◂── TCP ── afd_net::Client
+//! ```
+//!
+//! * [`Transport`] — a bidirectional framed channel: `send` one framed
+//!   message, `recv` the next `(kind, payload)` under a deadline.
+//!   Frames are read on a dedicated thread per transport, so a silent
+//!   peer is a typed [`NetError::Timeout`], never a blocked caller.
+//! * [`StdioTransport`] — a child process's stdin/stdout, launched from
+//!   a retained [`WorkerCommand`]; `reconnect` relaunches it, and the
+//!   child's stderr tail rides along on diagnostics.
+//! * [`TcpTransport`] — a TCP connection; `reconnect` redials the same
+//!   address with exponential backoff ([`ReconnectPolicy`]), the TCP
+//!   analogue of respawning a worker.
+//! * [`Client`] — a blocking request/response client over TCP with a
+//!   deadline on every request (what `afd connect` and the serve front
+//!   door's typed client are built on).
+//!
+//! # Fault model over TCP
+//!
+//! A lost connection is recoverable exactly as far as a killed child
+//! is: afd-stream's supervisor sees the typed transport error, calls
+//! `reconnect` (redial with backoff), and restores the fresh worker
+//! session from its checkpoint + delta log — bit-identical, because
+//! every maintained aggregate is an integer. What reconnect *cannot*
+//! recover — an address nobody listens on within the backoff schedule,
+//! or a retry budget exhausted by a flapping link — poisons the session
+//! exactly like an unspawnable child process would. Authentication and
+//! tenancy are a protocol concern (the serve front door checks its
+//! shared token at registration); this crate moves frames for anyone.
+//! TLS is a recorded follow-up — today the transports assume a trusted
+//! network.
+
+pub mod client;
+pub mod command;
+pub mod error;
+pub mod transport;
+
+pub use client::{Client, DEFAULT_CLIENT_DEADLINE};
+pub use command::WorkerCommand;
+pub use error::NetError;
+pub use transport::{
+    parse_connect_addr, parse_listen_addr, ReconnectPolicy, StdioTransport, TcpTransport, Transport,
+};

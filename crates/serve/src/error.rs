@@ -15,6 +15,9 @@ pub enum BackpressureScope {
     /// snapshot, so the session stays resident instead of losing state.
     /// Free disk (or release sessions), then retry.
     Disk,
+    /// The socket front door is at its connection cap: the new
+    /// connection was answered with this error and closed.
+    Connections,
 }
 
 /// Everything a serve request can fail with.
@@ -46,8 +49,19 @@ pub enum ServeError {
         /// The configured registry cap.
         cap: usize,
     },
-    /// Invalid server configuration (zero cap or budget).
+    /// Invalid server configuration (zero cap or budget), or a
+    /// malformed front-door request frame.
     Config(String),
+    /// The socket front door refused the request: a bad shared-secret
+    /// token, or a stateful request before a successful `Hello`.
+    /// Answered in-band — an unauthenticated connection stays open and
+    /// may retry `Hello`.
+    Auth(String),
+    /// A server-side failure relayed over the socket as its display
+    /// string. [`ServeError::Engine`], [`ServeError::Io`] and
+    /// [`ServeError::CorruptSpill`] carry types that do not cross the
+    /// wire losslessly; clients see them as this variant.
+    Remote(String),
     /// The underlying engine failed (scoring, delta validation, snapshot
     /// codec).
     Engine(AfdError),
@@ -90,6 +104,7 @@ impl std::fmt::Display for ServeError {
                     BackpressureScope::Session => "session queue",
                     BackpressureScope::Global => "global queue",
                     BackpressureScope::Disk => "spill disk",
+                    BackpressureScope::Connections => "connection limit",
                 };
                 write!(f, "backpressure: {scope} at cap ({pending}/{cap} pending)")
             }
@@ -97,6 +112,8 @@ impl std::fmt::Display for ServeError {
                 write!(f, "registry at capacity ({cap} sessions)")
             }
             ServeError::Config(msg) => write!(f, "serve configuration: {msg}"),
+            ServeError::Auth(msg) => write!(f, "authentication refused: {msg}"),
+            ServeError::Remote(msg) => write!(f, "server-side failure: {msg}"),
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::Io(e) => write!(f, "spill i/o: {e}"),
             ServeError::CorruptSpill {

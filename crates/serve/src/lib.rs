@@ -93,12 +93,16 @@
 //! fsync-interval sweep in `BENCH_durability.json`.
 
 mod error;
+mod front;
 mod journal;
 mod persist;
 mod registry;
 mod serve;
 
 pub use error::{BackpressureScope, ServeError};
+pub use front::{
+    DisconnectPolicy, FrontConfig, ServeClient, ServeFront, ServeRequest, ServeResponse,
+};
 pub use journal::DurabilityConfig;
 pub use persist::{CrashKind, CrashPlan};
 pub use registry::SessionHandle;

@@ -33,6 +33,15 @@ impl SessionHandle {
     pub fn generation(&self) -> u32 {
         self.generation
     }
+
+    /// Rebuilds a handle from its raw parts — how the socket front
+    /// door's wire codec round-trips handles. A fabricated handle is
+    /// harmless: anything that does not name a live slot + generation is
+    /// answered with [`crate::ServeError::StaleHandle`].
+    #[must_use]
+    pub fn from_raw(index: u32, generation: u32) -> Self {
+        SessionHandle { index, generation }
+    }
 }
 
 impl std::fmt::Display for SessionHandle {

@@ -167,6 +167,14 @@ pub struct ServeStats {
     pub journal_appends: u64,
     /// Journal compactions (checkpoint rewrites) over the lifetime.
     pub journal_compactions: u64,
+    /// Front-door connections admitted (0 unless a socket front door is
+    /// serving — the library API never touches these three).
+    pub connections_accepted: u64,
+    /// Front-door connections refused at the connection cap.
+    pub connections_rejected: u64,
+    /// Admitted connections that ended while still holding registered
+    /// handles, forcing the disconnect policy to release or park them.
+    pub connections_dropped: u64,
 }
 
 /// Why a file was moved to `spill_dir/quarantine/` during recovery.
@@ -958,6 +966,11 @@ impl AfdServe {
             restore_failed: self.restore_failed,
             journal_appends: self.journal_appends,
             journal_compactions: self.journal_compactions,
+            // The library object never sees connections; the socket
+            // front door overlays these before answering a census.
+            connections_accepted: 0,
+            connections_rejected: 0,
+            connections_dropped: 0,
         }
     }
 

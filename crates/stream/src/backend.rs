@@ -4,54 +4,56 @@
 //! The coordinator ([`crate::ShardedSession`]) only ever talks to shards
 //! through [`ShardBackend`] — subscribe, apply a routed delta slice,
 //! read the candidate's [`IncTable`] merge input and Y side keys, take a
-//! snapshot, compact. Two implementations exist:
+//! snapshot, compact. Three topologies exist:
 //!
 //! * [`InProcShard`] — a [`StreamSession`] in the coordinator's address
 //!   space (the original topology; zero overhead).
-//! * [`ProcessShard`] — an `afd shard-worker` **child process** speaking
-//!   the checksummed `afd-wire` protocol over its stdin/stdout. After
-//!   every mutating request the worker ships its per-candidate state
-//!   back; the coordinator decodes it and merges via
-//!   [`IncTable::merge`], **bit-identical** to the in-process path
-//!   (every maintained aggregate is an integer, so the codec round-trip
-//!   is exact).
+//! * [`RemoteShard`] — a worker session on the far side of an `afd-net`
+//!   [`Transport`], speaking the checksummed `afd-wire` protocol.
+//!   [`ProcessShard`] (= `RemoteShard<StdioTransport>`) is an
+//!   `afd shard-worker` **child process** over stdin/stdout;
+//!   [`TcpShard`] (= `RemoteShard<TcpTransport>`) is an
+//!   `afd shard-worker --listen` session over a **TCP connection**,
+//!   possibly on another machine. After every mutating request the
+//!   worker ships its per-candidate state back; the coordinator decodes
+//!   it and merges via [`IncTable::merge`], **bit-identical** to the
+//!   in-process path (every maintained aggregate is an integer, so the
+//!   codec round-trip is exact).
 //!
 //! # Fault model and the recovery lifecycle
 //!
 //! A dead, hung, or corrupted worker never panics or blocks the
 //! coordinator:
 //!
-//! * Every [`ProcessShard`] request carries a **deadline**: responses
-//!   are read by a dedicated reader thread and handed over a channel,
-//!   so a worker that stops answering surfaces as a typed
+//! * Every [`RemoteShard`] request carries a **deadline**: responses
+//!   are read by a dedicated reader thread inside the transport, so a
+//!   worker that stops answering surfaces as a typed
 //!   [`TransportError`] ([`TransportErrorKind::Timeout`]) instead of a
 //!   coordinator stuck in `read(2)` forever.
-//! * The worker's **stderr is captured** (piped, ring-buffered); its
-//!   last lines ride along on every [`TransportError`], so a worker
+//! * The stdio worker's **stderr is captured** (piped, ring-buffered);
+//!   its last lines ride along on every [`TransportError`], so a worker
 //!   panic is diagnosable from the coordinator's error.
 //! * Backends that report [`ShardBackend::supports_recovery`] can be
 //!   [`respawn`](ShardBackend::respawn)ed: the supervisor in
-//!   [`crate::ShardedSession`] tears the incarnation down, spawns a
-//!   fresh one, restores the shard's last checkpoint, replays the
-//!   post-checkpoint delta log, and retries the in-flight request —
-//!   see [`crate::RecoveryConfig`] for the cadence/budget knobs.
+//!   [`crate::ShardedSession`] tears the incarnation down, brings up a
+//!   fresh one (relaunch the child; **redial with backoff** over TCP),
+//!   restores the shard's last checkpoint, replays the post-checkpoint
+//!   delta log, and retries the in-flight request — see
+//!   [`crate::RecoveryConfig`] for the cadence/budget knobs. The
+//!   supervisor path is identical across transports; only what
+//!   "respawn" means differs.
 //! * Poisoning still happens, but only as the *last* resort: when the
-//!   retry budget is exhausted, when a backend cannot be respawned, or
-//!   when a non-transport invariant breaks mid-fan-out. A poisoned
-//!   session keeps serving its last consistent reads and refuses
-//!   mutation with [`StreamError::Poisoned`].
+//!   retry budget is exhausted (over TCP: the listener never came
+//!   back), when a backend cannot be respawned, or when a non-transport
+//!   invariant breaks mid-fan-out. A poisoned session keeps serving its
+//!   last consistent reads and refuses mutation with
+//!   [`StreamError::Poisoned`].
 
-use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
-use std::path::{Path, PathBuf};
-use std::process::{Child, ChildStderr, ChildStdin, ChildStdout, Command, Stdio};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use afd_net::{NetError, StdioTransport, TcpTransport, Transport};
 use afd_relation::{Fd, Relation, Schema, Value};
-use afd_wire::{encode_framed, read_frame_from, Decode, FrameReadError, StreamFrame};
+use afd_wire::encode_framed;
 
 use crate::delta::{RowDelta, StreamError, TransportError, TransportErrorKind};
 use crate::fault::AFD_WORKER_FAULTS_ENV;
@@ -59,13 +61,12 @@ use crate::session::{CompactionReport, StreamSession};
 use crate::table::IncTable;
 use crate::wire::{ShardState, WorkerRequestRef, WorkerResponse, KIND_REQUEST, KIND_RESPONSE};
 
-/// Default per-request deadline for process-backed shards; override via
+pub use afd_net::WorkerCommand;
+
+/// Default per-request deadline for remote shards; override via
 /// [`ShardBackend::configure`] (the engine plumbs
 /// [`crate::RecoveryConfig::request_timeout_ms`] through).
 pub const DEFAULT_REQUEST_TIMEOUT: Duration = Duration::from_millis(30_000);
-
-/// How many trailing worker stderr lines the coordinator retains.
-const STDERR_TAIL_LINES: usize = 12;
 
 /// One shard of a [`crate::ShardedSession`], wherever it lives.
 ///
@@ -78,7 +79,7 @@ pub trait ShardBackend: Send {
     /// Subscribes a candidate FD (validated by the coordinator first).
     ///
     /// # Errors
-    /// [`StreamError`] — for [`ProcessShard`], transport failures too.
+    /// [`StreamError`] — for [`RemoteShard`], transport failures too.
     fn subscribe(&mut self, fd: &Fd) -> Result<usize, StreamError>;
 
     /// Applies one router-validated delta slice.
@@ -103,7 +104,7 @@ pub trait ShardBackend: Send {
     /// The shard's live rows as a compact relation, local arrival order.
     ///
     /// # Errors
-    /// [`StreamError::Transport`] for a process shard whose pipe failed.
+    /// [`StreamError::Transport`] for a remote shard whose channel failed.
     fn snapshot(&mut self) -> Result<Relation, StreamError>;
 
     /// Compacts with batch-kernel verification.
@@ -112,7 +113,7 @@ pub trait ShardBackend: Send {
     /// [`StreamError::Diverged`] / [`StreamError::Transport`].
     fn compact(&mut self) -> Result<CompactionReport, StreamError>;
 
-    /// Coordinator-assigned identity and request deadline. Process
+    /// Coordinator-assigned identity and request deadline. Remote
     /// backends use both (error attribution and the recv timeout);
     /// in-process shards ignore the call.
     fn configure(&mut self, shard_index: u32, deadline: Duration) {
@@ -129,7 +130,8 @@ pub trait ShardBackend: Send {
 
     /// Replaces the backend with a fresh, empty incarnation (for
     /// [`ProcessShard`]: kill the old child, spawn and re-init a new
-    /// one). The caller owns restoring the shard's state afterwards.
+    /// one; for [`TcpShard`]: redial the listener with backoff). The
+    /// caller owns restoring the shard's state afterwards.
     ///
     /// # Errors
     /// [`StreamError::Transport`] when respawning is unsupported or the
@@ -141,12 +143,12 @@ pub trait ShardBackend: Send {
     }
 
     /// Asks the backend to exit cleanly within the request deadline.
-    /// In-process shards have nothing to do; process shards send a
-    /// `Shutdown` request and await the worker's exit.
+    /// In-process shards have nothing to do; remote shards send a
+    /// `Shutdown` request and wind the channel down.
     ///
     /// # Errors
     /// [`StreamError::Transport`] when the worker did not acknowledge
-    /// or exit in time (it is still killed on drop).
+    /// or exit in time (a stdio child is still killed on drop).
     fn shutdown(&mut self) -> Result<(), StreamError> {
         Ok(())
     }
@@ -205,247 +207,63 @@ impl ShardBackend for InProcShard {
     }
 }
 
-// ---------------------------------------------------------- out-of-process
+// --------------------------------------------------------------- remote
 
-/// How to launch a shard-worker process: the program, its leading
-/// arguments (defaults to the `afd` CLI's `shard-worker` subcommand),
-/// and extra environment variables (the fault-injection harness rides
-/// in on [`AFD_WORKER_FAULTS_ENV`]).
-#[derive(Debug, Clone)]
-pub struct WorkerCommand {
-    program: PathBuf,
-    args: Vec<String>,
-    envs: Vec<(String, String)>,
-}
-
-impl WorkerCommand {
-    /// A worker launched as `<program> shard-worker`.
-    pub fn new(program: impl Into<PathBuf>) -> Self {
-        WorkerCommand {
-            program: program.into(),
-            args: vec!["shard-worker".into()],
-            envs: Vec::new(),
-        }
-    }
-
-    /// Replaces the argument list (for wrappers that are not the `afd`
-    /// binary).
-    #[must_use]
-    pub fn with_args(mut self, args: impl IntoIterator<Item = String>) -> Self {
-        self.args = args.into_iter().collect();
-        self
-    }
-
-    /// Adds an environment variable for the worker process (replacing
-    /// an earlier binding of the same key).
-    #[must_use]
-    pub fn with_env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
-        let key = key.into();
-        self.envs.retain(|(k, _)| *k != key);
-        self.envs.push((key, value.into()));
-        self
-    }
-
-    /// Drops an environment binding. The supervisor strips
-    /// [`AFD_WORKER_FAULTS_ENV`] on respawn so an injected fault fires
-    /// at most once per plan, not once per incarnation.
-    pub fn remove_env(&mut self, key: &str) {
-        self.envs.retain(|(k, _)| k != key);
-    }
-
-    /// The worker program.
-    pub fn program(&self) -> &Path {
-        &self.program
-    }
-
-    /// The worker's arguments.
-    pub fn args(&self) -> &[String] {
-        &self.args
-    }
-
-    /// The worker's extra environment bindings.
-    pub fn envs(&self) -> &[(String, String)] {
-        &self.envs
-    }
-
-    /// Locates a binary named `name` next to (or a couple of directories
-    /// above) the current executable — how benches and examples find the
-    /// workspace's own `afd` binary inside `target/<profile>/` without
-    /// an installed copy.
-    pub fn sibling_binary(name: &str) -> Option<Self> {
-        let exe = std::env::current_exe().ok()?;
-        let file = format!("{name}{}", std::env::consts::EXE_SUFFIX);
-        let mut dir = exe.parent();
-        for _ in 0..3 {
-            let d = dir?;
-            let cand = d.join(&file);
-            if cand.is_file() {
-                return Some(WorkerCommand::new(cand));
-            }
-            dir = d.parent();
-        }
-        None
+/// Maps a channel-level `afd-net` error into this crate's wire-codable
+/// transport error kind. A failed (re)connect is classified as a spawn
+/// failure: to the supervisor, "nobody listens there" and "the program
+/// would not start" are the same unrecoverable-incarnation signal.
+fn net_kind(e: NetError) -> TransportErrorKind {
+    match e {
+        NetError::Spawn(m) => TransportErrorKind::Spawn(m),
+        NetError::Connect(m) => TransportErrorKind::Spawn(m),
+        NetError::Write(m) => TransportErrorKind::Write(m),
+        NetError::Read(m) => TransportErrorKind::Read(m),
+        NetError::Timeout { millis } => TransportErrorKind::Timeout { millis },
+        NetError::Decode(m) => TransportErrorKind::Decode(m),
     }
 }
 
-/// One live worker incarnation: the child process plus the threads that
-/// shuttle its stdout frames and stderr lines back to the coordinator.
+/// A shard session on the far side of an `afd-net` [`Transport`],
+/// driven with checksummed wire frames.
 ///
-/// Owning I/O in a separate struct makes respawn a `mem::replace`: the
-/// old incarnation's drop kills the child and joins both threads.
-#[derive(Debug)]
-struct WorkerIo {
-    child: Child,
-    stdin: Option<ChildStdin>,
-    frames: mpsc::Receiver<Result<(u8, Vec<u8>), TransportErrorKind>>,
-    reader: Option<JoinHandle<()>>,
-    stderr_tail: Arc<Mutex<VecDeque<String>>>,
-    stderr_reader: Option<JoinHandle<()>>,
-}
-
-impl WorkerIo {
-    fn launch(cmd: &WorkerCommand) -> Result<Self, TransportError> {
-        let mut child = Command::new(cmd.program())
-            .args(cmd.args())
-            .envs(cmd.envs().iter().map(|(k, v)| (k.as_str(), v.as_str())))
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::piped())
-            .spawn()
-            .map_err(|e| {
-                TransportError::spawn(format!("spawn {}: {e}", cmd.program().display()))
-            })?;
-        let stdin = child.stdin.take().expect("stdin piped");
-        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
-        let stderr = child.stderr.take().expect("stderr piped");
-        let (tx, rx) = mpsc::channel();
-        let reader = std::thread::spawn(move || reader_loop(stdout, &tx));
-        let tail = Arc::new(Mutex::new(VecDeque::new()));
-        let tail_writer = Arc::clone(&tail);
-        let stderr_reader = std::thread::spawn(move || stderr_loop(stderr, &tail_writer));
-        Ok(WorkerIo {
-            child,
-            stdin: Some(stdin),
-            frames: rx,
-            reader: Some(reader),
-            stderr_tail: tail,
-            stderr_reader: Some(stderr_reader),
-        })
-    }
-
-    /// The captured stderr tail. When the failure suggests the worker
-    /// died (`wait_for_exit`), briefly poll for its exit and join the
-    /// stderr thread first, so panic messages that raced the error are
-    /// included deterministically.
-    fn stderr_snapshot(&mut self, wait_for_exit: bool) -> Vec<String> {
-        if wait_for_exit {
-            for _ in 0..25 {
-                match self.child.try_wait() {
-                    Ok(Some(_)) => {
-                        if let Some(h) = self.stderr_reader.take() {
-                            let _ = h.join();
-                        }
-                        break;
-                    }
-                    Ok(None) => std::thread::sleep(Duration::from_millis(10)),
-                    Err(_) => break,
-                }
-            }
-        }
-        self.stderr_tail
-            .lock()
-            .map(|tail| tail.iter().cloned().collect())
-            .unwrap_or_default()
-    }
-}
-
-impl Drop for WorkerIo {
-    fn drop(&mut self) {
-        drop(self.stdin.take());
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-        if let Some(h) = self.reader.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.stderr_reader.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-fn reader_loop(
-    mut stdout: BufReader<ChildStdout>,
-    tx: &mpsc::Sender<Result<(u8, Vec<u8>), TransportErrorKind>>,
-) {
-    loop {
-        let item = match read_frame_from(&mut stdout) {
-            Ok(StreamFrame::Frame(kind, payload)) => Ok((kind, payload)),
-            Ok(StreamFrame::Eof) => Err(TransportErrorKind::Read(
-                "worker closed its pipe (crashed, killed, or exited)".into(),
-            )),
-            Err(FrameReadError::Io(e)) => {
-                Err(TransportErrorKind::Read(format!("read from worker: {e}")))
-            }
-            Err(FrameReadError::Decode(e)) => {
-                Err(TransportErrorKind::Decode(format!("worker frame: {e}")))
-            }
-        };
-        let done = item.is_err();
-        if tx.send(item).is_err() || done {
-            return;
-        }
-    }
-}
-
-fn stderr_loop(stderr: ChildStderr, tail: &Arc<Mutex<VecDeque<String>>>) {
-    for line in BufReader::new(stderr).lines() {
-        let Ok(line) = line else { return };
-        if let Ok(mut tail) = tail.lock() {
-            if tail.len() == STDERR_TAIL_LINES {
-                tail.pop_front();
-            }
-            tail.push_back(line);
-        }
-    }
-}
-
-/// A shard living in an `afd shard-worker` child process, driven over
-/// its stdin/stdout with checksummed wire frames.
-///
-/// The protocol is strict request/response, but responses arrive via a
-/// dedicated reader thread so every request carries a deadline
+/// The protocol is strict request/response, but responses arrive via
+/// the transport's reader thread so every request carries a deadline
 /// ([`ShardBackend::configure`]); a hung worker surfaces as
 /// [`TransportErrorKind::Timeout`] instead of blocking the coordinator.
 /// Every mutating response carries the worker's full per-candidate
 /// state ([`ShardState`]); the coordinator reads
 /// [`ShardBackend::table`] &co from that cache, so score merges never
-/// block on the child between deltas. The spawn recipe, schema, and
-/// deadline are retained so the supervisor can
+/// block on the worker between deltas. The transport retains its
+/// recipe (spawn command / socket address), so the supervisor can
 /// [`respawn`](ShardBackend::respawn) a failed incarnation.
 #[derive(Debug)]
-pub struct ProcessShard {
-    cmd: WorkerCommand,
+pub struct RemoteShard<T: Transport> {
+    transport: T,
     schema: Schema,
     shard_index: Option<u32>,
     deadline: Duration,
-    io: WorkerIo,
     state: ShardState,
 }
 
-impl ProcessShard {
-    /// Spawns one worker and initialises its session over `schema`.
+/// A shard in an `afd shard-worker` child process over stdin/stdout.
+pub type ProcessShard = RemoteShard<StdioTransport>;
+
+/// A shard served by an `afd shard-worker --listen` process over TCP.
+pub type TcpShard = RemoteShard<TcpTransport>;
+
+impl<T: Transport> RemoteShard<T> {
+    /// Wraps an established transport and initialises the worker's
+    /// session over `schema` (the Init handshake).
     ///
     /// # Errors
-    /// [`StreamError::Transport`] when the program cannot be spawned or
-    /// the Init handshake fails (or times out).
-    pub fn spawn(cmd: &WorkerCommand, schema: &Schema) -> Result<Self, StreamError> {
-        let io = WorkerIo::launch(cmd).map_err(StreamError::Transport)?;
-        let mut shard = ProcessShard {
-            cmd: cmd.clone(),
+    /// [`StreamError::Transport`] when the handshake fails or times out.
+    pub fn from_transport(transport: T, schema: &Schema) -> Result<Self, StreamError> {
+        let mut shard = RemoteShard {
+            transport,
             schema: schema.clone(),
             shard_index: None,
             deadline: DEFAULT_REQUEST_TIMEOUT,
-            io,
             state: ShardState {
                 n_live: 0,
                 candidates: Vec::new(),
@@ -457,38 +275,27 @@ impl ProcessShard {
         }
     }
 
-    /// The worker's process id (fault-injection tests kill it by pid).
-    pub fn pid(&self) -> u32 {
-        self.io.child.id()
-    }
-
-    /// Kills the worker outright — the fault every transport error path
-    /// must survive. Used by tests; a killed shard's next request
-    /// returns [`StreamError::Transport`] (and a recovery-enabled
-    /// session respawns it).
-    pub fn kill(&mut self) {
-        let _ = self.io.child.kill();
-        let _ = self.io.child.wait();
-    }
-
-    /// Replaces the command future respawns use. The running worker is
-    /// untouched; fault tests point this at a broken program to make
-    /// every recovery attempt fail and exhaust the retry budget.
-    pub fn set_command(&mut self, cmd: WorkerCommand) {
-        self.cmd = cmd;
+    /// The underlying transport (tests reach through for fault hooks).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
     }
 
     /// Builds the typed transport error for a failed protocol step:
-    /// shard attribution plus the worker's stderr tail.
+    /// shard attribution plus the transport's diagnostics (the worker
+    /// stderr tail over stdio).
     fn fail(&mut self, kind: TransportErrorKind) -> StreamError {
         let worker_died = matches!(
             kind,
             TransportErrorKind::Read(_) | TransportErrorKind::Write(_)
         );
-        let stderr = self.io.stderr_snapshot(worker_died);
+        let stderr = self.transport.diagnostics(worker_died);
         let mut err = TransportError::of_kind(kind).with_stderr(stderr);
         err.shard = self.shard_index;
         StreamError::Transport(err)
+    }
+
+    fn fail_net(&mut self, e: NetError) -> StreamError {
+        self.fail(net_kind(e))
     }
 
     fn unexpected(&mut self, req: &str, resp: &WorkerResponse) -> StreamError {
@@ -507,32 +314,20 @@ impl ProcessShard {
                 return Err(self.fail(TransportErrorKind::Decode(format!("request encode: {e}"))))
             }
         };
-        let wrote = match self.io.stdin.as_mut() {
-            None => Err("worker stdin already closed".to_string()),
-            Some(stdin) => stdin
-                .write_all(&frame)
-                .and_then(|()| stdin.flush())
-                .map_err(|e| format!("write to worker: {e}")),
-        };
-        if let Err(msg) = wrote {
-            return Err(self.fail(TransportErrorKind::Write(msg)));
+        if let Err(e) = self.transport.send(&frame) {
+            return Err(self.fail_net(e));
         }
-        match self.io.frames.recv_timeout(self.deadline) {
-            Ok(Ok((KIND_RESPONSE, payload))) => {
+        match self.transport.recv(self.deadline) {
+            Ok((KIND_RESPONSE, payload)) => {
+                use afd_wire::Decode;
                 WorkerResponse::decode_exact(&payload).map_err(|e| {
                     self.fail(TransportErrorKind::Decode(format!("response decode: {e}")))
                 })
             }
-            Ok(Ok((kind, _))) => Err(self.fail(TransportErrorKind::Decode(format!(
+            Ok((kind, _)) => Err(self.fail(TransportErrorKind::Decode(format!(
                 "worker sent unexpected frame kind {kind}"
             )))),
-            Ok(Err(kind)) => Err(self.fail(kind)),
-            Err(mpsc::RecvTimeoutError::Timeout) => Err(self.fail(TransportErrorKind::Timeout {
-                millis: self.deadline.as_millis() as u64,
-            })),
-            Err(mpsc::RecvTimeoutError::Disconnected) => Err(self.fail(TransportErrorKind::Read(
-                "worker reader thread ended (worker gone)".into(),
-            ))),
+            Err(e) => Err(self.fail_net(e)),
         }
     }
 
@@ -563,7 +358,64 @@ impl ProcessShard {
     }
 }
 
-impl ShardBackend for ProcessShard {
+impl ProcessShard {
+    /// Spawns one worker and initialises its session over `schema`.
+    ///
+    /// # Errors
+    /// [`StreamError::Transport`] when the program cannot be spawned or
+    /// the Init handshake fails (or times out).
+    pub fn spawn(cmd: &WorkerCommand, schema: &Schema) -> Result<Self, StreamError> {
+        // Strip the fault-injection hook before any respawn so an
+        // injected fault fires at most once per plan, not once per
+        // incarnation.
+        let transport = StdioTransport::launch(cmd)
+            .map_err(|e| StreamError::Transport(TransportError::of_kind(net_kind(e))))?
+            .strip_env_on_reconnect(AFD_WORKER_FAULTS_ENV);
+        Self::from_transport(transport, schema)
+    }
+
+    /// The worker's process id (fault-injection tests kill it by pid).
+    pub fn pid(&self) -> u32 {
+        self.transport.pid()
+    }
+
+    /// Kills the worker outright — the fault every transport error path
+    /// must survive. Used by tests; a killed shard's next request
+    /// returns [`StreamError::Transport`] (and a recovery-enabled
+    /// session respawns it).
+    pub fn kill(&mut self) {
+        self.transport.kill();
+    }
+
+    /// Replaces the command future respawns use. The running worker is
+    /// untouched; fault tests point this at a broken program to make
+    /// every recovery attempt fail and exhaust the retry budget.
+    pub fn set_command(&mut self, cmd: WorkerCommand) {
+        self.transport.set_command(cmd);
+    }
+}
+
+impl TcpShard {
+    /// Dials an `afd shard-worker --listen` address and initialises a
+    /// worker session over `schema`.
+    ///
+    /// # Errors
+    /// [`StreamError::Transport`] when the address is malformed, nobody
+    /// accepts, or the Init handshake fails.
+    pub fn connect(addr: &str, schema: &Schema) -> Result<Self, StreamError> {
+        let transport = TcpTransport::connect(addr)
+            .map_err(|e| StreamError::Transport(TransportError::of_kind(net_kind(e))))?;
+        Self::from_transport(transport, schema)
+    }
+
+    /// Drops the connection without redialing — the test hook that
+    /// simulates losing a remote worker mid-stream.
+    pub fn sever(&mut self) {
+        self.transport.sever();
+    }
+}
+
+impl<T: Transport> ShardBackend for RemoteShard<T> {
     fn subscribe(&mut self, fd: &Fd) -> Result<usize, StreamError> {
         let expected = self.state.candidates.len() + 1;
         match self.request(&WorkerRequestRef::Subscribe(fd))? {
@@ -623,20 +475,15 @@ impl ShardBackend for ProcessShard {
     }
 
     fn supports_recovery(&self) -> bool {
-        true
+        self.transport.supports_reconnect()
     }
 
     fn respawn(&mut self) -> Result<(), StreamError> {
-        // Strip the fault-injection hook so an injected fault fires at
-        // most once per plan, not once per incarnation.
-        self.cmd.remove_env(AFD_WORKER_FAULTS_ENV);
-        let io = WorkerIo::launch(&self.cmd).map_err(|mut te| {
+        if let Err(e) = self.transport.reconnect() {
+            let mut te = TransportError::of_kind(net_kind(e));
             te.shard = self.shard_index;
-            StreamError::Transport(te)
-        })?;
-        // The old incarnation's drop kills its child and joins threads.
-        let _old = std::mem::replace(&mut self.io, io);
-        drop(_old);
+            return Err(StreamError::Transport(te));
+        }
         self.state = ShardState {
             n_live: 0,
             candidates: Vec::new(),
@@ -657,38 +504,21 @@ impl ShardBackend for ProcessShard {
             }
             Err(e) => return Err(e),
         }
-        drop(self.io.stdin.take());
-        let start = Instant::now();
-        loop {
-            match self.io.child.try_wait() {
-                Ok(Some(_)) => return Ok(()),
-                Ok(None) if start.elapsed() < self.deadline => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Ok(None) => {
-                    return Err(self.fail(TransportErrorKind::Timeout {
-                        millis: self.deadline.as_millis() as u64,
-                    }))
-                }
-                Err(e) => {
-                    return Err(self.fail(TransportErrorKind::Read(format!(
-                        "wait for worker exit: {e}"
-                    ))))
-                }
-            }
+        let deadline = self.deadline;
+        if let Err(e) = self.transport.finish(deadline) {
+            return Err(self.fail_net(e));
         }
+        Ok(())
     }
 }
 
-impl Drop for ProcessShard {
+impl<T: Transport> Drop for RemoteShard<T> {
     fn drop(&mut self) {
-        // Best-effort graceful exit: ask, close the pipe (the worker
-        // exits on EOF anyway); WorkerIo's drop reaps the process.
-        if let Some(mut stdin) = self.io.stdin.take() {
-            if let Ok(frame) = encode_framed(KIND_REQUEST, &WorkerRequestRef::Shutdown) {
-                let _ = stdin.write_all(&frame);
-                let _ = stdin.flush();
-            }
+        // Best-effort graceful exit: ask, then let the transport's drop
+        // close the channel (a stdio child is killed and reaped; a TCP
+        // worker sees EOF and ends its session).
+        if let Ok(frame) = encode_framed(KIND_REQUEST, &WorkerRequestRef::Shutdown) {
+            let _ = self.transport.send(&frame);
         }
     }
 }
@@ -701,8 +531,10 @@ impl Drop for ProcessShard {
 pub enum AnyShard {
     /// An in-process shard.
     InProc(InProcShard),
-    /// An out-of-process worker.
+    /// An out-of-process worker over stdin/stdout.
     Process(ProcessShard),
+    /// A worker on the far side of a TCP connection.
+    Tcp(TcpShard),
 }
 
 impl ShardBackend for AnyShard {
@@ -710,6 +542,7 @@ impl ShardBackend for AnyShard {
         match self {
             AnyShard::InProc(s) => s.subscribe(fd),
             AnyShard::Process(s) => s.subscribe(fd),
+            AnyShard::Tcp(s) => s.subscribe(fd),
         }
     }
 
@@ -717,6 +550,7 @@ impl ShardBackend for AnyShard {
         match self {
             AnyShard::InProc(s) => s.apply(delta),
             AnyShard::Process(s) => s.apply(delta),
+            AnyShard::Tcp(s) => s.apply(delta),
         }
     }
 
@@ -724,6 +558,7 @@ impl ShardBackend for AnyShard {
         match self {
             AnyShard::InProc(s) => s.table(cid),
             AnyShard::Process(s) => s.table(cid),
+            AnyShard::Tcp(s) => s.table(cid),
         }
     }
 
@@ -731,6 +566,7 @@ impl ShardBackend for AnyShard {
         match self {
             AnyShard::InProc(s) => s.n_live(),
             AnyShard::Process(s) => s.n_live(),
+            AnyShard::Tcp(s) => s.n_live(),
         }
     }
 
@@ -738,6 +574,7 @@ impl ShardBackend for AnyShard {
         match self {
             AnyShard::InProc(s) => s.n_y_side_ids(cid),
             AnyShard::Process(s) => s.n_y_side_ids(cid),
+            AnyShard::Tcp(s) => s.n_y_side_ids(cid),
         }
     }
 
@@ -745,6 +582,7 @@ impl ShardBackend for AnyShard {
         match self {
             AnyShard::InProc(s) => s.y_side_values(cid, id),
             AnyShard::Process(s) => s.y_side_values(cid, id),
+            AnyShard::Tcp(s) => s.y_side_values(cid, id),
         }
     }
 
@@ -752,6 +590,7 @@ impl ShardBackend for AnyShard {
         match self {
             AnyShard::InProc(s) => s.snapshot(),
             AnyShard::Process(s) => s.snapshot(),
+            AnyShard::Tcp(s) => s.snapshot(),
         }
     }
 
@@ -759,6 +598,7 @@ impl ShardBackend for AnyShard {
         match self {
             AnyShard::InProc(s) => s.compact(),
             AnyShard::Process(s) => s.compact(),
+            AnyShard::Tcp(s) => s.compact(),
         }
     }
 
@@ -766,6 +606,7 @@ impl ShardBackend for AnyShard {
         match self {
             AnyShard::InProc(s) => s.configure(shard_index, deadline),
             AnyShard::Process(s) => s.configure(shard_index, deadline),
+            AnyShard::Tcp(s) => s.configure(shard_index, deadline),
         }
     }
 
@@ -773,6 +614,7 @@ impl ShardBackend for AnyShard {
         match self {
             AnyShard::InProc(s) => s.supports_recovery(),
             AnyShard::Process(s) => s.supports_recovery(),
+            AnyShard::Tcp(s) => s.supports_recovery(),
         }
     }
 
@@ -780,6 +622,7 @@ impl ShardBackend for AnyShard {
         match self {
             AnyShard::InProc(s) => s.respawn(),
             AnyShard::Process(s) => s.respawn(),
+            AnyShard::Tcp(s) => s.respawn(),
         }
     }
 
@@ -787,6 +630,7 @@ impl ShardBackend for AnyShard {
         match self {
             AnyShard::InProc(s) => s.shutdown(),
             AnyShard::Process(s) => s.shutdown(),
+            AnyShard::Tcp(s) => s.shutdown(),
         }
     }
 }
@@ -835,26 +679,24 @@ mod tests {
     }
 
     #[test]
-    fn sibling_binary_misses_cleanly() {
-        assert!(WorkerCommand::sibling_binary("no-such-binary-here").is_none());
+    fn tcp_connect_failure_is_typed_spawn() {
+        // Bind-then-drop yields a port with (very likely) no listener;
+        // the failed dial must classify as a spawn-stage failure.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let schema = Schema::new(["X", "Y"]).unwrap();
+        match TcpShard::connect(&addr.to_string(), &schema) {
+            Err(StreamError::Transport(te)) => {
+                assert!(matches!(te.kind, TransportErrorKind::Spawn(_)), "{te:?}");
+            }
+            other => panic!("expected transport error, got {other:?}"),
+        }
     }
 
     #[test]
-    fn worker_command_env_bindings() {
-        let mut cmd = WorkerCommand::new("afd")
-            .with_env("A", "1")
-            .with_env("A", "2")
-            .with_env("B", "3");
-        assert_eq!(
-            cmd.envs(),
-            &[
-                ("A".to_string(), "2".to_string()),
-                ("B".to_string(), "3".to_string())
-            ]
-        );
-        cmd.remove_env("A");
-        assert_eq!(cmd.envs(), &[("B".to_string(), "3".to_string())]);
-        cmd.remove_env("not-there");
-        assert_eq!(cmd.envs().len(), 1);
+    fn sibling_binary_misses_cleanly() {
+        assert!(WorkerCommand::sibling_binary("no-such-binary-here").is_none());
     }
 }

@@ -129,7 +129,8 @@ pub mod wire;
 pub mod worker;
 
 pub use backend::{
-    AnyShard, InProcShard, ProcessShard, ShardBackend, WorkerCommand, DEFAULT_REQUEST_TIMEOUT,
+    AnyShard, InProcShard, ProcessShard, RemoteShard, ShardBackend, TcpShard, WorkerCommand,
+    DEFAULT_REQUEST_TIMEOUT,
 };
 pub use delta::{ChurnPlanner, RowDelta, RowId, StreamError, TransportError, TransportErrorKind};
 pub use fault::{ChaosShard, FaultPlan, WorkerFault, WorkerFaultKind, AFD_WORKER_FAULTS_ENV};
@@ -140,4 +141,4 @@ pub use session::{
 pub use shard::{DeltaRouter, ShardedSession};
 pub use table::{IncTable, StreamScores};
 pub use wire::{SessionSnapshot, SnapshotStats};
-pub use worker::{run_worker, run_worker_with_fault};
+pub use worker::{run_worker, run_worker_listener, run_worker_with_fault};

@@ -167,6 +167,54 @@ pub fn run_worker_with_fault(
     }
 }
 
+/// Serves the worker protocol over TCP: one [`run_worker_with_fault`]
+/// session per accepted connection, each on its own thread (so a
+/// stalled or mid-teardown session never blocks a supervisor's
+/// reconnect from being served).
+///
+/// Connection = incarnation: a dropped connection ends its session
+/// exactly like a killed child process ends a stdio worker's, and the
+/// coordinator's respawn-restore-replay recovery applies unchanged —
+/// the fresh connection starts from `Init` and is rebuilt from the
+/// checkpoint + delta log.
+///
+/// Inspects [`AFD_WORKER_FAULTS_ENV`] **once** at entry and arms the
+/// fault on the *first* connection only, mirroring the stdio
+/// supervisor's strip-on-respawn rule: an injected fault fires at most
+/// once per plan, not once per incarnation.
+///
+/// Runs until the listener itself fails (callers that want to stop it
+/// kill the process; every session is connection-scoped).
+///
+/// # Errors
+/// The `accept(2)` failure that ended the loop.
+pub fn run_worker_listener(listener: std::net::TcpListener) -> std::io::Error {
+    let fault = std::sync::Mutex::new(
+        std::env::var(AFD_WORKER_FAULTS_ENV)
+            .ok()
+            .and_then(|spec| WorkerFault::parse(&spec)),
+    );
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) => return e,
+        };
+        let fault = fault.lock().ok().and_then(|mut f| f.take());
+        std::thread::spawn(move || {
+            let _ = stream.set_nodelay(true);
+            let Ok(read_half) = stream.try_clone() else {
+                return;
+            };
+            // Transport-level failures (the peer vanished, a corrupt
+            // frame) end this session; the listener keeps accepting.
+            if let Err(e) = run_worker_with_fault(std::io::BufReader::new(read_half), stream, fault)
+            {
+                eprintln!("afd-worker: connection ended: {e}");
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

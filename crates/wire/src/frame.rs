@@ -44,6 +44,21 @@ pub const FRAME_OVERHEAD: usize = HEADER_LEN + 8;
 /// length beyond it is rejected before any allocation.
 pub const MAX_PAYLOAD: usize = 256 << 20;
 
+// ---------------------------------------------------------------------
+// Frame-kind registry
+//
+// The frame layer carries `kind` opaquely, but the one-byte namespace is
+// shared by every protocol built on these frames, so the registry lives
+// here: 1–3 are the shard-worker protocol (`afd_stream::wire`), 4–5 the
+// registry manifest ([`crate::manifest`]), 6–7 the serve front door.
+
+/// Frame kind of a request to a serving front door (`afd-serve`'s
+/// socket protocol, client → server).
+pub const KIND_SERVE_REQUEST: u8 = 6;
+/// Frame kind of a serving front door's reply (server → client). Every
+/// request frame is answered by exactly one response frame.
+pub const KIND_SERVE_RESPONSE: u8 = 7;
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 

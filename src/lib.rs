@@ -32,7 +32,8 @@
 //! | [`discovery`] | `afd-discovery` | threshold + lattice (non-linear) AFD discovery |
 //! | [`stream`] | `afd-stream` | incremental engine: delta-maintained state, sharded sessions, process workers |
 //! | [`wire`] | `afd-wire` | versioned, checksummed binary codec for cross-process state |
-//! | [`serve`] | `afd-serve` | multi-tenant serving: session registry, tick scheduler, eviction to disk |
+//! | [`net`] | `afd-net` | socket transports: TCP shard workers, framed clients, reconnect policy |
+//! | [`serve`] | `afd-serve` | multi-tenant serving: session registry, tick scheduler, eviction to disk, socket front door |
 //!
 //! ## Quickstart
 //!
@@ -200,6 +201,47 @@
 //!   codec throughput (~GiB/s encode on the 65 536-row fixture) and the
 //!   process-backend apply overhead in `BENCH_wire.json`.
 //!
+//! ### Sockets: TCP shard workers & the serve front door (`afd-net`)
+//!
+//! The same checksummed frames cross machines, not just pipes. [`net`]
+//! is a small transport crate (depends only on [`wire`], so the
+//! streaming and serving layers both build on it without cycles)
+//! exposing one [`net::Transport`] abstraction with two
+//! implementations: [`net::StdioTransport`] — the existing child
+//! process's stdin/stdout — and [`net::TcpTransport`] — a dialed TCP
+//! connection. `afd shard-worker --listen ADDR` serves the worker
+//! protocol over a socket (thread per connection, one session each),
+//! [`engine::StreamBackend::Tcp`] points a session's shards at such
+//! listeners, and the supervisor's heal path carries over unchanged:
+//! a severed connection is a typed transport error, `reconnect`
+//! redials with exponential backoff ([`net::ReconnectPolicy`] — the
+//! TCP analogue of respawning a child), and checkpoint-restore +
+//! replay make the healed shard bit-identical by construction
+//! (integration tests pin TCP topologies bit-identical to in-process
+//! and stdio ones for N ∈ {1, 2, 4}, through kills and stalls). Bad
+//! addresses are an [`AfdError::Config`] at the engine boundary, not a
+//! late dial failure.
+//!
+//! The serving layer gets a socket front door on the same frames:
+//! [`serve::ServeFront`] wraps an [`AfdServe`] in an accept loop
+//! (`afd serve --listen ADDR`), speaking a typed request/response
+//! protocol (register / enqueue / tick / subscribe / scores / release /
+//! stats) where **every refusal is an answer, never a disconnect** —
+//! auth failures, stale handles, and backpressure all travel as the
+//! same [`serve::ServeError`] values the library returns, and a
+//! connection-count cap answers a typed `Backpressure` frame before
+//! closing. Registration is gated by an optional shared token plus a
+//! tenant label ([`serve::FrontConfig`]; TLS is a recorded follow-up —
+//! the token authenticates, the network is assumed trusted), and a
+//! dropped connection deterministically releases — or, with
+//! [`serve::DisconnectPolicy::Park`], evicts-to-disk — the handles it
+//! registered, so crashed clients cannot leak sessions.
+//! [`serve::ServeClient`] (and `afd connect ADDR` in the CLI) drives
+//! it end-to-end with a deadline on every request; `cargo run
+//! --release -p afd-bench --example record_net` records the loopback
+//! transport tax, serve round-trip latency, and connection-churn
+//! accept rate in `BENCH_net.json`.
+//!
 //! ### Serving layer: million-session multi-tenancy (`afd-serve`)
 //!
 //! Everything above runs *one* engine; [`AfdServe`] runs a registry of
@@ -276,6 +318,7 @@ pub use afd_discovery as discovery;
 pub use afd_engine as engine;
 pub use afd_entropy as entropy;
 pub use afd_eval as eval;
+pub use afd_net as net;
 pub use afd_relation as relation;
 pub use afd_rwd as rwd;
 pub use afd_serve as serve;
